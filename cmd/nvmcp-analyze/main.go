@@ -1,0 +1,82 @@
+// Command nvmcp-analyze inspects the workload specifications: the Table IV
+// chunk-size distribution, the per-chunk modification schedule (the input to
+// the DCPCP prediction table), and the derived pre-copy parameters for a
+// given NVM bandwidth.
+//
+// Usage:
+//
+//	nvmcp-analyze [-bw 400e6] [-interval 40s] [app ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nvmcp/internal/experiments"
+	"nvmcp/internal/model"
+	"nvmcp/internal/trace"
+	"nvmcp/internal/workload"
+)
+
+func main() {
+	bw := flag.Float64("bw", 400e6, "effective NVM bandwidth per core, bytes/sec")
+	interval := flag.Duration("interval", 40*time.Second, "local checkpoint interval")
+	flag.Parse()
+
+	apps := flag.Args()
+	if len(apps) == 0 {
+		experiments.PrintTable4(os.Stdout, experiments.RunTable4())
+		fmt.Println()
+		for _, spec := range workload.Specs() {
+			analyze(spec, *bw, *interval)
+			fmt.Println()
+		}
+		return
+	}
+	for _, name := range apps {
+		spec, ok := workload.SpecByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown app %q\n", name)
+			os.Exit(2)
+		}
+		analyze(spec, *bw, *interval)
+		fmt.Println()
+	}
+}
+
+func analyze(spec workload.AppSpec, bw float64, interval time.Duration) {
+	fmt.Printf("== %s: %d chunks, %s checkpoint data per rank ==\n",
+		spec.Name, len(spec.Chunks), trace.FmtBytes(float64(spec.CheckpointSize())))
+	tb := &trace.Table{Header: []string{"chunk", "size", "modifications per iteration"}}
+	for _, c := range spec.Chunks {
+		sched := "init only"
+		if !c.InitOnly {
+			parts := make([]string, len(c.ModPhases))
+			for i, ph := range c.ModPhases {
+				parts[i] = fmt.Sprintf("%.0f%%", ph*100)
+			}
+			sched = fmt.Sprintf("%dx at %s of interval", len(c.ModPhases), strings.Join(parts, ", "))
+		}
+		tb.AddRow(c.Name, trace.FmtBytes(float64(c.Size)), sched)
+	}
+	tb.Write(os.Stdout)
+
+	tp := model.PreCopyThreshold(interval, spec.CheckpointSize(), bw)
+	fmt.Printf("pre-copy parameters at %s/core, I=%v: T_c=%v, threshold T_p=%v (%.0f%% of interval)\n",
+		trace.FmtRate(bw), interval,
+		(interval - tp).Round(time.Millisecond), tp.Round(time.Millisecond),
+		float64(tp)/float64(interval)*100)
+	hot := 0
+	for _, c := range spec.Chunks {
+		for _, ph := range c.ModPhases {
+			if time.Duration(ph*float64(interval)) > tp {
+				hot++
+				break
+			}
+		}
+	}
+	fmt.Printf("chunks modified after the threshold (hot, DCPCP holds them): %d\n", hot)
+}

@@ -1,0 +1,225 @@
+// Command nvmcp-bench regenerates the paper's tables and figures from the
+// simulation harness. Each experiment prints the same rows or series the
+// paper reports; pass -scale paper for the full 48-rank configuration of the
+// evaluation (slower) or keep the default quick scale for a fast pass that
+// preserves every shape. Pass -json for machine-readable results.
+//
+// Usage:
+//
+//	nvmcp-bench [-scale quick|paper] [-json] [experiment ...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"nvmcp/internal/experiments"
+	"nvmcp/internal/workload"
+)
+
+// experimentDef couples an experiment's runner with its text printer. The
+// runner's result is what -json serializes.
+type experimentDef struct {
+	run   func(scale experiments.Scale) any
+	print func(w io.Writer, result any)
+}
+
+var runners = map[string]experimentDef{
+	"tab1": {
+		run:   func(experiments.Scale) any { return "device constants; see text output" },
+		print: func(w io.Writer, _ any) { experiments.PrintTable1(w) },
+	},
+	"tab4": {
+		run:   func(experiments.Scale) any { return experiments.RunTable4() },
+		print: func(w io.Writer, r any) { experiments.PrintTable4(w, r.([]experiments.Table4Row)) },
+	},
+	"tab5": {
+		run:   func(s experiments.Scale) any { return experiments.RunTable5(s) },
+		print: func(w io.Writer, r any) { experiments.PrintTable5(w, r.([]experiments.Table5Row)) },
+	},
+	"fig4": {
+		run:   func(experiments.Scale) any { return experiments.RunFig4() },
+		print: func(w io.Writer, r any) { experiments.PrintFig4(w, r.(experiments.Fig4Result)) },
+	},
+	"fig7": {
+		run:   func(s experiments.Scale) any { return experiments.RunLocal(workload.LAMMPSRhodo(), s) },
+		print: func(w io.Writer, r any) { experiments.PrintLocal(w, r.(experiments.LocalResult)) },
+	},
+	"fig8": {
+		run:   func(s experiments.Scale) any { return experiments.RunLocal(workload.GTC(), s) },
+		print: func(w io.Writer, r any) { experiments.PrintLocal(w, r.(experiments.LocalResult)) },
+	},
+	"cm1": {
+		run:   func(s experiments.Scale) any { return experiments.RunLocal(workload.CM1(), s) },
+		print: func(w io.Writer, r any) { experiments.PrintLocal(w, r.(experiments.LocalResult)) },
+	},
+	"fig9": {
+		run:   func(s experiments.Scale) any { return experiments.RunFig9(workload.GTC(), s) },
+		print: func(w io.Writer, r any) { experiments.PrintFig9(w, r.(experiments.Fig9Result)) },
+	},
+	"fig10": {
+		run:   func(s experiments.Scale) any { return experiments.RunFig10(workload.LAMMPSRhodo(), s) },
+		print: func(w io.Writer, r any) { experiments.PrintFig10(w, r.(experiments.Fig10Result)) },
+	},
+	"madbench": {
+		run:   func(experiments.Scale) any { return experiments.RunMADBench() },
+		print: func(w io.Writer, r any) { experiments.PrintMADBench(w, r.([]experiments.MADBenchRow)) },
+	},
+	"model": {
+		run:   func(experiments.Scale) any { return experiments.RunModel() },
+		print: func(w io.Writer, r any) { experiments.PrintModel(w, r.([]experiments.ModelRow)) },
+	},
+	"ablation-page": {
+		run:   func(experiments.Scale) any { return experiments.RunPageAblation() },
+		print: func(w io.Writer, r any) { experiments.PrintPageAblation(w, r.([]experiments.PageAblationRow)) },
+	},
+	"ablation-direct": {
+		run:   func(experiments.Scale) any { return experiments.RunDirectAblation() },
+		print: func(w io.Writer, r any) { experiments.PrintDirectAblation(w, r.([]experiments.DirectAblationRow)) },
+	},
+	"ablation-serial": {
+		run:   func(experiments.Scale) any { return experiments.RunSerialAblation() },
+		print: func(w io.Writer, r any) { experiments.PrintSerialAblation(w, r.([]experiments.SerialAblationRow)) },
+	},
+	"restart": {
+		run:   func(experiments.Scale) any { return experiments.RunRestart() },
+		print: func(w io.Writer, r any) { experiments.PrintRestart(w, r.([]experiments.RestartRow)) },
+	},
+	"transparent": {
+		run:   func(experiments.Scale) any { return experiments.RunTransparent() },
+		print: func(w io.Writer, r any) { experiments.PrintTransparent(w, r.(experiments.TransparentRow)) },
+	},
+	"failures": {
+		run:   func(s experiments.Scale) any { return experiments.RunFailureModel(s) },
+		print: func(w io.Writer, r any) { experiments.PrintFailureModel(w, r.([]experiments.FailureRow)) },
+	},
+	"endurance": {
+		run:   func(s experiments.Scale) any { return experiments.RunEndurance(s) },
+		print: func(w io.Writer, r any) { experiments.PrintEndurance(w, r.([]experiments.EnduranceRow)) },
+	},
+	"interval": {
+		run:   func(s experiments.Scale) any { return experiments.RunInterval(s) },
+		print: func(w io.Writer, r any) { experiments.PrintInterval(w, r.(experiments.IntervalResult)) },
+	},
+	"redundancy": {
+		run:   func(experiments.Scale) any { return experiments.RunRedundancy() },
+		print: func(w io.Writer, r any) { experiments.PrintRedundancy(w, r.(experiments.RedundancyResult)) },
+	},
+	"hierarchy": {
+		run:   func(s experiments.Scale) any { return experiments.RunHierarchy(s) },
+		print: func(w io.Writer, r any) { experiments.PrintHierarchy(w, r.(experiments.HierarchyResult)) },
+	},
+}
+
+// order fixes the presentation sequence of `all`.
+var order = []string{
+	"tab1", "madbench", "fig4", "tab4", "model",
+	"fig7", "fig8", "cm1", "fig9", "fig10", "tab5",
+	"ablation-page", "ablation-direct", "ablation-serial",
+	"restart", "transparent", "failures", "endurance", "interval",
+	"redundancy", "hierarchy",
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(runners))
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "paper":
+		scale = experiments.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	var expanded []string
+	for _, t := range targets {
+		if t == "all" {
+			expanded = append(expanded, order...)
+			continue
+		}
+		expanded = append(expanded, t)
+	}
+
+	jsonOut := make(map[string]any, len(expanded))
+	for _, name := range expanded {
+		def, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		result := def.run(scale)
+		if *asJSON {
+			jsonOut[name] = result
+			continue
+		}
+		def.print(os.Stdout, result)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `nvmcp-bench regenerates the paper's tables and figures.
+
+usage: nvmcp-bench [-scale quick|paper] [-json] [experiment ...]
+
+experiments:
+  tab1      Table I    device parameters
+  madbench  Sec. IV    ramdisk vs memory checkpoint motivation
+  fig4      Figure 4   parallel memcpy per-core bandwidth
+  tab4      Table IV   chunk size distributions
+  model     Sec. III   analytic performance model
+  fig7      Figure 7   LAMMPS local checkpoint, pre-copy vs no pre-copy
+  fig8      Figure 8   GTC local checkpoint
+  cm1       Sec. VI    CM1 local checkpoint (small-chunk case)
+  fig9      Figure 9   GTC remote checkpoint efficiency
+  fig10     Figure 10  peak interconnect usage timeline
+  tab5      Table V    helper core CPU utilization
+  ablation-page / ablation-direct / ablation-serial
+  restart     recovery paths: eager local, lazy restore, remote fetch
+  transparent transparent vs application-initiated checkpointing
+  failures    injected failures vs the Section III model
+  endurance   NVM wear and write energy by scheme
+  interval    checkpoint-interval sweep under failures vs Young's optimum
+  redundancy  buddy replication vs XOR parity for the remote level
+  hierarchy   PFS-direct vs the full three-level hierarchy
+  all         everything above, in order
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,129 @@
+// Command nvmcp-sim runs one configurable cluster simulation: pick the
+// application, machine shape, checkpoint schemes, and optional failure
+// injection, and get the run's timing, data-movement, and recovery summary.
+//
+// Examples:
+//
+//	nvmcp-sim -app gtc -nodes 4 -cores 12 -iters 4 -local dcpcp
+//	nvmcp-sim -app lammps-rhodo -local none -forcefull
+//	nvmcp-sim -app cm1 -remote -remote-every 2 -fail-at 30s -fail-node 0 -fail-hard
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nvmcp/internal/cluster"
+	"nvmcp/internal/interconnect"
+	"nvmcp/internal/mem"
+	"nvmcp/internal/precopy"
+	"nvmcp/internal/remote"
+	"nvmcp/internal/trace"
+	"nvmcp/internal/workload"
+)
+
+func main() {
+	var (
+		appName     = flag.String("app", "gtc", "workload: gtc, lammps-rhodo, or cm1")
+		nodes       = flag.Int("nodes", 2, "cluster nodes")
+		cores       = flag.Int("cores", 4, "cores (ranks) per node")
+		iters       = flag.Int("iters", 4, "compute iterations (one local checkpoint each)")
+		ckptMB      = flag.Int64("ckpt-mb", 120, "checkpoint data per rank in MB (0 = workload natural size)")
+		iterSecs    = flag.Float64("iter-secs", 10, "compute seconds per iteration")
+		nvmBW       = flag.Float64("nvm-bw", 400e6, "effective NVM write bandwidth per core, bytes/sec (0 = Table I PCM)")
+		linkBW      = flag.Float64("link-bw", 250e6, "per-node link bandwidth, bytes/sec (0 = 40Gbps IB)")
+		local       = flag.String("local", "dcpcp", "local pre-copy scheme: none, cpc, dcpc, dcpcp")
+		localEvery  = flag.Int("local-every", 1, "local checkpoint every N-th iteration")
+		forceFull   = flag.Bool("forcefull", false, "disable dirty tracking (classic full checkpoints)")
+		noCkpt      = flag.Bool("no-ckpt", false, "disable checkpointing entirely (ideal run)")
+		remoteOn    = flag.Bool("remote", false, "enable buddy-node remote checkpoints")
+		remoteEvery = flag.Int("remote-every", 2, "remote checkpoint every K-th local checkpoint")
+		remotePre   = flag.Bool("remote-precopy", true, "use pre-copy remote shipping (false = async burst)")
+		failAt      = flag.Duration("fail-at", 0, "inject a failure at this virtual time (0 = none)")
+		failNode    = flag.Int("fail-node", 0, "node that fails")
+		failHard    = flag.Bool("fail-hard", false, "hard failure: the node's NVM is lost")
+	)
+	flag.Parse()
+
+	spec, ok := workload.SpecByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q (want gtc, lammps-rhodo, cm1)\n", *appName)
+		os.Exit(2)
+	}
+	if *ckptMB > 0 {
+		spec = spec.ScaledTo(*ckptMB * mem.MB)
+	}
+	spec.IterTime = time.Duration(*iterSecs * float64(time.Second))
+
+	var scheme precopy.Scheme
+	switch *local {
+	case "none":
+		scheme = precopy.NoPreCopy
+	case "cpc":
+		scheme = precopy.CPC
+	case "dcpc":
+		scheme = precopy.DCPC
+	case "dcpcp":
+		scheme = precopy.DCPCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown local scheme %q\n", *local)
+		os.Exit(2)
+	}
+
+	cfg := cluster.Config{
+		Nodes:        *nodes,
+		CoresPerNode: *cores,
+		App:          spec,
+		Iterations:   *iters,
+		NVMPerCoreBW: *nvmBW,
+		LinkBW:       *linkBW,
+		LocalScheme:  scheme,
+		LocalEvery:   *localEvery,
+		ForceFull:    *forceFull,
+		NoCheckpoint: *noCkpt,
+		Remote:       *remoteOn,
+		RemoteEvery:  *remoteEvery,
+	}
+	if *remoteOn {
+		if *remotePre {
+			cfg.RemoteScheme = remote.PreCopy
+			interval := time.Duration(*remoteEvery) * spec.IterTime
+			cfg.RemoteRateCap = 2 * float64(spec.CheckpointSize()) * float64(*cores) / interval.Seconds()
+		} else {
+			cfg.RemoteScheme = remote.AsyncBurst
+		}
+	}
+	if *failAt > 0 {
+		cfg.Failures = []cluster.FailureEvent{{After: *failAt, Node: *failNode, Hard: *failHard}}
+	}
+
+	res, c := cluster.Run(cfg)
+
+	fmt.Printf("nvmcp-sim: %s on %dx%d ranks, %s/rank, local=%s remote=%v\n",
+		spec.Name, *nodes, *cores, trace.FmtBytes(float64(spec.CheckpointSize())),
+		scheme, *remoteOn)
+	tb := &trace.Table{Header: []string{"metric", "value"}}
+	tb.AddRow("execution time", res.ExecTime.Round(time.Millisecond).String())
+	tb.AddRow("local checkpoints", fmt.Sprintf("%d", res.LocalCkpts))
+	tb.AddRow("remote checkpoints", fmt.Sprintf("%d", res.RemoteCkpts))
+	tb.AddRow("ckpt blocking per rank", res.CkptTimePerRank.Round(time.Millisecond).String())
+	tb.AddRow("data to NVM per rank", trace.FmtBytes(res.DataToNVMPerRank))
+	tb.AddRow("  via pre-copy", trace.FmtBytes(float64(res.PreCopyBytes)/float64(res.Ranks)))
+	tb.AddRow("  at checkpoints", trace.FmtBytes(float64(res.CkptBytes)/float64(res.Ranks)))
+	if *remoteOn {
+		tb.AddRow("ckpt bytes on fabric", trace.FmtBytes(c.Fabric.Bytes(interconnect.ClassCkpt)))
+		peak, _ := c.Fabric.PeakCkptWindow(res.ExecTime, 5*time.Second)
+		tb.AddRow("peak fabric ckpt/5s", trace.FmtBytes(peak))
+		for i, u := range res.HelperUtil {
+			tb.AddRow(fmt.Sprintf("helper util node %d", i), trace.FmtPct(u))
+		}
+	}
+	if res.FailuresInjected > 0 {
+		tb.AddRow("failures injected", fmt.Sprintf("%d", res.FailuresInjected))
+		tb.AddRow("local restores", fmt.Sprintf("%d chunks", res.Restores))
+		tb.AddRow("remote restores", fmt.Sprintf("%d chunks", res.RemoteRestores))
+	}
+	tb.Write(os.Stdout)
+}

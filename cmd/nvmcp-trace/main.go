@@ -1,0 +1,102 @@
+// Command nvmcp-trace runs one cluster simulation and writes a Chrome
+// trace-event timeline (viewable in Perfetto / chrome://tracing) showing
+// every rank's compute iterations, quiesce and coordinated-checkpoint spans,
+// the helpers' remote shipping, remote-checkpoint triggers, and injected
+// failures — the executable version of the paper's Figures 1 and 5 timing
+// diagrams.
+//
+// Example:
+//
+//	nvmcp-trace -app lammps-rhodo -local dcpcp -remote -o trace.json
+//	# then open trace.json in https://ui.perfetto.dev
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nvmcp/internal/cluster"
+	"nvmcp/internal/mem"
+	"nvmcp/internal/precopy"
+	"nvmcp/internal/remote"
+	"nvmcp/internal/trace"
+	"nvmcp/internal/workload"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "lammps-rhodo", "workload: gtc, lammps-rhodo, or cm1")
+		nodes     = flag.Int("nodes", 2, "cluster nodes")
+		cores     = flag.Int("cores", 4, "cores (ranks) per node")
+		iters     = flag.Int("iters", 4, "iterations")
+		ckptMB    = flag.Int64("ckpt-mb", 120, "checkpoint data per rank in MB")
+		iterSecs  = flag.Float64("iter-secs", 10, "compute seconds per iteration")
+		nvmBW     = flag.Float64("nvm-bw", 400e6, "NVM write bandwidth per core, bytes/sec")
+		local     = flag.String("local", "dcpcp", "local pre-copy scheme: none, cpc, dcpc, dcpcp")
+		remoteOn  = flag.Bool("remote", true, "enable buddy-node remote checkpoints")
+		failAt    = flag.Duration("fail-at", 0, "inject a soft failure at this virtual time")
+		out       = flag.String("o", "trace.json", "output file")
+		remEveryN = flag.Int("remote-every", 2, "remote checkpoint every K-th local")
+	)
+	flag.Parse()
+
+	spec, ok := workload.SpecByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+	spec = spec.ScaledTo(*ckptMB * mem.MB)
+	spec.IterTime = time.Duration(*iterSecs * float64(time.Second))
+
+	schemes := map[string]precopy.Scheme{
+		"none": precopy.NoPreCopy, "cpc": precopy.CPC,
+		"dcpc": precopy.DCPC, "dcpcp": precopy.DCPCP,
+	}
+	scheme, ok := schemes[*local]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *local)
+		os.Exit(2)
+	}
+
+	rec := trace.NewSpanRecorder()
+	for n := 0; n < *nodes; n++ {
+		rec.NameProcess(n, fmt.Sprintf("node%d", n))
+	}
+	cfg := cluster.Config{
+		Nodes:        *nodes,
+		CoresPerNode: *cores,
+		App:          spec,
+		Iterations:   *iters,
+		NVMPerCoreBW: *nvmBW,
+		LocalScheme:  scheme,
+		Remote:       *remoteOn,
+		RemoteEvery:  *remEveryN,
+		Tracer:       rec,
+	}
+	if *remoteOn {
+		cfg.RemoteScheme = remote.PreCopy
+		interval := time.Duration(*remEveryN) * spec.IterTime
+		cfg.RemoteRateCap = 2 * float64(spec.CheckpointSize()) * float64(*cores) / interval.Seconds()
+	}
+	if *failAt > 0 {
+		cfg.Failures = []cluster.FailureEvent{{After: *failAt, Node: 0}}
+	}
+
+	res, _ := cluster.Run(cfg)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := rec.WriteChrome(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ran %s on %d ranks for %v of virtual time; %d trace events -> %s\n",
+		spec.Name, res.Ranks, res.ExecTime.Round(time.Millisecond), rec.Len(), *out)
+	fmt.Println("open in https://ui.perfetto.dev or chrome://tracing")
+}

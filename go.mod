@@ -1,0 +1,3 @@
+module nvmcp
+
+go 1.22

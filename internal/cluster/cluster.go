@@ -1,0 +1,490 @@
+// Package cluster assembles the full system: nodes with DRAM + NVM and a
+// kernel each, an RDMA fabric between them, MPI-rank-like application
+// processes running a workload spec, per-rank pre-copy engines, per-node
+// remote-checkpoint helper agents, coordinated local checkpoints at every
+// iteration boundary, asynchronous remote checkpoints every K-th local one,
+// and failure injection with multilevel recovery (local NVM restore for soft
+// failures, buddy-node fetch for hard ones).
+//
+// This is the harness behind Figures 7, 8, 9 and 10 and Table V.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"nvmcp/internal/core"
+	"nvmcp/internal/interconnect"
+	"nvmcp/internal/mem"
+	"nvmcp/internal/nvmkernel"
+	"nvmcp/internal/precopy"
+	"nvmcp/internal/remote"
+	"nvmcp/internal/sim"
+	"nvmcp/internal/trace"
+	"nvmcp/internal/workload"
+)
+
+// FailureEvent schedules one injected failure.
+type FailureEvent struct {
+	// After is the absolute virtual time of the failure.
+	After time.Duration
+	// Node is the failing node.
+	Node int
+	// Hard marks an unrecoverable node failure (NVM lost); otherwise the
+	// failure is soft (processes die, NVM survives).
+	Hard bool
+}
+
+// Config describes one cluster run.
+type Config struct {
+	Nodes        int
+	CoresPerNode int
+	DRAMPerNode  int64
+	NVMPerNode   int64
+	// NVMPerCoreBW, when non-zero, pins the effective NVM write bandwidth
+	// per core (the Figures 7/8 x-axis); zero uses the Table I PCM device.
+	NVMPerCoreBW float64
+	LinkBW       float64
+
+	App        workload.AppSpec
+	Iterations int
+
+	// LocalScheme selects the local pre-copy policy.
+	LocalScheme  precopy.Scheme
+	LocalRateCap float64
+	// LocalEvery takes a coordinated local checkpoint every N-th iteration
+	// (default 1): the knob for checkpoint-interval studies — recovery
+	// rolls back to the last *checkpointed* iteration.
+	LocalEvery int
+	// ForceFull disables dirty tracking at checkpoints (the classic
+	// full-checkpoint baseline used for 'no pre-copy' comparisons).
+	ForceFull bool
+	// NoCheckpoint disables checkpointing entirely (the ideal run used as
+	// the efficiency denominator).
+	NoCheckpoint bool
+
+	// Remote enables buddy-node remote checkpoints every RemoteEvery-th
+	// local checkpoint.
+	Remote        bool
+	RemoteScheme  remote.Scheme
+	RemoteRateCap float64
+	RemoteDelay   time.Duration
+	RemoteEvery   int
+
+	Failures []FailureEvent
+
+	// PayloadCap caps real payload bytes per chunk (default 4 KB for
+	// cluster-scale runs; unit tests use larger).
+	PayloadCap    int
+	SingleVersion bool
+
+	// Tracer, when set, records a Chrome-trace timeline of the run:
+	// compute iterations, quiesce, coordinated checkpoints per rank,
+	// remote-checkpoint triggers, helper ship spans, and failures.
+	Tracer *trace.SpanRecorder
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.CoresPerNode == 0 {
+		cfg.CoresPerNode = 12
+	}
+	if cfg.DRAMPerNode == 0 {
+		cfg.DRAMPerNode = 48 * mem.GB
+	}
+	if cfg.NVMPerNode == 0 {
+		cfg.NVMPerNode = 48 * mem.GB
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 5
+	}
+	if cfg.LocalEvery == 0 {
+		cfg.LocalEvery = 1
+	}
+	if cfg.RemoteEvery == 0 {
+		cfg.RemoteEvery = 4
+	}
+	if cfg.PayloadCap == 0 {
+		cfg.PayloadCap = 4096
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	// ExecTime is when the last rank finished its final iteration
+	// (excluding remote-checkpoint drain).
+	ExecTime time.Duration
+	// LocalCkpts counts coordinated checkpoint rounds completed.
+	LocalCkpts int
+	// RemoteCkpts counts remote checkpoint triggers.
+	RemoteCkpts int
+	// CkptTimePerRank is the mean, per rank, of time spent blocked in
+	// coordinated local checkpoints.
+	CkptTimePerRank time.Duration
+	// DataToNVMPerRank is the mean bytes a rank moved DRAM→NVM over the
+	// run (pre-copy plus checkpoint — the Figures 7/8 right axis).
+	DataToNVMPerRank float64
+	// HelperUtil is each node helper's busy fraction over the run (Table V).
+	HelperUtil []float64
+	// PreCopyBytes and CkptBytes split DataToNVM by origin.
+	PreCopyBytes int64
+	CkptBytes    int64
+	// Restores / RemoteRestores count chunk recoveries after failures.
+	Restores       int64
+	RemoteRestores int64
+	// FailuresInjected counts failures that actually fired.
+	FailuresInjected int
+	// Ranks is the total rank count.
+	Ranks int
+}
+
+// Cluster is a running (or finished) simulation instance.
+type Cluster struct {
+	Cfg    Config
+	Env    *sim.Env
+	Fabric *interconnect.Fabric
+	Mesh   *remote.Mesh
+
+	kernels []*nvmkernel.Kernel
+	barrier *sim.Barrier
+
+	// epoch state
+	rankProcs  []*sim.Proc
+	engines    []*precopy.Engine
+	allStores  []*core.Store
+	lastRemote map[int]*sim.Completion
+
+	committedIter  int
+	pendingFailure *FailureEvent
+	ranksLive      bool
+	appDone        time.Duration
+	helperUtil     []float64
+
+	ckptTime   []time.Duration // per rank index, accumulated
+	localCount int
+	remCount   int
+	failCount  int
+}
+
+// New builds a cluster (devices, kernels, fabric, mesh) without running it.
+func New(cfg Config) *Cluster {
+	cfg.setDefaults()
+	env := sim.NewEnv()
+	fabric := interconnect.New(env, cfg.Nodes, cfg.LinkBW)
+	kernels := make([]*nvmkernel.Kernel, cfg.Nodes)
+	nvms := make([]*mem.Device, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		dram := mem.NewDRAM(env, cfg.DRAMPerNode)
+		var nvm *mem.Device
+		if cfg.NVMPerCoreBW > 0 {
+			nvm = mem.NewPCMWithPerCoreBW(env, cfg.NVMPerNode, cfg.NVMPerCoreBW, cfg.CoresPerNode)
+		} else {
+			nvm = mem.NewPCM(env, cfg.NVMPerNode)
+		}
+		kernels[n] = nvmkernel.New(env, dram, nvm)
+		nvms[n] = nvm
+	}
+	return &Cluster{
+		Cfg:        cfg,
+		Env:        env,
+		Fabric:     fabric,
+		Mesh:       remote.NewMesh(env, fabric, nvms),
+		kernels:    kernels,
+		lastRemote: make(map[int]*sim.Completion),
+		ckptTime:   make([]time.Duration, cfg.Nodes*cfg.CoresPerNode),
+	}
+}
+
+// Kernel returns node n's kernel (for tests).
+func (c *Cluster) Kernel(n int) *nvmkernel.Kernel { return c.kernels[n] }
+
+// Run executes the configured workload to completion (surviving injected
+// failures) and returns the result summary.
+func Run(cfg Config) (Result, *Cluster) {
+	c := New(cfg)
+	for i := range c.Cfg.Failures {
+		f := c.Cfg.Failures[i]
+		c.Env.At(f.After, func() { c.injectFailure(f) })
+	}
+	c.Env.Go("driver", c.drive)
+	c.Env.Run()
+	return c.collect(), c
+}
+
+// drive runs epochs (spawn ranks, join, recover) until the job completes.
+func (c *Cluster) drive(p *sim.Proc) {
+	for {
+		procs := c.spawnEpoch(p)
+		c.ranksLive = true
+		for _, rp := range procs {
+			p.Join(rp)
+		}
+		c.ranksLive = false
+		if c.pendingFailure == nil {
+			break
+		}
+		f := *c.pendingFailure
+		c.pendingFailure = nil
+		c.recover(p, f)
+	}
+	c.appDone = p.Now()
+	// Drain outstanding remote checkpoints, then shut everything down.
+	for n := 0; n < c.Cfg.Nodes; n++ {
+		if done := c.lastRemote[n]; done != nil {
+			done.Await(p)
+		}
+	}
+	// Capture helper utilization before the agents are torn down; the
+	// denominator is the post-drain clock since the helpers may still have
+	// been working past the application's completion.
+	if c.Cfg.Remote {
+		for n := 0; n < c.Cfg.Nodes; n++ {
+			if a := c.Mesh.Agent(n); a != nil {
+				c.helperUtil = append(c.helperUtil, a.Meter.Utilization(p.Now()))
+			}
+		}
+	}
+	c.shutdown()
+}
+
+// spawnEpoch builds fresh per-epoch machinery (barrier, agents, engines,
+// stores) and spawns one process per rank, resuming at the committed
+// iteration.
+func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
+	cfg := c.Cfg
+	ranks := cfg.Nodes * cfg.CoresPerNode
+	c.barrier = sim.NewBarrier(c.Env, ranks)
+	c.engines = nil
+	if cfg.Remote {
+		for n := 0; n < cfg.Nodes; n++ {
+			c.Mesh.RemoveAgent(n)
+			c.Mesh.AddAgent(n, (n+1)%cfg.Nodes, remote.Config{
+				Scheme:  cfg.RemoteScheme,
+				RateCap: cfg.RemoteRateCap,
+				Delay:   cfg.RemoteDelay,
+				Tracer:  cfg.Tracer,
+			})
+		}
+	}
+	start := c.committedIter
+	procs := make([]*sim.Proc, 0, ranks)
+	for r := 0; r < ranks; r++ {
+		r := r
+		procs = append(procs, c.Env.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			c.rankBody(p, r, start)
+		}))
+	}
+	c.rankProcs = procs
+	return procs
+}
+
+// rankBody is one application process: setup/recovery, then the iterate →
+// coordinated-checkpoint loop.
+func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
+	cfg := c.Cfg
+	node := rank / cfg.CoresPerNode
+	leader := rank%cfg.CoresPerNode == 0
+	kernel := c.kernels[node]
+	name := fmt.Sprintf("rank%d", rank)
+
+	store := core.NewStore(kernel.Attach(name), core.Options{
+		PayloadCap:    cfg.PayloadCap,
+		SingleVersion: cfg.SingleVersion,
+	})
+	c.allStores = append(c.allStores, store)
+
+	// Stagger each rank's communication phases so co-located ranks do not
+	// inject at identical instants — real ranks drift apart; perfect
+	// alignment would manufacture artificial self-contention.
+	spec := cfg.App
+	if spec.CommPerIter > 0 {
+		n := len(spec.CommPhases)
+		if n == 0 {
+			n = workload.DefaultCommOps
+			for i := 0; i < n; i++ {
+				spec.CommPhases = append(spec.CommPhases, (float64(i)+0.5)/float64(n))
+			}
+		} else {
+			spec.CommPhases = append([]float64(nil), spec.CommPhases...)
+		}
+		offset := float64(rank%cfg.CoresPerNode) / float64(cfg.CoresPerNode) / float64(n)
+		for i := range spec.CommPhases {
+			ph := spec.CommPhases[i] + offset
+			if ph > 1 {
+				ph -= 1
+			}
+			spec.CommPhases[i] = ph
+		}
+	}
+
+	app, err := workload.Setup(p, store, spec)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: rank %d setup: %v", rank, err))
+	}
+	// Hard-failure recovery: chunks with no local version are fetched from
+	// the buddy's committed remote copy.
+	if cfg.Remote && startIter > 0 {
+		for _, ch := range app.Chunks {
+			if ch.Restored {
+				continue
+			}
+			if data, _, ok := c.Mesh.Fetch(p, node, name, ch.ID); ok {
+				if err := store.AdoptRemote(p, ch, data, 0); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	app.Comm = func(p *sim.Proc, bytes int64) {
+		c.Fabric.Send(p, node, (node+1)%cfg.Nodes, bytes)
+	}
+
+	var engine *precopy.Engine
+	if !cfg.NoCheckpoint {
+		engine = precopy.New(store, precopy.Config{
+			Scheme:    cfg.LocalScheme,
+			RateCap:   cfg.LocalRateCap,
+			BWPerCore: kernel.NVM.PerCoreWriteBW(cfg.CoresPerNode),
+		})
+		c.engines = append(c.engines, engine)
+	}
+	if cfg.Remote {
+		c.Mesh.Agent(node).Register(store)
+	}
+
+	lane := rank % cfg.CoresPerNode
+	for iter := startIter; iter < cfg.Iterations; iter++ {
+		if engine != nil && iter%cfg.LocalEvery == 0 {
+			engine.BeginInterval(p)
+		}
+		if cfg.Remote && leader && iter%cfg.RemoteEvery == 0 {
+			c.Mesh.Agent(node).BeginRemoteInterval()
+		}
+		iterStart := p.Now()
+		if err := app.Iterate(p); err != nil {
+			panic(err)
+		}
+		cfg.Tracer.Span(fmt.Sprintf("iter %d", iter), "compute", node, lane,
+			iterStart, p.Now()-iterStart, nil)
+		if cfg.NoCheckpoint {
+			c.barrier.Await(p)
+			if rank == 0 {
+				c.committedIter = iter + 1
+			}
+			continue
+		}
+		if (iter+1)%cfg.LocalEvery != 0 {
+			// Mid-interval iteration: no coordinated checkpoint; recovery
+			// would roll back to the last checkpointed iteration.
+			continue
+		}
+		qStart := p.Now()
+		engine.Quiesce(p)
+		if d := p.Now() - qStart; d > 0 {
+			cfg.Tracer.Span("quiesce", "ckpt", node, lane, qStart, d, nil)
+		}
+		c.barrier.Await(p) // coordinated checkpoint entry
+		ckStart := p.Now()
+		var st core.CkptStats
+		if cfg.ForceFull {
+			st = store.ChkptAllForce(p)
+		} else {
+			st = store.ChkptAll(p)
+		}
+		engine.OnCheckpoint(ckStart)
+		c.ckptTime[rank] += st.Duration
+		cfg.Tracer.Span("local ckpt", "ckpt", node, lane, ckStart, st.Duration,
+			map[string]string{"copied": fmt.Sprintf("%d", st.ChunksCopied),
+				"skipped": fmt.Sprintf("%d", st.ChunksSkipped)})
+		c.barrier.Await(p) // checkpoint exit
+		if rank == 0 {
+			c.committedIter = iter + 1
+			c.localCount++
+		}
+		if cfg.Remote && leader && (iter+1)%cfg.RemoteEvery == 0 {
+			c.lastRemote[node] = c.Mesh.Agent(node).TriggerRemote(p)
+			cfg.Tracer.Instant("remote trigger", "remote", node, lane, p.Now(), nil)
+			if rank == 0 {
+				c.remCount++
+			}
+		}
+	}
+}
+
+// injectFailure fires from scheduler context: it kills every rank process
+// and records the failure for the driver's recovery pass.
+func (c *Cluster) injectFailure(f FailureEvent) {
+	if !c.ranksLive || c.pendingFailure != nil {
+		return
+	}
+	c.pendingFailure = &f
+	c.failCount++
+	kind := "soft failure"
+	if f.Hard {
+		kind = "hard failure"
+	}
+	c.Cfg.Tracer.Instant(kind, "failure", f.Node, 0, c.Env.Now(), nil)
+	for _, rp := range c.rankProcs {
+		if !rp.Done() {
+			rp.Kill()
+		}
+	}
+}
+
+// recover applies the failure's effect on the machines and tears down the
+// dead epoch's machinery. The whole job restarts from the last coordinated
+// checkpoint: every node's processes are gone (DRAM state lost), NVM
+// survives everywhere except a hard-failed node.
+func (c *Cluster) recover(p *sim.Proc, f FailureEvent) {
+	for _, e := range c.engines {
+		e.Stop()
+	}
+	for n, k := range c.kernels {
+		if f.Hard && n == f.Node {
+			k.HardFail()
+		} else {
+			k.SoftReset()
+		}
+	}
+	// Job relaunch latency (scheduler requeue, process startup).
+	p.Sleep(2 * time.Second)
+}
+
+// shutdown stops engines and helper agents so the event queue drains.
+func (c *Cluster) shutdown() {
+	for _, e := range c.engines {
+		e.Stop()
+	}
+	for n := 0; n < c.Cfg.Nodes; n++ {
+		c.Mesh.RemoveAgent(n)
+	}
+}
+
+// collect aggregates counters into a Result.
+func (c *Cluster) collect() Result {
+	cfg := c.Cfg
+	ranks := cfg.Nodes * cfg.CoresPerNode
+	res := Result{
+		ExecTime:         c.appDone,
+		LocalCkpts:       c.localCount,
+		RemoteCkpts:      c.remCount,
+		FailuresInjected: c.failCount,
+		Ranks:            ranks,
+	}
+	var ckptTotal time.Duration
+	for _, d := range c.ckptTime {
+		ckptTotal += d
+	}
+	res.CkptTimePerRank = ckptTotal / time.Duration(ranks)
+	for _, s := range c.allStores {
+		res.PreCopyBytes += s.Counters.Get("precopy_bytes")
+		res.CkptBytes += s.Counters.Get("ckpt_bytes")
+		res.Restores += s.Counters.Get("restores")
+		res.RemoteRestores += s.Counters.Get("remote_restores")
+	}
+	res.DataToNVMPerRank = float64(res.PreCopyBytes+res.CkptBytes) / float64(ranks)
+	res.HelperUtil = c.helperUtil
+	return res
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/precopy"
+	"nvmcp/internal/remote"
+	"nvmcp/internal/trace"
+	"nvmcp/internal/workload"
+)
+
+// smallApp is a fast two-chunk workload for cluster plumbing tests.
+func smallApp() workload.AppSpec {
+	return workload.AppSpec{
+		Name: "tiny",
+		Chunks: []workload.ChunkSpec{
+			{Name: "field", Size: 40 * mem.MB, ModPhases: []float64{0.5}},
+			{Name: "static", Size: 20 * mem.MB, InitOnly: true},
+		},
+		IterTime: 2 * time.Second,
+	}
+}
+
+func smallCfg() Config {
+	return Config{
+		Nodes:        2,
+		CoresPerNode: 2,
+		App:          smallApp(),
+		Iterations:   3,
+	}
+}
+
+func TestRunCompletesAllIterations(t *testing.T) {
+	cfg := smallCfg()
+	res, _ := Run(cfg)
+	if res.LocalCkpts != cfg.Iterations {
+		t.Fatalf("LocalCkpts = %d, want %d", res.LocalCkpts, cfg.Iterations)
+	}
+	if res.ExecTime < 6*time.Second {
+		t.Fatalf("ExecTime = %v, implausibly short", res.ExecTime)
+	}
+	if res.Ranks != 4 {
+		t.Fatalf("Ranks = %d", res.Ranks)
+	}
+}
+
+func TestDirtyTrackingSkipsInitOnlyChunks(t *testing.T) {
+	cfg := smallCfg()
+	cfg.LocalScheme = precopy.NoPreCopy
+	tracked, _ := Run(cfg)
+	cfg2 := smallCfg()
+	cfg2.ForceFull = true
+	full, _ := Run(cfg2)
+	// Tracked: init-only 20MB copied once; full: every checkpoint.
+	perIterExtra := float64(20*mem.MB) * float64(cfg.Iterations-1)
+	gotExtra := full.DataToNVMPerRank - tracked.DataToNVMPerRank
+	if gotExtra < perIterExtra*0.9 || gotExtra > perIterExtra*1.1 {
+		t.Fatalf("extra data in full mode = %v, want ~%v", gotExtra, perIterExtra)
+	}
+}
+
+func TestPreCopyShrinksBlockingCheckpointTime(t *testing.T) {
+	base := smallCfg()
+	base.ForceFull = true
+	noPre, _ := Run(base)
+
+	pre := smallCfg()
+	pre.LocalScheme = precopy.CPC
+	withPre, _ := Run(pre)
+
+	if withPre.CkptTimePerRank >= noPre.CkptTimePerRank {
+		t.Fatalf("pre-copy ckpt time %v not below baseline %v",
+			withPre.CkptTimePerRank, noPre.CkptTimePerRank)
+	}
+	if withPre.PreCopyBytes == 0 {
+		t.Fatal("no pre-copy bytes recorded")
+	}
+	if withPre.ExecTime > noPre.ExecTime {
+		t.Fatalf("pre-copy run slower overall: %v vs %v", withPre.ExecTime, noPre.ExecTime)
+	}
+}
+
+func TestNoCheckpointIsFastest(t *testing.T) {
+	ideal := smallCfg()
+	ideal.NoCheckpoint = true
+	idealRes, _ := Run(ideal)
+
+	real := smallCfg()
+	real.ForceFull = true
+	realRes, _ := Run(real)
+
+	if idealRes.ExecTime >= realRes.ExecTime {
+		t.Fatalf("ideal run (%v) not faster than checkpointed run (%v)",
+			idealRes.ExecTime, realRes.ExecTime)
+	}
+	if idealRes.LocalCkpts != 0 {
+		t.Fatalf("ideal run performed %d checkpoints", idealRes.LocalCkpts)
+	}
+}
+
+func TestRemoteCheckpointsTriggerEveryK(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Iterations = 4
+	cfg.Remote = true
+	cfg.RemoteScheme = remote.AsyncBurst
+	cfg.RemoteEvery = 2
+	res, c := Run(cfg)
+	if res.RemoteCkpts != 2 {
+		t.Fatalf("RemoteCkpts = %d, want 2", res.RemoteCkpts)
+	}
+	if got := c.Mesh.Counters.Get("ships"); got == 0 {
+		t.Fatal("no chunks shipped to buddies")
+	}
+	if len(res.HelperUtil) != cfg.Nodes {
+		t.Fatalf("HelperUtil entries = %d, want %d", len(res.HelperUtil), cfg.Nodes)
+	}
+	for _, u := range res.HelperUtil {
+		if u <= 0 || u > 0.9 {
+			t.Fatalf("helper utilization = %v, want small positive", u)
+		}
+	}
+}
+
+func TestRemotePreCopyMovesDataBeforeTrigger(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Iterations = 4
+	cfg.Remote = true
+	cfg.RemoteScheme = remote.PreCopy
+	cfg.RemoteEvery = 4
+	cfg.LocalScheme = precopy.CPC // stages chunks early so the helper can ship
+	res, c := Run(cfg)
+	if res.RemoteCkpts != 1 {
+		t.Fatalf("RemoteCkpts = %d, want 1", res.RemoteCkpts)
+	}
+	if got := c.Mesh.Counters.Get("ships"); got == 0 {
+		t.Fatal("pre-copy helper shipped nothing")
+	}
+}
+
+func TestSoftFailureRecoversFromLocalNVM(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Iterations = 4
+	// Fail after the second checkpoint (~2 iterations of 2s + ckpt time).
+	cfg.Failures = []FailureEvent{{After: 5 * time.Second, Node: 0, Hard: false}}
+	res, _ := Run(cfg)
+	if res.FailuresInjected != 1 {
+		t.Fatalf("FailuresInjected = %d", res.FailuresInjected)
+	}
+	if res.Restores == 0 {
+		t.Fatal("no local restores after soft failure")
+	}
+	// All iterations still completed (job finished after recovery).
+	if res.LocalCkpts < cfg.Iterations {
+		t.Fatalf("LocalCkpts = %d, want >= %d (redone work counts)", res.LocalCkpts, cfg.Iterations)
+	}
+}
+
+func TestHardFailureRecoversFromBuddy(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Iterations = 4
+	cfg.Remote = true
+	cfg.RemoteScheme = remote.AsyncBurst
+	cfg.RemoteEvery = 1 // remote checkpoint every iteration
+	cfg.Failures = []FailureEvent{{After: 7 * time.Second, Node: 0, Hard: true}}
+	res, _ := Run(cfg)
+	if res.FailuresInjected != 1 {
+		t.Fatalf("FailuresInjected = %d", res.FailuresInjected)
+	}
+	if res.RemoteRestores == 0 {
+		t.Fatal("hard-failed node did not recover chunks from its buddy")
+	}
+	// The surviving node restores locally.
+	if res.Restores == 0 {
+		t.Fatal("surviving node did not restore locally")
+	}
+}
+
+func TestFailureAfterCompletionIsIgnored(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Failures = []FailureEvent{{After: 24 * time.Hour, Node: 0}}
+	res, _ := Run(cfg)
+	if res.FailuresInjected != 0 {
+		t.Fatalf("failure fired after completion: %d", res.FailuresInjected)
+	}
+}
+
+func TestLocalEverySkipsIntermediateCheckpoints(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Iterations = 6
+	cfg.LocalEvery = 3
+	res, _ := Run(cfg)
+	if res.LocalCkpts != 2 {
+		t.Fatalf("LocalCkpts = %d, want 2 (every 3rd of 6 iterations)", res.LocalCkpts)
+	}
+}
+
+func TestLocalEveryRecoveryRollsBackToCheckpointBoundary(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Iterations = 6
+	cfg.LocalEvery = 2
+	// Fail mid-way: after the iter-1 checkpoint (~4s+ckpt), during iter 2/3.
+	cfg.Failures = []FailureEvent{{After: 7 * time.Second, Node: 0}}
+	res, _ := Run(cfg)
+	if res.FailuresInjected != 1 {
+		t.Fatalf("FailuresInjected = %d", res.FailuresInjected)
+	}
+	// The run still completes all 6 iterations, re-running the lost ones:
+	// checkpoints = 3 scheduled + redone rounds >= 3.
+	if res.LocalCkpts < 3 {
+		t.Fatalf("LocalCkpts = %d, want >= 3", res.LocalCkpts)
+	}
+	if res.Restores == 0 {
+		t.Fatal("no restores after failure")
+	}
+}
+
+func TestTracerRecordsTimeline(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Remote = true
+	cfg.RemoteScheme = remote.AsyncBurst
+	cfg.RemoteEvery = 1
+	cfg.Failures = []FailureEvent{{After: 3 * time.Second, Node: 0}}
+	rec := trace.NewSpanRecorder()
+	cfg.Tracer = rec
+	Run(cfg)
+	if rec.Len() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	var sb strings.Builder
+	if err := rec.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"iter 0"`, `"local ckpt"`, `"remote trigger"`, `"soft failure"`, `"ship `} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %s", want)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallCfg()
+	cfg.LocalScheme = precopy.DCPCP
+	cfg.Remote = true
+	cfg.RemoteScheme = remote.PreCopy
+	cfg.RemoteEvery = 2
+	first, _ := Run(cfg)
+	for i := 0; i < 3; i++ {
+		got, _ := Run(cfg)
+		if got.ExecTime != first.ExecTime ||
+			got.DataToNVMPerRank != first.DataToNVMPerRank ||
+			got.CkptTimePerRank != first.CkptTimePerRank {
+			t.Fatalf("run %d differs: %+v vs %+v", i, got, first)
+		}
+	}
+}
+
+func TestCommunicationContendWithRemoteCheckpoint(t *testing.T) {
+	app := smallApp()
+	app.CommPerIter = 200 * mem.MB
+
+	// A slow link keeps checkpoint shipping in flight long enough to meet
+	// the application's communication bursts.
+	quiet := Config{Nodes: 2, CoresPerNode: 2, App: app, Iterations: 3, LinkBW: 100e6}
+	quietRes, _ := Run(quiet)
+
+	noisy := quiet
+	noisy.Remote = true
+	noisy.RemoteScheme = remote.AsyncBurst
+	noisy.RemoteEvery = 1
+	noisyRes, _ := Run(noisy)
+
+	if noisyRes.ExecTime <= quietRes.ExecTime {
+		t.Fatalf("remote checkpoint traffic added no noise: %v vs %v",
+			noisyRes.ExecTime, quietRes.ExecTime)
+	}
+}

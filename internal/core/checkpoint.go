@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/sim"
+)
+
+// commitRecord is the per-chunk durable commit pointer kept in the kernel's
+// persistent metadata: which slot holds the committed version, its version
+// number, checksum, and size. The flip of this record is the atomic commit
+// point of a checkpoint.
+type commitRecord struct {
+	Slot     int
+	Version  uint64
+	Checksum uint64
+	Size     int64
+}
+
+// CkptStats summarizes one checkpoint operation.
+type CkptStats struct {
+	// BytesCopied is the data moved DRAM→NVM during this call (pre-copied
+	// chunks that stayed clean contribute nothing).
+	BytesCopied int64
+	// ChunksCopied / ChunksSkipped count chunks staged here vs. already
+	// staged (or unmodified since the last commit).
+	ChunksCopied  int
+	ChunksSkipped int
+	// Committed counts chunks whose commit record flipped.
+	Committed int
+	// Duration is the virtual time the call took.
+	Duration time.Duration
+}
+
+// stageChunk copies one chunk's DRAM working data into its in-progress NVM
+// slot: a bandwidth-charged DRAM→NVM copy of the full virtual size, the real
+// payload stored durably, a cache flush, and re-arming of write protection.
+// rateCap > 0 throttles the copy (background pre-copy streams).
+func (s *Store) stageChunk(p *sim.Proc, c *Chunk, rateCap float64) int64 {
+	target := c.targetSlot()
+	k := s.kproc.Kernel()
+	// Capture the modification sequence and re-arm write protection BEFORE
+	// the copy starts: a store landing while the pre-copy is in flight must
+	// fault and mark the chunk dirty again, so it is copied once more — the
+	// "additional work" for chunks modified just before the checkpoint step
+	// that the paper measures as slightly higher pre-copy data volume.
+	// Without arming first, a mid-copy store would be silently absorbed or
+	// lost depending on timing.
+	seqAtStart := c.modSeq
+	if c.pending != nil {
+		// Staging a lazily-restored chunk (forced checkpoints do this):
+		// its committed bytes must be in DRAM before they can be re-staged.
+		if err := s.materialize(p, c, false); err != nil {
+			panic(fmt.Sprintf("core: lazy restore of %s failed during stage: %v", c.Name, err))
+		}
+	}
+	c.Protect(p)
+	if c.slots() == 1 && c.committed >= 0 {
+		// Single-version mode overwrites the only copy: invalidate the
+		// commit record first so a crash mid-stage is detected rather
+		// than silently restoring torn data.
+		k.MetaLock.Lock(p)
+		s.kproc.SetMeta(p, c.metaKey(), nil)
+		k.MetaLock.Unlock(p)
+		c.committed = -1
+	}
+	if rateCap > 0 {
+		mem.CopyCapped(p, s.dramDevice(), s.nvmDevice(), c.Size, rateCap)
+	} else {
+		mem.Copy(p, s.dramDevice(), s.nvmDevice(), c.Size)
+	}
+	data := append([]byte(nil), c.dram.Data...)
+	k.MetaLock.Lock(p)
+	s.kproc.SetMeta(p, c.dataKey(target), data)
+	k.MetaLock.Unlock(p)
+	// Flush processor caches before the data may be marked consistent.
+	p.Sleep(s.nvmDevice().FlushCost(c.Size))
+	c.stagedSum = checksum(data, c.Size)
+	c.cleanSeq = seqAtStart
+	c.stagePending = true
+	// Protection stays armed from the start of the stage; if a mid-copy
+	// store faulted, the chunk is already unprotected and dirty, and the
+	// next stage re-arms.
+	return c.Size
+}
+
+// PreCopyChunk stages a chunk ahead of the coordinated checkpoint if it is
+// dirty, returning the bytes copied (0 if it was clean). This is the copy
+// that pre-copy engines run in the background, optionally rate-capped.
+func (s *Store) PreCopyChunk(p *sim.Proc, c *Chunk, rateCap float64) int64 {
+	if !c.Persistent || !c.needsStage() {
+		return 0
+	}
+	n := s.stageChunk(p, c, rateCap)
+	s.Counters.Add("precopy_bytes", n)
+	s.Counters.Add("chunks_precopied", 1)
+	return n
+}
+
+// ChkptAll is the coordinated local checkpoint — the paper's nvchkptall().
+// Every persistent chunk still dirty is staged now (this is the data volume
+// pre-copy exists to shrink); then all staged chunks' commit records flip
+// atomically under the metadata lock.
+func (s *Store) ChkptAll(p *sim.Proc) CkptStats { return s.chkptAll(p, false) }
+
+// ChkptAllForce stages and commits every persistent chunk regardless of
+// modification state — a classic coordinated checkpoint without
+// NVM-checkpoints' protection-based dirty tracking. It is the 'no pre-copy'
+// baseline of Figures 7 and 8 (which is why the baseline moves more data:
+// init-only chunks are rewritten every checkpoint).
+func (s *Store) ChkptAllForce(p *sim.Proc) CkptStats { return s.chkptAll(p, true) }
+
+func (s *Store) chkptAll(p *sim.Proc, force bool) CkptStats {
+	start := p.Now()
+	var st CkptStats
+	for _, c := range s.Chunks() {
+		if !c.Persistent {
+			continue
+		}
+		if force || c.needsStage() {
+			st.BytesCopied += s.stageChunk(p, c, 0)
+			st.ChunksCopied++
+		} else {
+			st.ChunksSkipped++
+		}
+	}
+	st.Committed = s.commit(p)
+	st.Duration = p.Now() - start
+	s.Counters.Add("ckpt_bytes", st.BytesCopied)
+	s.Counters.Add("chunks_copied", int64(st.ChunksCopied))
+	s.Counters.Add("chunks_skipped", int64(st.ChunksSkipped))
+	s.Counters.Add("commits", 1)
+	return st
+}
+
+// ChkptID checkpoints a single chunk — the paper's nvchkptid(id).
+func (s *Store) ChkptID(p *sim.Proc, id uint64) (CkptStats, error) {
+	c, ok := s.chunks[id]
+	if !ok {
+		return CkptStats{}, fmt.Errorf("%w: id %d", ErrNoChunk, id)
+	}
+	start := p.Now()
+	var st CkptStats
+	if c.needsStage() {
+		st.BytesCopied = s.stageChunk(p, c, 0)
+		st.ChunksCopied = 1
+	} else {
+		st.ChunksSkipped = 1
+	}
+	st.Committed = s.commitChunk(p, c)
+	st.Duration = p.Now() - start
+	s.Counters.Add("ckpt_bytes", st.BytesCopied)
+	return st, nil
+}
+
+// commit flips commit records for every chunk with staged data, under the
+// metadata lock shared with the checkpoint helper.
+func (s *Store) commit(p *sim.Proc) int {
+	n := 0
+	for _, c := range s.Chunks() {
+		n += s.commitChunk(p, c)
+	}
+	return n
+}
+
+func (s *Store) commitChunk(p *sim.Proc, c *Chunk) int {
+	if !c.Persistent || !c.stagePending {
+		return 0
+	}
+	k := s.kproc.Kernel()
+	k.MetaLock.Lock(p)
+	target := c.targetSlot()
+	c.Version++
+	s.kproc.SetMeta(p, c.metaKey(), commitRecord{
+		Slot:     target,
+		Version:  c.Version,
+		Checksum: c.stagedSum,
+		Size:     c.Size,
+	})
+	k.MetaLock.Unlock(p)
+	c.committed = target
+	c.stagePending = false
+	return 1
+}
+
+// tryRestore recovers a chunk's contents from a committed NVM version left
+// by a previous incarnation of this process, verifying the checksum. It is
+// a no-op when no commit record exists (fresh allocation) or the recorded
+// size no longer matches the requested size (the application changed its
+// problem configuration).
+func (s *Store) tryRestore(p *sim.Proc, c *Chunk) error {
+	k := s.kproc.Kernel()
+	k.MetaLock.Lock(p)
+	v, ok := s.kproc.GetMeta(p, c.metaKey())
+	k.MetaLock.Unlock(p)
+	if !ok || v == nil {
+		return nil
+	}
+	rec, ok := v.(commitRecord)
+	if !ok || rec.Size != c.Size {
+		return nil
+	}
+	k.MetaLock.Lock(p)
+	dv, ok := s.kproc.GetMeta(p, c.dataKey(rec.Slot))
+	k.MetaLock.Unlock(p)
+	if !ok || dv == nil {
+		return fmt.Errorf("%w: %s has commit record but no data", ErrNoCommitted, c.Name)
+	}
+	data := dv.([]byte)
+	if s.opts.LazyRestore {
+		// Defer the data fetch: record where the committed bytes live and
+		// materialize on first access.
+		c.pending = &pendingRestore{data: data, sum: rec.Checksum}
+	} else {
+		// Timed NVM→DRAM fetch (reads run near DRAM speed, Table I).
+		mem.Copy(p, s.nvmDevice(), s.dramDevice(), c.Size)
+		copy(c.dram.Data, data)
+		if !s.opts.NoChecksum && checksum(data, c.Size) != rec.Checksum {
+			return fmt.Errorf("%w: %s", ErrChecksum, c.Name)
+		}
+	}
+	c.committed = rec.Slot
+	c.Version = rec.Version
+	c.Restored = true
+	c.cleanSeq = c.modSeq
+	c.Protect(p)
+	s.Counters.Add("restores", 1)
+	return nil
+}
+
+// pendingRestore holds a lazily-restored chunk's committed bytes until first
+// access.
+type pendingRestore struct {
+	data []byte
+	sum  uint64
+}
+
+// materialize completes a deferred restore: the timed NVM→DRAM copy plus
+// checksum verification. overwrite=true skips the data movement entirely —
+// the caller is about to clobber the whole chunk anyway.
+func (s *Store) materialize(p *sim.Proc, c *Chunk, overwrite bool) error {
+	pr := c.pending
+	c.pending = nil
+	if pr == nil || overwrite {
+		s.Counters.Add("lazy_restores_skipped", 1)
+		return nil
+	}
+	mem.Copy(p, s.nvmDevice(), s.dramDevice(), c.Size)
+	copy(c.dram.Data, pr.data)
+	if !s.opts.NoChecksum && checksum(pr.data, c.Size) != pr.sum {
+		return fmt.Errorf("%w: %s (lazy)", ErrChecksum, c.Name)
+	}
+	s.Counters.Add("lazy_restores", 1)
+	return nil
+}
+
+// AdoptRemote installs checkpoint data fetched from a remote node as the
+// chunk's working contents — the hard-failure recovery path, when the local
+// NVM was lost with the node. The chunk is left dirty so the next local
+// checkpoint re-establishes a local NVM copy.
+func (s *Store) AdoptRemote(p *sim.Proc, c *Chunk, data []byte, version uint64) error {
+	if int64(len(data)) > c.Size {
+		return fmt.Errorf("core: adopt %s: %d payload bytes exceed chunk size %d",
+			c.Name, len(data), c.Size)
+	}
+	copy(c.dram.Data, data)
+	c.Restored = true
+	c.Version = version
+	c.markDirty(p)
+	s.Counters.Add("remote_restores", 1)
+	return nil
+}
+
+// HasCommitted reports whether a committed local checkpoint exists for the
+// named variable without allocating a chunk — used by restart logic to
+// decide between local recovery and remote fetch.
+func (s *Store) HasCommitted(p *sim.Proc, name string) bool {
+	id := GenID(name)
+	k := s.kproc.Kernel()
+	k.MetaLock.Lock(p)
+	v, ok := s.kproc.GetMeta(p, fmt.Sprintf("cmeta/%d", id))
+	k.MetaLock.Unlock(p)
+	if !ok || v == nil {
+		return false
+	}
+	_, isRec := v.(commitRecord)
+	return isRec
+}
+
+// ChunkState is a helper-visible snapshot of one chunk's checkpoint state.
+type ChunkState struct {
+	ID       uint64
+	Name     string
+	Size     int64
+	ModSeq   uint64
+	CleanSeq uint64
+	// StagedVersion identifies the staged data generation: helpers ship a
+	// chunk when its CleanSeq advanced past what they last sent.
+	StagePending bool
+	Version      uint64
+	Checksum     uint64
+}
+
+// Snapshot returns the checkpoint state of all persistent chunks under the
+// metadata lock — the interface the asynchronous remote-checkpoint helper
+// uses to find dirty chunks (Section V).
+func (s *Store) Snapshot(p *sim.Proc) []ChunkState {
+	k := s.kproc.Kernel()
+	k.MetaLock.Lock(p)
+	defer k.MetaLock.Unlock(p)
+	out := make([]ChunkState, 0, len(s.order))
+	for _, id := range s.order {
+		c := s.chunks[id]
+		if !c.Persistent {
+			continue
+		}
+		out = append(out, ChunkState{
+			ID:           c.ID,
+			Name:         c.Name,
+			Size:         c.Size,
+			ModSeq:       c.modSeq,
+			CleanSeq:     c.cleanSeq,
+			StagePending: c.stagePending,
+			Version:      c.Version,
+			Checksum:     c.stagedSum,
+		})
+	}
+	return out
+}
+
+// StagedData returns the payload most recently staged to NVM for a chunk
+// (the in-progress version if a stage is pending, otherwise the committed
+// one), for the remote helper to ship. ok is false when nothing was ever
+// staged.
+func (s *Store) StagedData(p *sim.Proc, id uint64) ([]byte, bool) {
+	c, ok := s.chunks[id]
+	if !ok {
+		return nil, false
+	}
+	slot := c.committed
+	if c.stagePending {
+		slot = c.targetSlot()
+	}
+	if slot < 0 {
+		return nil, false
+	}
+	k := s.kproc.Kernel()
+	k.MetaLock.Lock(p)
+	v, ok := s.kproc.GetMeta(p, c.dataKey(slot))
+	k.MetaLock.Unlock(p)
+	if !ok || v == nil {
+		return nil, false
+	}
+	return v.([]byte), true
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"nvmcp/internal/cluster"
+	"nvmcp/internal/interconnect"
+	"nvmcp/internal/precopy"
+	"nvmcp/internal/remote"
+	"nvmcp/internal/trace"
+	"nvmcp/internal/workload"
+)
+
+// Fig10Result is the peak-interconnect-usage experiment: per-window
+// checkpoint bytes over the run's timeline for burst vs pre-copy remote
+// checkpointing, plus the peaks.
+type Fig10Result struct {
+	App    string
+	Scale  Scale
+	Window time.Duration
+
+	BurstSeries []float64
+	PreSeries   []float64
+	BurstPeak   float64
+	PrePeak     float64
+	// PeakReduction is 1 - PrePeak/BurstPeak (the paper reports up to 46%
+	// reduced peak interconnect usage, with pre-copy's peak about half).
+	PeakReduction float64
+}
+
+// RunFig10 reproduces Figure 10: LAMMPS with remote checkpoints, comparing
+// the interconnect usage timeline of the asynchronous burst and the pre-copy
+// helper. The series are checkpoint bytes transferred per window.
+func RunFig10(app workload.AppSpec, scale Scale) Fig10Result {
+	nodesIters := func(base *cluster.Config) {
+		base.Remote = true
+		base.RemoteEvery = 2
+		base.LocalScheme = precopy.DCPCP
+		if base.Iterations < 4 {
+			base.Iterations = 4
+		}
+	}
+	window := 10 * time.Second
+	if scale == Quick {
+		window = 5 * time.Second
+	}
+
+	run := func(scheme remote.Scheme) (series []float64, peak float64) {
+		base := baseConfig(app, scale, 800e6)
+		nodesIters(&base)
+		base.RemoteScheme = scheme
+		base.LinkBW = fig9LinkBW(scale)
+		if scheme == remote.PreCopy {
+			base.RemoteRateCap, base.RemoteDelay = remotePreCopyTuning(
+				base.App.CheckpointSize(), base.CoresPerNode, base.App.IterTime, base.RemoteEvery)
+		}
+		res, c := cluster.Run(base)
+		end := res.ExecTime
+		series = c.Fabric.Series(interconnect.ClassCkpt).DiffBuckets(end, window)
+		peak, _ = c.Fabric.PeakCkptWindow(end, window)
+		return series, peak
+	}
+
+	burstSeries, burstPeak := run(remote.AsyncBurst)
+	preSeries, prePeak := run(remote.PreCopy)
+	red := 0.0
+	if burstPeak > 0 {
+		red = 1 - prePeak/burstPeak
+	}
+	return Fig10Result{
+		App:           app.Name,
+		Scale:         scale,
+		Window:        window,
+		BurstSeries:   burstSeries,
+		PreSeries:     preSeries,
+		BurstPeak:     burstPeak,
+		PrePeak:       prePeak,
+		PeakReduction: red,
+	}
+}
+
+// PrintFig10 renders the two timelines side by side with sparkline bars.
+func PrintFig10(w io.Writer, r Fig10Result) {
+	fmt.Fprintf(w, "== Peak interconnect usage, %s (%s scale), %v windows ==\n", r.App, r.Scale, r.Window)
+	max := r.BurstPeak
+	if r.PrePeak > max {
+		max = r.PrePeak
+	}
+	n := len(r.BurstSeries)
+	if len(r.PreSeries) > n {
+		n = len(r.PreSeries)
+	}
+	tb := &trace.Table{Header: []string{"t", "burst", "", "pre-copy", ""}}
+	for i := 0; i < n; i++ {
+		var b, p float64
+		if i < len(r.BurstSeries) {
+			b = r.BurstSeries[i]
+		}
+		if i < len(r.PreSeries) {
+			p = r.PreSeries[i]
+		}
+		tb.AddRow(
+			(time.Duration(i) * r.Window).String(),
+			trace.FmtBytes(b), bar(b, max),
+			trace.FmtBytes(p), bar(p, max),
+		)
+	}
+	tb.Write(w)
+	fmt.Fprintf(w, "peak: burst %s, pre-copy %s — reduction %s (paper: up to 46%%, peak roughly halved)\n",
+		trace.FmtBytes(r.BurstPeak), trace.FmtBytes(r.PrePeak), trace.FmtPct(r.PeakReduction))
+}
+
+func bar(v, max float64) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * 30)
+	return strings.Repeat("#", n)
+}

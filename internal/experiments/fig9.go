@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nvmcp/internal/cluster"
+	"nvmcp/internal/precopy"
+	"nvmcp/internal/remote"
+	"nvmcp/internal/trace"
+	"nvmcp/internal/workload"
+)
+
+// Fig9Point is one configuration of the remote-checkpoint efficiency
+// experiment: efficiency (ideal/actual runtime) for asynchronous remote
+// checkpointing with and without pre-copy.
+type Fig9Point struct {
+	BWPerCore      float64
+	RemoteEvery    int // K: local checkpoints per remote interval
+	RemoteInterval time.Duration
+
+	IdealExec time.Duration
+	NoPreExec time.Duration
+	PreExec   time.Duration
+	EffNoPre  float64
+	EffPre    float64
+	OvhNoPre  float64
+	OvhPre    float64
+}
+
+// Fig9Result is the full sweep plus the paper's headline averages.
+type Fig9Result struct {
+	App    string
+	Scale  Scale
+	Points []Fig9Point
+	// AvgOvhNoPre / AvgOvhPre correspond to the paper's 10.6% vs 6.2%
+	// (a ~40% reduction in remote checkpoint overhead).
+	AvgOvhNoPre float64
+	AvgOvhPre   float64
+}
+
+// RunFig9 reproduces Figure 9: GTC with asynchronous remote checkpoints to a
+// buddy node, sweeping the remote interval (K = 1..4 local checkpoints per
+// remote, local interval ~40 s → remote ~47-180 s with checkpoint time
+// included) and the effective NVM bandwidth. 'no pre-copy' triggers a full
+// asynchronous burst at each remote checkpoint; 'pre-copy' ships staged
+// chunks incrementally, rate-capped, with a DCPC-style delay.
+func RunFig9(app workload.AppSpec, scale Scale) Fig9Result {
+	out := Fig9Result{App: app.Name, Scale: scale}
+	bws := []float64{400e6, 800e6, 1600e6}
+	ks := []int{1, 2, 4}
+	if scale == Quick {
+		bws = []float64{400e6, 1600e6}
+		ks = []int{1, 3}
+	}
+	type cell struct{ bw, k int }
+	var cells []cell
+	for bi := range bws {
+		for ki := range ks {
+			cells = append(cells, cell{bi, ki})
+		}
+	}
+	out.Points = make([]Fig9Point, len(cells))
+	sweep(len(cells), func(i int) {
+		bw, k := bws[cells[i].bw], ks[cells[i].k]
+		base := baseConfig(app, scale, bw)
+		if k > base.Iterations {
+			base.Iterations = k
+		}
+		base.Remote = true
+		base.RemoteEvery = k
+		base.LocalScheme = precopy.DCPCP
+		base.LinkBW = fig9LinkBW(scale)
+
+		ideal := idealTime(base)
+
+		noPre := base
+		noPre.RemoteScheme = remote.AsyncBurst
+		noPreRes, _ := cluster.Run(noPre)
+
+		pre := base
+		pre.RemoteScheme = remote.PreCopy
+		interval := time.Duration(k) * base.App.IterTime
+		pre.RemoteRateCap, pre.RemoteDelay = remotePreCopyTuning(
+			base.App.CheckpointSize(), base.CoresPerNode, base.App.IterTime, k)
+		preRes, _ := cluster.Run(pre)
+
+		out.Points[i] = Fig9Point{
+			BWPerCore:      bw,
+			RemoteEvery:    k,
+			RemoteInterval: interval,
+			IdealExec:      ideal,
+			NoPreExec:      noPreRes.ExecTime,
+			PreExec:        preRes.ExecTime,
+			EffNoPre:       float64(ideal) / float64(noPreRes.ExecTime),
+			EffPre:         float64(ideal) / float64(preRes.ExecTime),
+			OvhNoPre:       overhead(noPreRes.ExecTime, ideal),
+			OvhPre:         overhead(preRes.ExecTime, ideal),
+		}
+	})
+	var sumNo, sumPre float64
+	for _, pt := range out.Points {
+		sumNo += pt.OvhNoPre
+		sumPre += pt.OvhPre
+	}
+	n := float64(len(out.Points))
+	out.AvgOvhNoPre = sumNo / n
+	out.AvgOvhPre = sumPre / n
+	return out
+}
+
+// remotePreCopyTuning derives the remote pre-copy rate cap: the node's whole
+// checkpoint volume spread over the remote interval — the minimum sustained
+// rate at which the (serialized) helper keeps up. Shipping this slowly
+// leaves the application's communication the bulk of the link whenever they
+// overlap (a full-rate burst would take an equal fair share), while the
+// helper always sends a chunk's *latest* staged version, so versions that
+// appear faster than the budget drains are skipped, not queued. The remote
+// commit may finish into the following segment — exactly Figure 5c's overlap.
+func remotePreCopyTuning(ckptSize int64, ranksPerNode int, iterTime time.Duration, k int) (rateCap float64, delay time.Duration) {
+	interval := time.Duration(k) * iterTime
+	// Budget twice the minimum sustained rate: incremental shipping re-sends
+	// chunks that are re-staged within the interval (the paper's "potential
+	// increase in total checkpointing data volume"), and the headroom also
+	// lets the post-trigger catch-up finish promptly.
+	rateCap = 2 * float64(ckptSize) * float64(ranksPerNode) / interval.Seconds()
+	return rateCap, 0
+}
+
+// fig9LinkBW sizes the per-node link so a node's remote checkpoint volume
+// takes an appreciable fraction of the interval, as it does on the paper's
+// testbed (12 ranks × ~430 MB over one 40 Gbps link ≈ seconds of transfer).
+// Paper scale uses the effective per-node share of the fabric — raw QDR is
+// ~4 GB/s, but switch oversubscription and bidirectional neighbour traffic
+// leave roughly a quarter of that to any one node's egress under load.
+// Quick runs shrink data volume, so the link shrinks with it to preserve the
+// contention shape.
+func fig9LinkBW(scale Scale) float64 {
+	if scale == Paper {
+		return 1e9
+	}
+	return 250e6
+}
+
+// PrintFig9 renders the efficiency sweep.
+func PrintFig9(w io.Writer, r Fig9Result) {
+	fmt.Fprintf(w, "== Remote checkpoint efficiency, %s (%s scale): async pre-copy vs async burst ==\n", r.App, r.Scale)
+	tb := &trace.Table{Header: []string{
+		"NVM BW/core", "K", "remote interval", "eff no-pre", "eff pre", "ovh no-pre", "ovh pre",
+	}}
+	for _, pt := range r.Points {
+		tb.AddRow(
+			trace.FmtRate(pt.BWPerCore),
+			fmt.Sprintf("%d", pt.RemoteEvery),
+			pt.RemoteInterval.String(),
+			fmt.Sprintf("%.3f", pt.EffNoPre),
+			fmt.Sprintf("%.3f", pt.EffPre),
+			trace.FmtPct(pt.OvhNoPre),
+			trace.FmtPct(pt.OvhPre),
+		)
+	}
+	tb.Write(w)
+	fmt.Fprintf(w, "average overhead: no-pre %s, pre %s (paper: 10.6%% vs 6.2%%, ~40%% reduction)\n",
+		trace.FmtPct(r.AvgOvhNoPre), trace.FmtPct(r.AvgOvhPre))
+}

@@ -1,0 +1,200 @@
+// Package model implements the paper's Section III performance model: the
+// two-level checkpoint timing decomposition (Equation 1 and the terms that
+// follow), the failure-rate-driven checkpoint counts, restart/recomputation
+// costs, application efficiency, and the pre-copy threshold used by the
+// delayed pre-copy (DCPC) engine. Symbols follow Table II.
+package model
+
+import (
+	"math"
+	"time"
+)
+
+// Params collects the model inputs.
+type Params struct {
+	// TCompute is the total compute-only time of the application run.
+	TCompute time.Duration
+	// MTBFLocal is the mean time between failures recoverable from local
+	// NVM (soft errors: process crash, node reboot).
+	MTBFLocal time.Duration
+	// MTBFRemote is the mean time between failures requiring remote
+	// recovery (hard errors: node loss).
+	MTBFRemote time.Duration
+	// IntervalLocal is the local checkpoint interval I.
+	IntervalLocal time.Duration
+	// IntervalRemote is the remote checkpoint interval T_seg.
+	IntervalRemote time.Duration
+	// CkptSize is the per-process checkpoint data size D in bytes.
+	CkptSize int64
+	// NVMBWPerCore is the effective NVM write bandwidth per core,
+	// NVMBW_core, in bytes/sec.
+	NVMBWPerCore float64
+	// RemoteBWPerCore is the effective interconnect bandwidth available
+	// per process for remote checkpoint transfer, bytes/sec.
+	RemoteBWPerCore float64
+	// RemoteOverheadFraction is o_rmt expressed as a fraction of compute
+	// time lost to asynchronous-checkpoint noise (alpha_comm +
+	// alpha_others); measured, not derived.
+	RemoteOverheadFraction float64
+}
+
+// LocalCkptTime returns t_lcl = D / NVMBW_core.
+func (p Params) LocalCkptTime() time.Duration {
+	return durFromSeconds(float64(p.CkptSize) / p.NVMBWPerCore)
+}
+
+// RemoteCkptTime returns t_rmt = D / remote bandwidth.
+func (p Params) RemoteCkptTime() time.Duration {
+	return durFromSeconds(float64(p.CkptSize) / p.RemoteBWPerCore)
+}
+
+// NLocal returns the number of local checkpoints over the run, T_compute/I.
+func (p Params) NLocal() float64 {
+	return float64(p.TCompute) / float64(p.IntervalLocal)
+}
+
+// NRemote returns the number of remote checkpoints, T_compute/T_seg.
+func (p Params) NRemote() float64 {
+	return float64(p.TCompute) / float64(p.IntervalRemote)
+}
+
+// K returns the number of local checkpoints per remote checkpoint interval.
+func (p Params) K() float64 {
+	return float64(p.IntervalRemote) / float64(p.IntervalLocal)
+}
+
+// TLocal returns T_lcl = N_lcl * t_lcl, the total blocking local checkpoint
+// time over the run.
+func (p Params) TLocal() time.Duration {
+	return time.Duration(p.NLocal() * float64(p.LocalCkptTime()))
+}
+
+// ORemote returns O_rmt, the total overhead the asynchronous remote
+// checkpoints impose on the application.
+func (p Params) ORemote() time.Duration {
+	return time.Duration(p.RemoteOverheadFraction * float64(p.TCompute))
+}
+
+// FLocal returns F_lcl, the expected number of locally recoverable failures.
+func (p Params) FLocal() float64 {
+	return float64(p.TCompute) / float64(p.MTBFLocal)
+}
+
+// RestartLocal returns R_lcl, the time to fetch a checkpoint from local NVM
+// (read at NVM read speed, taken equal to the local checkpoint time per the
+// paper's proportionality assumption).
+func (p Params) RestartLocal() time.Duration { return p.LocalCkptTime() }
+
+// RestartRemote returns R_rmt, the remote checkpoint fetch time.
+func (p Params) RestartRemote() time.Duration { return p.RemoteCkptTime() }
+
+// TLocalRecovery returns T_lclrstart + T_lclrecomp =
+// F_lcl * (R_lcl + (I + t_lcl)/2): each soft failure costs a local fetch
+// plus, on average, half an interval of recomputation.
+func (p Params) TLocalRecovery() time.Duration {
+	per := float64(p.RestartLocal()) + float64(p.IntervalLocal+p.LocalCkptTime())/2
+	return time.Duration(p.FLocal() * per)
+}
+
+// TRemoteRecovery returns T_rmtrstart + T_rmtrecomp for a given total
+// runtime estimate: F_rmt = T_total/MTBF_rmt hard failures, each costing a
+// remote fetch plus on average K/2 redone segments of (I + t_lcl).
+func (p Params) TRemoteRecovery(tTotal time.Duration) time.Duration {
+	fRmt := float64(tTotal) / float64(p.MTBFRemote)
+	per := float64(p.RestartRemote()) + p.K()*float64(p.IntervalLocal+p.LocalCkptTime())/2
+	return time.Duration(fRmt * per)
+}
+
+// TTotal solves Equation 1,
+//
+//	T_total = T_compute + T_lcl + O_rmt + T_restart + T_recomp,
+//
+// by fixed-point iteration (the remote failure count depends on T_total
+// itself). It converges in a handful of iterations for any sane MTBF.
+func (p Params) TTotal() time.Duration {
+	t := p.TCompute
+	base := p.TCompute + p.TLocal() + p.ORemote() + p.TLocalRecovery()
+	for i := 0; i < 64; i++ {
+		next := base + p.TRemoteRecovery(t)
+		if absDur(next-t) < time.Millisecond {
+			return next
+		}
+		t = next
+	}
+	return t
+}
+
+// Efficiency returns the ratio of ideal (no-failure, no-checkpoint) runtime
+// to modeled actual runtime — the y-axis of Figure 9.
+func (p Params) Efficiency() float64 {
+	return float64(p.TCompute) / float64(p.TTotal())
+}
+
+// PreCopyThreshold computes the DCPC pre-copy start offset within a
+// checkpoint interval:
+//
+//	T_c = D / NVMBW_core    (time the checkpoint data needs to drain)
+//	T_p = I - T_c           (how far into the interval pre-copy may wait)
+//
+// A non-positive result means the interval is too short to hide the copy and
+// pre-copy should start immediately.
+func PreCopyThreshold(interval time.Duration, ckptSize int64, bwPerCore float64) time.Duration {
+	tc := durFromSeconds(float64(ckptSize) / bwPerCore)
+	tp := interval - tc
+	if tp < 0 {
+		return 0
+	}
+	return tp
+}
+
+// OptimalInterval returns Young's first-order optimal checkpoint interval,
+// sqrt(2 * t_ckpt * MTBF), used to pick sensible defaults for experiments.
+func OptimalInterval(ckptTime, mtbf time.Duration) time.Duration {
+	return durFromSeconds(math.Sqrt(2 * ckptTime.Seconds() * mtbf.Seconds()))
+}
+
+// UnrecoverableProbability estimates the probability that a buddy-pair
+// remote checkpoint scheme hits an unrecoverable failure — both a node and
+// its buddy failing within the same checkpoint interval, before the data
+// could be re-replicated. This is the computation behind the Zheng et al.
+// result the paper quotes in Section IV: with per-node MTBF of 20 years,
+// 5000 nodes, a 6-minute checkpoint interval and 1200 hours of application
+// time, the probability is about 0.000977%.
+//
+// Derivation: a node fails within an interval with probability p ≈ T/MTBF;
+// the pair is lost only if the buddy also fails in that same interval and
+// *after* the first failure (hence the factor 1/2); with N nodes and
+// T_app/T intervals the expected number of pair losses is
+// N · p² / 2 · (T_app/T), which for small values is the probability itself.
+func UnrecoverableProbability(mtbfNode time.Duration, nodes int, interval, appTime time.Duration) float64 {
+	p := interval.Seconds() / mtbfNode.Seconds()
+	intervals := appTime.Seconds() / interval.Seconds()
+	return float64(nodes) * p * p / 2 * intervals
+}
+
+// SoftErrorShare is the fraction of failures recoverable locally, per the
+// LANL ASCI Q observation the paper cites (about 64% of failures are soft).
+const SoftErrorShare = 0.64
+
+// SplitMTBF splits a machine MTBF into local (soft) and remote (hard)
+// components given the soft-error share s: failures arrive at rate 1/mtbf,
+// a fraction s of them soft.
+func SplitMTBF(mtbf time.Duration, softShare float64) (local, remote time.Duration) {
+	if softShare <= 0 || softShare >= 1 {
+		panic("model: soft share must be in (0,1)")
+	}
+	local = time.Duration(float64(mtbf) / softShare)
+	remote = time.Duration(float64(mtbf) / (1 - softShare))
+	return local, remote
+}
+
+func durFromSeconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

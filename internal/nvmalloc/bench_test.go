@@ -1,0 +1,78 @@
+package nvmalloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/nvmkernel"
+	"nvmcp/internal/sim"
+)
+
+// benchInProc runs fn(b, allocator, proc) inside a simulated process, since
+// allocator calls may park the calling process (kernel syscalls).
+func benchInProc(b *testing.B, fn func(*testing.B, *Allocator, *sim.Proc)) {
+	b.Helper()
+	e := sim.NewEnv()
+	k := nvmkernel.New(e, mem.NewDRAM(e, 8*mem.GB), mem.NewPCM(e, 8*mem.GB))
+	e.Go("bench", func(p *sim.Proc) {
+		a := New(k.Attach("rank0"), "heap")
+		b.ResetTimer()
+		fn(b, a, p)
+	})
+	e.Run()
+}
+
+// BenchmarkSmallAllocFree measures the slab fast path.
+func BenchmarkSmallAllocFree(b *testing.B) {
+	benchInProc(b, func(b *testing.B, a *Allocator, p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			e, err := a.Alloc(p, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.Free(p, e.Addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLargeAllocFree measures the extent path with coalescing.
+func BenchmarkLargeAllocFree(b *testing.B) {
+	benchInProc(b, func(b *testing.B, a *Allocator, p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			e, err := a.Alloc(p, 256*mem.KB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.Free(p, e.Addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMixedWorkload measures a churning mix of sizes.
+func BenchmarkMixedWorkload(b *testing.B) {
+	benchInProc(b, func(b *testing.B, a *Allocator, p *sim.Proc) {
+		rng := rand.New(rand.NewSource(1))
+		var live []int64
+		for i := 0; i < b.N; i++ {
+			if len(live) > 256 || (len(live) > 0 && rng.Intn(2) == 0) {
+				j := rng.Intn(len(live))
+				if err := a.Free(p, live[j]); err != nil {
+					b.Fatal(err)
+				}
+				live = append(live[:j], live[j+1:]...)
+			} else {
+				size := int64(rng.Intn(32*1024) + 1)
+				e, err := a.Alloc(p, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				live = append(live, e.Addr)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package nvmalloc
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/nvmkernel"
+	"nvmcp/internal/sim"
+)
+
+// FuzzAllocatorOps decodes the fuzz input as a sequence of alloc/free
+// operations and checks the allocator's structural invariants after every
+// step. Each 3-byte record is (op, sizeLo, sizeHi): op's low bit selects
+// alloc vs free; for allocs, size = 1 + (sizeHi<<8|sizeLo) * 4KiB/16 spreads
+// requests across the small, large, and huge tiers; for frees, the size
+// bytes index the live set.
+func FuzzAllocatorOps(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 0, 200, 10, 1, 0, 0})
+	f.Add([]byte{0, 255, 255, 0, 1, 0, 1, 0, 0, 1, 1, 0})
+	f.Add([]byte{0, 0, 64, 0, 0, 128, 0, 0, 255, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := sim.NewEnv()
+		k := nvmkernel.New(e, mem.NewDRAM(e, 8*mem.GB), mem.NewPCM(e, 8*mem.GB))
+		e.Go("fuzz", func(p *sim.Proc) {
+			a := New(k.Attach("rank0"), "heap")
+			var live []int64
+			for i := 0; i+2 < len(data) && i < 3*256; i += 3 {
+				op := data[i]
+				v := binary.LittleEndian.Uint16(data[i+1 : i+3])
+				if op&1 == 0 {
+					size := 1 + int64(v)*256
+					ext, err := a.Alloc(p, size)
+					if err != nil {
+						t.Fatalf("alloc %d: %v", size, err)
+					}
+					live = append(live, ext.Addr)
+				} else if len(live) > 0 {
+					j := int(v) % len(live)
+					if err := a.Free(p, live[j]); err != nil {
+						t.Fatalf("free: %v", err)
+					}
+					live = append(live[:j], live[j+1:]...)
+				}
+				if err := a.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, addr := range live {
+				if err := a.Free(p, addr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if st := a.Stats(); st.Allocated != 0 || st.Active != 0 {
+				t.Fatalf("leak: %+v", st)
+			}
+		})
+		e.Run()
+	})
+}

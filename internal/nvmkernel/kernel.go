@@ -1,0 +1,295 @@
+// Package nvmkernel emulates the paper's Linux NVM kernel manager: the
+// OS-level component that exposes NVM as virtual memory. It provides
+// per-process NVM containers mapped with an nvmmap-like call, page tables
+// with chunk-granularity write protection and fault delivery, per-page
+// 'nvdirty' bits (the paper's optimization that lets the remote-checkpoint
+// helper find dirty NVM pages without protection faults), cache-flush-before-
+// commit, and a persistent metadata store that survives process restarts and
+// node reboots (soft failures) but not hard node failures.
+//
+// Cost accounting follows the paper's split: control-path costs (user↔kernel
+// transitions, protection faults, mprotect calls) are charged here in virtual
+// time; bulk data movement is charged by the caller through the mem package's
+// bandwidth models, so nothing is double-counted.
+package nvmkernel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/sim"
+	"nvmcp/internal/trace"
+)
+
+// Control-path cost defaults. The fault cost is the paper's "6-12 usec" per
+// protection fault; syscall cost is a user↔kernel round trip.
+const (
+	DefaultFaultCost   = 9 * time.Microsecond
+	DefaultSyscallCost = 300 * time.Nanosecond
+	DefaultProtectCost = 1 * time.Microsecond // one mprotect call
+)
+
+// Common kernel errors.
+var (
+	ErrNoSuchRegion = errors.New("nvmkernel: no such region")
+	ErrExists       = errors.New("nvmkernel: region already mapped")
+	ErrNoHandler    = errors.New("nvmkernel: write fault with no handler installed")
+	ErrNVMLost      = errors.New("nvmkernel: NVM contents lost (hard failure)")
+)
+
+// RegionKind says which device backs a region.
+type RegionKind int
+
+const (
+	// DRAMRegion backs the working copy the application computes on.
+	DRAMRegion RegionKind = iota
+	// NVMRegion backs a persistent shadow chunk.
+	NVMRegion
+)
+
+func (k RegionKind) String() string {
+	if k == NVMRegion {
+		return "nvm"
+	}
+	return "dram"
+}
+
+// FaultHandler is invoked (in the faulting process's context, before the
+// write proceeds) when a store hits a write-protected page. page is the index
+// within the region. Handlers typically unprotect the whole region and mark
+// the owning chunk dirty — that is the paper's chunk-level protection.
+type FaultHandler func(p *sim.Proc, r *Region, page int)
+
+// Kernel is one node's NVM manager.
+type Kernel struct {
+	env  *sim.Env
+	NVM  *mem.Device
+	DRAM *mem.Device
+
+	// MetaLock serializes metadata access between application processes
+	// and the asynchronous checkpoint helper, as in the paper.
+	MetaLock *sim.Mutex
+
+	// Costs are configurable for the page-vs-chunk ablation.
+	FaultCost   time.Duration
+	SyscallCost time.Duration
+	ProtectCost time.Duration
+
+	// Counters tracks faults, syscalls, flushes, and mprotect calls.
+	Counters trace.Counters
+
+	store map[string]*procStore // persistent per-process state, by name
+	procs map[string]*Process   // currently attached processes
+}
+
+// procStore is what NVM remembers about a process across restarts.
+type procStore struct {
+	regions map[string]*Region
+	meta    map[string]any
+}
+
+// New builds a kernel managing the given devices.
+func New(env *sim.Env, dram, nvm *mem.Device) *Kernel {
+	return &Kernel{
+		env:         env,
+		NVM:         nvm,
+		DRAM:        dram,
+		MetaLock:    sim.NewMutex(env),
+		FaultCost:   DefaultFaultCost,
+		SyscallCost: DefaultSyscallCost,
+		ProtectCost: DefaultProtectCost,
+		store:       make(map[string]*procStore),
+		procs:       make(map[string]*Process),
+	}
+}
+
+// Env returns the simulation environment.
+func (k *Kernel) Env() *sim.Env { return k.env }
+
+func (k *Kernel) syscall(p *sim.Proc) {
+	k.Counters.Add("syscalls", 1)
+	if p != nil {
+		p.Sleep(k.SyscallCost)
+	}
+}
+
+// Attach connects a process (by persistent name) to the kernel, creating its
+// store on first attach. Re-attaching after a restart finds surviving NVM
+// regions.
+func (k *Kernel) Attach(name string) *Process {
+	if _, ok := k.procs[name]; ok {
+		panic("nvmkernel: process " + name + " attached twice")
+	}
+	ps, ok := k.store[name]
+	if !ok {
+		ps = &procStore{regions: make(map[string]*Region), meta: make(map[string]any)}
+		k.store[name] = ps
+	}
+	proc := &Process{k: k, name: name, store: ps, dram: make(map[string]*Region)}
+	k.procs[name] = proc
+	return proc
+}
+
+// HardFail models an unrecoverable node failure: all NVM contents and
+// metadata are lost and every attached process is detached.
+func (k *Kernel) HardFail() {
+	for _, ps := range k.store {
+		for _, r := range ps.regions {
+			k.NVM.Release(r.VirtualSize)
+		}
+	}
+	k.store = make(map[string]*procStore)
+	k.detachAll()
+	k.Counters.Add("hard_failures", 1)
+}
+
+// SoftReset models a node reboot or process-group crash: DRAM contents are
+// lost, NVM survives. Attached processes are detached and must re-Attach.
+func (k *Kernel) SoftReset() {
+	k.detachAll()
+	k.Counters.Add("soft_resets", 1)
+}
+
+func (k *Kernel) detachAll() {
+	for name := range k.procs {
+		k.procs[name].releaseDRAM()
+	}
+	k.procs = make(map[string]*Process)
+	// A process killed while holding the metadata lock would otherwise
+	// leave it held forever; all lock users are dead at reset time.
+	k.MetaLock = sim.NewMutex(k.env)
+}
+
+// Process is a process's view of the kernel: its address space of DRAM
+// regions plus its persistent NVM container.
+type Process struct {
+	k     *Kernel
+	name  string
+	store *procStore
+	dram  map[string]*Region
+}
+
+// Name returns the process's persistent identity.
+func (pr *Process) Name() string { return pr.name }
+
+// Kernel returns the owning kernel.
+func (pr *Process) Kernel() *Kernel { return pr.k }
+
+// Exit detaches the process, releasing DRAM but keeping NVM state.
+func (pr *Process) Exit() {
+	pr.releaseDRAM()
+	delete(pr.k.procs, pr.name)
+}
+
+func (pr *Process) releaseDRAM() {
+	for id, r := range pr.dram {
+		pr.k.DRAM.Release(r.VirtualSize)
+		delete(pr.dram, id)
+	}
+}
+
+// NVMMap maps (creating if absent) a persistent NVM region of virtualSize
+// bytes whose real payload is payloadSize bytes. It reports whether the
+// region already existed — after a restart this is how checkpoint data is
+// found again. Charged as one syscall (the paper's 'nvmmap').
+func (pr *Process) NVMMap(p *sim.Proc, id string, virtualSize int64, payloadSize int) (*Region, bool, error) {
+	pr.k.syscall(p)
+	if r, ok := pr.store.regions[id]; ok {
+		return r, true, nil
+	}
+	if err := pr.k.NVM.Reserve(virtualSize); err != nil {
+		return nil, false, err
+	}
+	r := newRegion(pr, id, NVMRegion, virtualSize, payloadSize)
+	pr.store.regions[id] = r
+	pr.k.Counters.Add("nvmmap", 1)
+	return r, false, nil
+}
+
+// NVMUnmap deletes a persistent region and releases its space ('nvdelete').
+func (pr *Process) NVMUnmap(p *sim.Proc, id string) error {
+	pr.k.syscall(p)
+	r, ok := pr.store.regions[id]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoSuchRegion, pr.name, id)
+	}
+	delete(pr.store.regions, id)
+	pr.k.NVM.Release(r.VirtualSize)
+	return nil
+}
+
+// NVMRegion returns a mapped region without side effects, or nil.
+func (pr *Process) NVMRegion(id string) *Region { return pr.store.regions[id] }
+
+// NVMRegions returns the ids of all mapped NVM regions (restart discovery).
+func (pr *Process) NVMRegions() []string {
+	ids := make([]string, 0, len(pr.store.regions))
+	for id := range pr.store.regions {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// DRAMAlloc allocates a volatile region (ordinary heap memory; no syscall
+// cost — the allocator amortizes brk/mmap).
+func (pr *Process) DRAMAlloc(id string, virtualSize int64, payloadSize int) (*Region, error) {
+	if _, ok := pr.dram[id]; ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrExists, pr.name, id)
+	}
+	if err := pr.k.DRAM.Reserve(virtualSize); err != nil {
+		return nil, err
+	}
+	r := newRegion(pr, id, DRAMRegion, virtualSize, payloadSize)
+	pr.dram[id] = r
+	return r, nil
+}
+
+// DRAMFree releases a volatile region.
+func (pr *Process) DRAMFree(id string) error {
+	r, ok := pr.dram[id]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoSuchRegion, pr.name, id)
+	}
+	delete(pr.dram, id)
+	pr.k.DRAM.Release(r.VirtualSize)
+	return nil
+}
+
+// SetMeta stores a named metadata value in the process's persistent NVM
+// metadata area (the per-process metadata structure of Section V). Callers
+// must hold MetaLock when the helper may be reading concurrently.
+func (pr *Process) SetMeta(p *sim.Proc, key string, v any) {
+	pr.k.syscall(p)
+	pr.store.meta[key] = v
+}
+
+// GetMeta loads a named metadata value; ok is false if absent or lost.
+func (pr *Process) GetMeta(p *sim.Proc, key string) (any, bool) {
+	pr.k.syscall(p)
+	v, ok := pr.store.meta[key]
+	return v, ok
+}
+
+// QueryMeta lets another process (the checkpoint helper) load a process's
+// metadata by name — the paper's "system interface which loads the entire
+// metadata structure to the [helper] process address space".
+func (k *Kernel) QueryMeta(p *sim.Proc, procName, key string) (any, bool) {
+	k.syscall(p)
+	ps, ok := k.store[procName]
+	if !ok {
+		return nil, false
+	}
+	v, ok := ps.meta[key]
+	return v, ok
+}
+
+// ProcessNames lists processes with persistent state on this node.
+func (k *Kernel) ProcessNames() []string {
+	names := make([]string, 0, len(k.store))
+	for n := range k.store {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,414 @@
+package nvmkernel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/sim"
+)
+
+func newTestKernel(e *sim.Env) *Kernel {
+	dram := mem.NewDRAM(e, 4*mem.GB)
+	nvm := mem.NewPCM(e, 2*mem.GB)
+	return New(e, dram, nvm)
+}
+
+func TestNVMMapCreateAndReattach(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		r, existed, err := pr.NVMMap(p, "chunk1", 10*mem.MB, 64)
+		if err != nil || existed {
+			t.Errorf("first map: existed=%v err=%v", existed, err)
+		}
+		r.Data[0] = 0xAB
+		pr.Exit()
+
+		// Simulated restart: same persistent name finds the region.
+		pr2 := k.Attach("rank0")
+		r2, existed, err := pr2.NVMMap(p, "chunk1", 10*mem.MB, 64)
+		if err != nil || !existed {
+			t.Errorf("re-map: existed=%v err=%v", existed, err)
+		}
+		if r2.Data[0] != 0xAB {
+			t.Error("NVM contents did not survive process restart")
+		}
+	})
+	e.Run()
+	if k.NVM.Used != 10*mem.MB {
+		t.Fatalf("NVM used = %d, want 10MB (one region)", k.NVM.Used)
+	}
+}
+
+func TestNVMMapChargesSyscall(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	var took time.Duration
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		start := p.Now()
+		if _, _, err := pr.NVMMap(p, "c", mem.MB, 16); err != nil {
+			t.Error(err)
+		}
+		took = p.Now() - start
+	})
+	e.Run()
+	if took != DefaultSyscallCost {
+		t.Fatalf("nvmmap took %v, want %v", took, DefaultSyscallCost)
+	}
+	if k.Counters.Get("syscalls") != 1 {
+		t.Fatalf("syscalls = %d, want 1", k.Counters.Get("syscalls"))
+	}
+}
+
+func TestNVMMapOutOfSpace(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		if _, _, err := pr.NVMMap(p, "big", 3*mem.GB, 16); err == nil {
+			t.Error("oversized nvmmap succeeded")
+		}
+	})
+	e.Run()
+	if k.NVM.Used != 0 {
+		t.Fatalf("failed map leaked %d bytes", k.NVM.Used)
+	}
+}
+
+func TestNVMUnmapReleasesSpace(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		pr.NVMMap(p, "c", 100*mem.MB, 16)
+		if err := pr.NVMUnmap(p, "c"); err != nil {
+			t.Error(err)
+		}
+		if err := pr.NVMUnmap(p, "c"); !errors.Is(err, ErrNoSuchRegion) {
+			t.Errorf("double unmap err = %v", err)
+		}
+	})
+	e.Run()
+	if k.NVM.Used != 0 {
+		t.Fatalf("NVM used = %d after unmap", k.NVM.Used)
+	}
+}
+
+func TestDRAMRegionsDoNotSurviveExit(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		if _, err := pr.DRAMAlloc("work", 50*mem.MB, 64); err != nil {
+			t.Error(err)
+		}
+		if _, err := pr.DRAMAlloc("work", mem.MB, 16); !errors.Is(err, ErrExists) {
+			t.Errorf("duplicate DRAMAlloc err = %v", err)
+		}
+		pr.Exit()
+	})
+	e.Run()
+	if k.DRAM.Used != 0 {
+		t.Fatalf("DRAM used = %d after exit, want 0", k.DRAM.Used)
+	}
+}
+
+func TestSoftResetKeepsNVMDropsDRAM(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		pr.NVMMap(p, "ckpt", 10*mem.MB, 32)
+		pr.DRAMAlloc("work", 10*mem.MB, 32)
+		k.SoftReset()
+		pr2 := k.Attach("rank0")
+		if _, existed, _ := pr2.NVMMap(p, "ckpt", 10*mem.MB, 32); !existed {
+			t.Error("NVM region lost across soft reset")
+		}
+	})
+	e.Run()
+	if k.DRAM.Used != 0 {
+		t.Fatalf("DRAM used = %d after soft reset", k.DRAM.Used)
+	}
+	if k.NVM.Used != 10*mem.MB {
+		t.Fatalf("NVM used = %d, want 10MB", k.NVM.Used)
+	}
+}
+
+func TestHardFailWipesNVM(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		pr.NVMMap(p, "ckpt", 10*mem.MB, 32)
+		k.HardFail()
+		pr2 := k.Attach("rank0")
+		if _, existed, _ := pr2.NVMMap(p, "ckpt", 10*mem.MB, 32); existed {
+			t.Error("NVM region survived hard failure")
+		}
+	})
+	e.Run()
+	if got := k.Counters.Get("hard_failures"); got != 1 {
+		t.Fatalf("hard_failures = %d", got)
+	}
+}
+
+func TestProtectionFaultChargesCostAndRunsHandler(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		r, _ := pr.DRAMAlloc("chunk", 64*mem.KB, 64)
+		dirty := false
+		r.SetFaultHandler(func(p *sim.Proc, fr *Region, page int) {
+			dirty = true
+			fr.Unprotect(p) // chunk-level: unprotect the whole chunk
+		})
+		r.Protect(p)
+		start := p.Now()
+		faulted, err := r.TouchWrite(p, 0, 128)
+		if err != nil || !faulted {
+			t.Errorf("TouchWrite: faulted=%v err=%v", faulted, err)
+		}
+		if !dirty {
+			t.Error("handler did not run")
+		}
+		elapsed := p.Now() - start
+		want := k.FaultCost + k.ProtectCost
+		if elapsed != want {
+			t.Errorf("fault path took %v, want %v", elapsed, want)
+		}
+		// Second write: no protection left, no fault.
+		faulted, _ = r.TouchWrite(p, 0, 128)
+		if faulted {
+			t.Error("faulted on unprotected page")
+		}
+	})
+	e.Run()
+	if k.Counters.Get("protection_faults") != 1 {
+		t.Fatalf("protection_faults = %d, want 1", k.Counters.Get("protection_faults"))
+	}
+}
+
+func TestChunkLevelHandlerFaultsOncePerChunk(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		r, _ := pr.DRAMAlloc("chunk", 10*mem.PageSize, 64)
+		r.SetFaultHandler(func(p *sim.Proc, fr *Region, page int) { fr.Unprotect(p) })
+		r.Protect(p)
+		// A write spanning all 10 pages must raise exactly one fault.
+		if _, err := r.TouchWrite(p, 0, 10*mem.PageSize); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	if got := k.Counters.Get("protection_faults"); got != 1 {
+		t.Fatalf("protection_faults = %d, want 1 (chunk-level)", got)
+	}
+}
+
+func TestPageLevelHandlerFaultsPerPage(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		r, _ := pr.DRAMAlloc("chunk", 10*mem.PageSize, 64)
+		// Page-level ablation: the handler unprotects only the faulting page.
+		r.SetFaultHandler(func(p *sim.Proc, fr *Region, page int) {
+			fr.prot[page] = false
+		})
+		r.Protect(p)
+		if _, err := r.TouchWrite(p, 0, 10*mem.PageSize); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	if got := k.Counters.Get("protection_faults"); got != 10 {
+		t.Fatalf("protection_faults = %d, want 10 (page-level)", got)
+	}
+}
+
+func TestTouchWriteWithoutHandlerFails(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		r, _ := pr.DRAMAlloc("chunk", mem.PageSize, 16)
+		r.Protect(p)
+		if _, err := r.TouchWrite(p, 0, 8); !errors.Is(err, ErrNoHandler) {
+			t.Errorf("err = %v, want ErrNoHandler", err)
+		}
+	})
+	e.Run()
+}
+
+func TestNVDirtyBitsCollectAndClear(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		r, _, _ := pr.NVMMap(p, "c", 8*mem.PageSize, 64)
+		r.MarkNVDirty(0, mem.PageSize)                // page 0
+		r.MarkNVDirty(5*mem.PageSize, 2*mem.PageSize) // pages 5,6
+		if r.DirtyPages() != 3 {
+			t.Errorf("DirtyPages = %d, want 3", r.DirtyPages())
+		}
+		got := r.CollectNVDirty(p)
+		if len(got) != 3 || got[0] != 0 || got[1] != 5 || got[2] != 6 {
+			t.Errorf("CollectNVDirty = %v", got)
+		}
+		if r.DirtyPages() != 0 {
+			t.Error("dirty bits not cleared by collect")
+		}
+	})
+	e.Run()
+}
+
+func TestMetaSurvivesSoftResetSharedWithHelper(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		k.MetaLock.Lock(p)
+		pr.SetMeta(p, "chunktable", []string{"a", "b"})
+		k.MetaLock.Unlock(p)
+	})
+	var helperSaw []string
+	e.Go("helper", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		k.MetaLock.Lock(p)
+		v, ok := k.QueryMeta(p, "rank0", "chunktable")
+		k.MetaLock.Unlock(p)
+		if !ok {
+			t.Error("helper could not load metadata")
+			return
+		}
+		helperSaw = v.([]string)
+	})
+	e.Run()
+	if len(helperSaw) != 2 || helperSaw[0] != "a" {
+		t.Fatalf("helper saw %v", helperSaw)
+	}
+	k.SoftReset()
+	e.Go("restarted", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		if _, ok := pr.GetMeta(p, "chunktable"); !ok {
+			t.Error("metadata lost across soft reset")
+		}
+	})
+	e.Run()
+}
+
+func TestRegionPagesRounding(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		r, _ := pr.DRAMAlloc("tiny", 1, 1)
+		if r.Pages() != 1 {
+			t.Errorf("1-byte region pages = %d, want 1", r.Pages())
+		}
+		r2, _ := pr.DRAMAlloc("odd", mem.PageSize+1, 1)
+		if r2.Pages() != 2 {
+			t.Errorf("page+1 region pages = %d, want 2", r2.Pages())
+		}
+	})
+	e.Run()
+}
+
+func TestFlushCostCharged(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	var took time.Duration
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		r, _, _ := pr.NVMMap(p, "c", 10*mem.MB, 64)
+		start := p.Now()
+		r.Flush(p, 10*mem.MB)
+		took = p.Now() - start
+	})
+	e.Run()
+	if took <= 0 {
+		t.Fatal("flush charged no time")
+	}
+	if k.Counters.Get("cache_flushes") != 1 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestAccessorsAndPageLevelHelpers(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	e.Go("app", func(p *sim.Proc) {
+		pr := k.Attach("rank0")
+		if pr.Name() != "rank0" || pr.Kernel() != k || k.Env() != e {
+			t.Error("accessor mismatch")
+		}
+		r, _, _ := pr.NVMMap(p, "c", 4*mem.PageSize, 16)
+		if pr.NVMRegion("c") != r || pr.NVMRegion("missing") != nil {
+			t.Error("NVMRegion lookup wrong")
+		}
+		if ids := pr.NVMRegions(); len(ids) != 1 || ids[0] != "c" {
+			t.Errorf("NVMRegions = %v", ids)
+		}
+		if r.Owner() != pr {
+			t.Error("Owner mismatch")
+		}
+		// Page-level protect/unprotect pair.
+		r.ProtectPage(p, 2)
+		if !r.PageProtected(2) || r.PageProtected(1) {
+			t.Error("ProtectPage wrong")
+		}
+		if !r.Protected() {
+			t.Error("Protected() should see page 2")
+		}
+		r.UnprotectPage(p, 2)
+		if r.Protected() {
+			t.Error("still protected after UnprotectPage")
+		}
+		// DeferProtect applies at the end of the next write.
+		r.SetFaultHandler(func(fp *sim.Proc, fr *Region, page int) { fr.Unprotect(fp) })
+		r.DeferProtect()
+		if _, err := r.TouchWrite(p, 0, 8); err != nil {
+			t.Error(err)
+		}
+		if !r.Protected() {
+			t.Error("DeferProtect did not apply after the write")
+		}
+		// DRAMFree path.
+		if _, err := pr.DRAMAlloc("w", mem.PageSize, 0); err != nil {
+			t.Error(err)
+		}
+		if err := pr.DRAMFree("w"); err != nil {
+			t.Error(err)
+		}
+		if err := pr.DRAMFree("w"); err == nil {
+			t.Error("double DRAMFree succeeded")
+		}
+		if names := k.ProcessNames(); len(names) != 1 || names[0] != "rank0" {
+			t.Errorf("ProcessNames = %v", names)
+		}
+		if r.String() == "" || r.Kind.String() != "nvm" || DRAMRegion.String() != "dram" {
+			t.Error("stringers wrong")
+		}
+	})
+	e.Run()
+}
+
+func TestAttachTwicePanics(t *testing.T) {
+	e := sim.NewEnv()
+	k := newTestKernel(e)
+	k.Attach("rank0")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double attach did not panic")
+		}
+	}()
+	k.Attach("rank0")
+}

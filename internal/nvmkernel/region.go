@@ -1,0 +1,232 @@
+package nvmkernel
+
+import (
+	"fmt"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/sim"
+)
+
+// Region is a contiguous mapped range: a page table slice with protection and
+// nvdirty bits, plus a real data payload. VirtualSize drives all timing and
+// capacity accounting; Data holds the (possibly scaled-down) real bytes that
+// checksums and restore verification operate on.
+type Region struct {
+	ID          string
+	Kind        RegionKind
+	VirtualSize int64
+	Data        []byte
+
+	owner          *Process
+	pages          int
+	prot           []bool // write-protected pages
+	nvdirty        []bool // kernel-maintained dirty bits (NVM regions)
+	handler        FaultHandler
+	pendingProtect bool
+}
+
+func newRegion(pr *Process, id string, kind RegionKind, virtualSize int64, payloadSize int) *Region {
+	pages := int((virtualSize + mem.PageSize - 1) / mem.PageSize)
+	if pages == 0 {
+		pages = 1
+	}
+	return &Region{
+		ID:          id,
+		Kind:        kind,
+		VirtualSize: virtualSize,
+		Data:        make([]byte, payloadSize),
+		owner:       pr,
+		pages:       pages,
+		prot:        make([]bool, pages),
+		nvdirty:     make([]bool, pages),
+	}
+}
+
+// Pages returns the number of pages in the region.
+func (r *Region) Pages() int { return r.pages }
+
+// Owner returns the owning process.
+func (r *Region) Owner() *Process { return r.owner }
+
+// SetFaultHandler installs the chunk-level protection-fault handler.
+func (r *Region) SetFaultHandler(h FaultHandler) { r.handler = h }
+
+// Protect write-protects every page of the region (one mprotect call).
+func (r *Region) Protect(p *sim.Proc) {
+	r.owner.k.Counters.Add("mprotect", 1)
+	if p != nil {
+		p.Sleep(r.owner.k.ProtectCost)
+	}
+	for i := range r.prot {
+		r.prot[i] = true
+	}
+}
+
+// Unprotect clears write protection on every page (one mprotect call).
+func (r *Region) Unprotect(p *sim.Proc) {
+	r.owner.k.Counters.Add("mprotect", 1)
+	if p != nil {
+		p.Sleep(r.owner.k.ProtectCost)
+	}
+	for i := range r.prot {
+		r.prot[i] = false
+	}
+}
+
+// UnprotectPage clears write protection on a single page — the page-level
+// pre-copy ablation's fault handler, which pays one fault per page.
+func (r *Region) UnprotectPage(p *sim.Proc, page int) {
+	r.owner.k.Counters.Add("mprotect", 1)
+	if p != nil {
+		p.Sleep(r.owner.k.ProtectCost)
+	}
+	r.prot[page] = false
+}
+
+// ProtectPage write-protects a single page (page-level pre-copy ablation).
+func (r *Region) ProtectPage(p *sim.Proc, page int) {
+	r.owner.k.Counters.Add("mprotect", 1)
+	if p != nil {
+		p.Sleep(r.owner.k.ProtectCost)
+	}
+	r.prot[page] = true
+}
+
+// Protected reports whether any page of the region is write-protected.
+func (r *Region) Protected() bool {
+	for _, b := range r.prot {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// PageProtected reports whether one page is write-protected.
+func (r *Region) PageProtected(page int) bool { return r.prot[page] }
+
+// TouchWrite models the application storing to [off, off+n). If any touched
+// page is write-protected, a protection fault is charged (FaultCost) and the
+// installed handler runs before the store retires; with no handler the write
+// fails, as a real segfault would. It returns whether a fault occurred.
+//
+// Only the first faulting page raises a fault: the paper's chunk-level
+// handler unprotects the whole chunk, so one fault per modified chunk is the
+// intended behaviour; the page-level ablation re-protects page by page and
+// therefore faults once per page.
+func (r *Region) TouchWrite(p *sim.Proc, off, n int64) (bool, error) {
+	if n <= 0 {
+		return false, nil
+	}
+	first := int(off / mem.PageSize)
+	last := int((off + n - 1) / mem.PageSize)
+	if last >= r.pages {
+		last = r.pages - 1
+	}
+	faulted := false
+	for pg := first; pg <= last; pg++ {
+		if !r.prot[pg] {
+			continue
+		}
+		if r.handler == nil {
+			return false, fmt.Errorf("%w: %s/%s page %d", ErrNoHandler, r.owner.name, r.ID, pg)
+		}
+		r.owner.k.Counters.Add("protection_faults", 1)
+		if p != nil {
+			p.Sleep(r.owner.k.FaultCost)
+		}
+		r.handler(p, r, pg)
+		faulted = true
+		if !r.prot[pg] {
+			// Chunk-level handler unprotected the whole range; the
+			// remaining pages cannot fault again.
+			if !r.anyProtected(pg+1, last) {
+				break
+			}
+		}
+	}
+	if r.pendingProtect {
+		// A fault handler (e.g. the DCPCP episode counter) asked for
+		// re-protection; it takes effect once the faulting store retires,
+		// never mid-write — re-protecting inside the handler would make
+		// the same store fault on every page.
+		r.pendingProtect = false
+		r.Protect(p)
+	}
+	return faulted, nil
+}
+
+// DeferProtect requests that the region be write-protected again as soon as
+// the in-flight write completes. Outside a write it applies at the next
+// TouchWrite; use Protect for immediate effect.
+func (r *Region) DeferProtect() { r.pendingProtect = true }
+
+func (r *Region) anyProtected(from, to int) bool {
+	for pg := from; pg <= to; pg++ {
+		if r.prot[pg] {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkNVDirty sets the kernel-maintained dirty bits for the page range
+// covering [off, off+n) — called by the checkpoint path after writing chunk
+// data into an NVM region, so the remote helper can find modified pages
+// without protection faults (the paper's 'nvdirty' bit).
+func (r *Region) MarkNVDirty(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := int(off / mem.PageSize)
+	last := int((off + n - 1) / mem.PageSize)
+	if last >= r.pages {
+		last = r.pages - 1
+	}
+	for pg := first; pg <= last; pg++ {
+		r.nvdirty[pg] = true
+	}
+}
+
+// DirtyPages returns the count of nvdirty pages.
+func (r *Region) DirtyPages() int {
+	n := 0
+	for _, d := range r.nvdirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// CollectNVDirty returns and clears the nvdirty page indices — the syscall
+// the helper uses to identify dirty NVM pages of a chunk.
+func (r *Region) CollectNVDirty(p *sim.Proc) []int {
+	r.owner.k.syscall(p)
+	var out []int
+	for pg, d := range r.nvdirty {
+		if d {
+			out = append(out, pg)
+			r.nvdirty[pg] = false
+		}
+	}
+	return out
+}
+
+// Flush charges the cacheline-flush cost for size bytes of the region's
+// device — the paper flushes processor caches before marking data consistent.
+func (r *Region) Flush(p *sim.Proc, size int64) {
+	dev := r.owner.k.DRAM
+	if r.Kind == NVMRegion {
+		dev = r.owner.k.NVM
+	}
+	r.owner.k.Counters.Add("cache_flushes", 1)
+	if p != nil {
+		p.Sleep(dev.FlushCost(size))
+	}
+}
+
+// String implements fmt.Stringer.
+func (r *Region) String() string {
+	return fmt.Sprintf("nvmkernel.Region{%s/%s %s %dB}", r.owner.name, r.ID, r.Kind, r.VirtualSize)
+}

@@ -1,0 +1,29 @@
+package pfs
+
+import (
+	"nvmcp/internal/remote"
+	"nvmcp/internal/sim"
+)
+
+// MeshSource adapts one holding node of the remote-checkpoint mesh as a
+// drain source: the committed buddy copies it holds flush to the PFS — the
+// final level of the paper's storage hierarchy.
+type MeshSource struct {
+	Mesh   *remote.Mesh
+	Holder int
+}
+
+// DrainList implements Source.
+func (s MeshSource) DrainList() []DrainObject {
+	objs := s.Mesh.CommittedList(s.Holder)
+	out := make([]DrainObject, len(objs))
+	for i, o := range objs {
+		out[i] = DrainObject{Name: o.Name, Size: o.Size, Version: o.Version}
+	}
+	return out
+}
+
+// DrainData implements Source.
+func (s MeshSource) DrainData(p *sim.Proc, name string) ([]byte, bool) {
+	return s.Mesh.CommittedData(p, s.Holder, name)
+}

@@ -1,0 +1,286 @@
+// Package precopy implements the paper's three local pre-copy schemes
+// (Section IV): chunk-based pre-copy (CPC), delayed chunk pre-copy (DCPC),
+// and delayed pre-copy with prediction (DCPCP). An Engine is a background
+// process attached to one rank's checkpoint store. It watches chunk-level
+// modification events (protection faults surfaced through core.Store's
+// OnModify hook), and stages dirty chunks to NVM ahead of the coordinated
+// checkpoint so that the checkpoint itself moves less data at lower peak
+// bandwidth.
+//
+//   - CPC copies a chunk as soon as it goes dirty — maximal overlap, but hot
+//     chunks are copied repeatedly.
+//   - DCPC waits until the pre-copy threshold T_p = I − D/NVMBW_core of each
+//     interval has passed (learned from the first checkpoint and re-adapted
+//     every interval), so short-lived re-dirtying early in the interval costs
+//     nothing.
+//   - DCPCP additionally learns, during the first interval, how many times
+//     each chunk is modified per iteration (Figure 6's prediction table) and
+//     refuses to pre-copy a chunk until its modification count for the
+//     current interval has reached the learned count — hot chunks that keep
+//     changing until the end of the iteration are left for the checkpoint.
+package precopy
+
+import (
+	"time"
+
+	"nvmcp/internal/core"
+	"nvmcp/internal/model"
+	"nvmcp/internal/sim"
+	"nvmcp/internal/trace"
+)
+
+// Scheme selects the pre-copy policy.
+type Scheme int
+
+const (
+	// NoPreCopy disables background copying; every dirty chunk is moved at
+	// the coordinated checkpoint.
+	NoPreCopy Scheme = iota
+	// CPC copies chunks as soon as they are modified.
+	CPC
+	// DCPC delays pre-copy until the adaptive threshold within each interval.
+	DCPC
+	// DCPCP is DCPC plus the per-chunk modification-count prediction table.
+	DCPCP
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case CPC:
+		return "cpc"
+	case DCPC:
+		return "dcpc"
+	case DCPCP:
+		return "dcpcp"
+	default:
+		return "none"
+	}
+}
+
+// Config tunes an Engine.
+type Config struct {
+	Scheme Scheme
+	// RateCap throttles background copies in bytes/sec (0 = uncapped);
+	// the background stream then leaves NVM bandwidth headroom for any
+	// concurrent foreground work.
+	RateCap float64
+	// BWPerCore is the effective NVM write bandwidth per core used by the
+	// threshold calculation (NVMBW_core).
+	BWPerCore float64
+	// PollTick bounds how long the worker sleeps with no work (default 50ms).
+	PollTick time.Duration
+}
+
+// Engine is one rank's background pre-copy worker.
+type Engine struct {
+	cfg   Config
+	store *core.Store
+	env   *sim.Env
+	proc  *sim.Proc
+	wake  *sim.Signal
+
+	intervalStart time.Duration
+	interval      time.Duration // learned checkpoint interval I
+	threshold     time.Duration // learned T_p
+	learned       bool          // first checkpoint seen
+
+	// prediction table (DCPCP)
+	predicted map[uint64]int64 // learned modification episodes per interval
+	modsNow   map[uint64]int64 // episodes observed this interval
+
+	quiesced bool
+	copying  bool
+	copyDone *sim.Completion
+	stopped  bool
+
+	// Meter tracks worker busy time (pre-copy CPU usage).
+	Meter trace.Meter
+	// Counters: "mod_events", "precopy_copies", "precopy_bytes", and
+	// "raced_copies" (chunks modified again while their pre-copy was in
+	// flight — work the checkpoint must redo).
+	Counters trace.Counters
+}
+
+// New attaches an engine to a store and starts its background worker.
+func New(store *core.Store, cfg Config) *Engine {
+	if cfg.PollTick == 0 {
+		cfg.PollTick = 50 * time.Millisecond
+	}
+	env := store.Kernel().Env()
+	e := &Engine{
+		cfg:       cfg,
+		store:     store,
+		env:       env,
+		wake:      sim.NewSignal(env),
+		copyDone:  sim.NewCompletion(env),
+		predicted: make(map[uint64]int64),
+		modsNow:   make(map[uint64]int64),
+	}
+	e.copyDone.Complete() // not copying initially
+	store.OnModify(e.onModify)
+	if cfg.Scheme != NoPreCopy {
+		e.proc = env.Go("precopy/"+store.Proc().Name(), e.run)
+	}
+	return e
+}
+
+// Scheme returns the engine's policy.
+func (e *Engine) Scheme() Scheme { return e.cfg.Scheme }
+
+// Threshold returns the current DCPC threshold T_p (0 until learned).
+func (e *Engine) Threshold() time.Duration { return e.threshold }
+
+// Predicted returns the learned modification count for a chunk (0 if none).
+func (e *Engine) Predicted(id uint64) int64 { return e.predicted[id] }
+
+// onModify runs inside the faulting application process whenever a clean
+// chunk is first modified: it updates per-interval episode counters, re-arms
+// protection when more episodes must be counted, and nudges the worker.
+func (e *Engine) onModify(c *core.Chunk) {
+	if e.cfg.Scheme == NoPreCopy {
+		return
+	}
+	e.modsNow[c.ID]++
+	e.Counters.Add("mod_events", 1)
+	switch e.cfg.Scheme {
+	case DCPCP:
+		// Keep counting episodes until the prediction is met (or while
+		// learning); each re-protect costs the app one mprotect and the
+		// next touch one fault — the dirt-tracking cost the paper notes.
+		// The re-protect is deferred to the end of the faulting write.
+		if !e.learned || e.modsNow[c.ID] < e.predicted[c.ID] {
+			c.DeferProtect()
+		}
+	case CPC, DCPC:
+		// Chunk-level tracking only: one fault per interval per chunk.
+	}
+	e.wake.Broadcast()
+}
+
+// BeginInterval marks the start of a compute interval (right after a
+// coordinated checkpoint). For delayed schemes it schedules the threshold
+// wakeup.
+func (e *Engine) BeginInterval(p *sim.Proc) {
+	e.intervalStart = e.env.Now()
+	e.quiesced = false
+	for id := range e.modsNow {
+		delete(e.modsNow, id)
+	}
+	if e.cfg.Scheme != NoPreCopy {
+		// Arm modification tracking on chunks that are not yet protected
+		// (fresh allocations; staged chunks are already protected).
+		for _, c := range e.store.Chunks() {
+			if c.Persistent && !c.Protected() {
+				c.Protect(p)
+			}
+		}
+	}
+	if e.cfg.Scheme == DCPC || e.cfg.Scheme == DCPCP {
+		if e.learned {
+			e.env.Schedule(e.threshold, e.wake.Broadcast)
+		}
+	}
+	e.wake.Broadcast()
+}
+
+// OnCheckpoint informs the engine that a coordinated checkpoint just
+// completed, letting it learn or adapt the interval, checkpoint volume and
+// prediction table. ckptStart is when the checkpoint began.
+func (e *Engine) OnCheckpoint(ckptStart time.Duration) {
+	if e.cfg.Scheme == NoPreCopy {
+		return
+	}
+	interval := ckptStart - e.intervalStart
+	if interval <= 0 {
+		return
+	}
+	e.interval = interval
+	if e.cfg.BWPerCore > 0 {
+		e.threshold = model.PreCopyThreshold(e.interval, e.store.CheckpointSize(), e.cfg.BWPerCore)
+	}
+	if !e.learned {
+		// End of the learning phase: freeze the prediction table.
+		for id, n := range e.modsNow {
+			e.predicted[id] = n
+		}
+		e.learned = true
+	} else if e.cfg.Scheme == DCPCP {
+		// Continuous adaptation: follow drift in modification behaviour.
+		for id, n := range e.modsNow {
+			if n > e.predicted[id] {
+				e.predicted[id] = n
+			}
+		}
+	}
+}
+
+// Quiesce stops the worker from starting new copies and waits for any copy
+// in flight, so the coordinated checkpoint never races a background stage.
+func (e *Engine) Quiesce(p *sim.Proc) {
+	e.quiesced = true
+	e.copyDone.Await(p)
+}
+
+// Stop terminates the worker permanently.
+func (e *Engine) Stop() {
+	e.stopped = true
+	if e.proc != nil && !e.proc.Done() {
+		e.proc.Kill()
+	}
+}
+
+// run is the background worker loop.
+func (e *Engine) run(p *sim.Proc) {
+	for !e.stopped {
+		c := e.nextCandidate()
+		if c == nil {
+			e.wake.WaitTimeout(p, e.cfg.PollTick)
+			continue
+		}
+		e.copying = true
+		e.copyDone = sim.NewCompletion(e.env)
+		e.Meter.Start(p.Now())
+		seqBefore := c.ModSeq()
+		n := e.store.PreCopyChunk(p, c, e.cfg.RateCap)
+		e.Meter.Stop(p.Now())
+		e.copying = false
+		e.copyDone.Complete()
+		if n > 0 {
+			e.Counters.Add("precopy_copies", 1)
+			e.Counters.Add("precopy_bytes", n)
+			if c.ModSeq() != seqBefore {
+				e.Counters.Add("raced_copies", 1)
+			}
+		}
+	}
+}
+
+// nextCandidate picks the next chunk eligible for background staging, in
+// allocation order, or nil when none is eligible yet.
+func (e *Engine) nextCandidate() *core.Chunk {
+	if e.quiesced || e.stopped {
+		return nil
+	}
+	switch e.cfg.Scheme {
+	case CPC:
+		// Eager: anything dirty.
+	case DCPC, DCPCP:
+		if !e.learned {
+			return nil // learning interval: observe only
+		}
+		if e.env.Now() < e.intervalStart+e.threshold {
+			return nil
+		}
+	default:
+		return nil
+	}
+	for _, c := range e.store.DirtyLocal() {
+		if e.cfg.Scheme == DCPCP {
+			if e.modsNow[c.ID] < e.predicted[c.ID] {
+				continue // still expected to change; leave it alone
+			}
+		}
+		return c
+	}
+	return nil
+}

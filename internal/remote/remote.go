@@ -1,0 +1,434 @@
+// Package remote implements the paper's remote-checkpoint machinery: an
+// ARMCI-like remote memory interface over the RDMA fabric, plus the per-node
+// asynchronous helper process (Section V) that owns remote checkpoints. Each
+// node has a buddy node holding a two-version remote copy of its checkpoint
+// chunks in the buddy's NVM.
+//
+// Two policies are provided. AsyncBurst is the paper's baseline: the helper
+// sits idle until the remote checkpoint point, then ships every chunk at full
+// rate, overlapped with the application's next compute phase — producing the
+// interconnect bursts of Figure 10. PreCopy ships chunks incrementally as
+// soon as the local checkpoint path stages them (optionally after a
+// DCPC-style delay into the remote interval and rate-capped), so the remote
+// checkpoint point finds most data already resident and the peak interconnect
+// usage drops by roughly half.
+package remote
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nvmcp/internal/core"
+	"nvmcp/internal/interconnect"
+	"nvmcp/internal/mem"
+	"nvmcp/internal/sim"
+	"nvmcp/internal/trace"
+)
+
+// Scheme selects the helper policy.
+type Scheme int
+
+const (
+	// AsyncBurst ships everything at the remote checkpoint point.
+	AsyncBurst Scheme = iota
+	// PreCopy ships staged chunks incrementally ahead of the checkpoint.
+	PreCopy
+)
+
+func (s Scheme) String() string {
+	if s == PreCopy {
+		return "precopy"
+	}
+	return "burst"
+}
+
+// Config tunes a node's helper agent.
+type Config struct {
+	Scheme Scheme
+	// RateCap throttles pre-copy shipping in bytes/sec (0 = uncapped).
+	// Burst catch-up traffic at the checkpoint point is never capped.
+	RateCap float64
+	// Delay holds pre-copy shipping until this long after the start of
+	// each remote interval (the paper's remote DCPCP delay; 0 ships as
+	// soon as data is staged).
+	Delay time.Duration
+	// ScanTick is the helper's idle poll period (default 200ms).
+	ScanTick time.Duration
+	// Tracer, when set, records ship spans on the helper's timeline lane.
+	Tracer *trace.SpanRecorder
+}
+
+// helperLane is the tid used for helper spans in trace timelines.
+const helperLane = 999
+
+// chunkKey identifies a chunk across the mesh.
+type chunkKey struct {
+	proc string
+	id   uint64
+}
+
+// remoteChunk is the buddy-side two-version container.
+type remoteChunk struct {
+	size      int64
+	versions  [2][]byte
+	seqs      [2]uint64
+	sums      [2]uint64
+	committed int // -1 before first remote commit
+	inflight  bool
+}
+
+// Mesh owns the buddy-side remote stores and the agents.
+type Mesh struct {
+	env    *sim.Env
+	fabric *interconnect.Fabric
+	nvm    []*mem.Device // per-node NVM (destination write charges + capacity)
+	agents []*Agent
+	data   []map[chunkKey]*remoteChunk // indexed by holding (buddy) node
+
+	// Counters: "ships", "ship_bytes", "remote_commits", "fetches".
+	Counters trace.Counters
+}
+
+// NewMesh builds a remote-checkpoint mesh over a fabric; nvm[i] is node i's
+// NVM device.
+func NewMesh(env *sim.Env, fabric *interconnect.Fabric, nvm []*mem.Device) *Mesh {
+	if len(nvm) != fabric.Nodes() {
+		panic("remote: nvm device count must match fabric nodes")
+	}
+	m := &Mesh{
+		env:    env,
+		fabric: fabric,
+		nvm:    nvm,
+		agents: make([]*Agent, fabric.Nodes()),
+		data:   make([]map[chunkKey]*remoteChunk, fabric.Nodes()),
+	}
+	for i := range m.data {
+		m.data[i] = make(map[chunkKey]*remoteChunk)
+	}
+	return m
+}
+
+// Agent returns node i's helper agent (nil until AddAgent).
+func (m *Mesh) Agent(node int) *Agent { return m.agents[node] }
+
+// AddAgent starts the helper process for a node, shipping to buddy.
+func (m *Mesh) AddAgent(node, buddy int, cfg Config) *Agent {
+	if m.agents[node] != nil {
+		panic(fmt.Sprintf("remote: node %d already has an agent", node))
+	}
+	if cfg.ScanTick == 0 {
+		cfg.ScanTick = 200 * time.Millisecond
+	}
+	a := &Agent{
+		mesh:    m,
+		node:    node,
+		buddy:   buddy,
+		cfg:     cfg,
+		wake:    sim.NewSignal(m.env),
+		shipped: make(map[chunkKey]uint64),
+		idle:    sim.NewCompletion(m.env),
+	}
+	a.idle.Complete()
+	a.intervalStart = m.env.Now()
+	a.proc = m.env.Go(fmt.Sprintf("helper/node%d", node), a.run)
+	m.agents[node] = a
+	return a
+}
+
+// RemoveAgent stops and detaches a node's agent (no-op if absent). Remote
+// data already shipped to buddies stays available for Fetch once a new agent
+// is attached.
+func (m *Mesh) RemoveAgent(node int) {
+	if a := m.agents[node]; a != nil {
+		a.Stop()
+		m.agents[node] = nil
+	}
+}
+
+// Fetch retrieves the committed remote copy of a chunk belonging to procName
+// on srcNode, pulling it from the buddy across the fabric into srcNode's
+// NVM — the hard-failure recovery path. ok is false when the buddy holds no
+// committed version.
+func (m *Mesh) Fetch(p *sim.Proc, srcNode int, procName string, id uint64) ([]byte, int64, bool) {
+	a := m.agents[srcNode]
+	if a == nil {
+		return nil, 0, false
+	}
+	rc, ok := m.data[a.buddy][chunkKey{procName, id}]
+	if !ok || rc.committed < 0 {
+		return nil, 0, false
+	}
+	m.Counters.Add("fetches", 1)
+	m.fabric.RDMARead(p, a.buddy, srcNode, rc.size)
+	m.nvm[srcNode].WriteBytes(p, rc.size)
+	return rc.versions[rc.committed], rc.size, true
+}
+
+// HolderOf returns which node holds srcNode's remote checkpoints.
+func (m *Mesh) HolderOf(srcNode int) int { return m.agents[srcNode].buddy }
+
+// CommittedObject identifies one committed remote chunk copy for drains to
+// lower storage levels (the PFS).
+type CommittedObject struct {
+	Name    string // "<proc>/<chunkID>"
+	Size    int64
+	Version uint64 // the committed slot's staged sequence
+}
+
+// CommittedList enumerates the committed remote copies held at a node, in
+// deterministic (name) order.
+func (m *Mesh) CommittedList(holder int) []CommittedObject {
+	var out []CommittedObject
+	for key, rc := range m.data[holder] {
+		if rc.committed < 0 {
+			continue
+		}
+		out = append(out, CommittedObject{
+			Name:    fmt.Sprintf("%s/%d", key.proc, key.id),
+			Size:    rc.size,
+			Version: rc.seqs[rc.committed],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CommittedData returns the committed payload of a named remote copy,
+// charging the holder's NVM read path.
+func (m *Mesh) CommittedData(p *sim.Proc, holder int, name string) ([]byte, bool) {
+	for key, rc := range m.data[holder] {
+		if rc.committed < 0 || fmt.Sprintf("%s/%d", key.proc, key.id) != name {
+			continue
+		}
+		m.nvm[holder].ReadBytes(p, rc.size)
+		return rc.versions[rc.committed], true
+	}
+	return nil, false
+}
+
+// Agent is one node's asynchronous checkpoint helper.
+type Agent struct {
+	mesh  *Mesh
+	node  int
+	buddy int
+	cfg   Config
+	proc  *sim.Proc
+	wake  *sim.Signal
+
+	stores        []*core.Store
+	shipped       map[chunkKey]uint64 // last shipped CleanSeq
+	intervalStart time.Duration
+	bursting      bool
+	burstTarget   map[chunkKey]uint64 // staged seqs captured at trigger
+	burstDone     *sim.Completion
+	idle          *sim.Completion
+	stopped       bool
+
+	// Meter tracks helper busy time — Table V's helper-core utilization.
+	Meter trace.Meter
+	// Counters: "ships", "ship_bytes", "commits", "scan_rounds".
+	Counters trace.Counters
+}
+
+// Register adds a local rank's store to the helper's scan set.
+func (a *Agent) Register(s *core.Store) { a.stores = append(a.stores, s) }
+
+// Buddy returns the destination node.
+func (a *Agent) Buddy() int { return a.buddy }
+
+// BeginRemoteInterval marks the start of a remote checkpoint interval,
+// re-arming the pre-copy delay.
+func (a *Agent) BeginRemoteInterval() {
+	a.intervalStart = a.mesh.env.Now()
+	if a.cfg.Scheme == PreCopy && a.cfg.Delay > 0 {
+		a.mesh.env.Schedule(a.cfg.Delay, a.wake.Broadcast)
+	}
+	a.wake.Broadcast()
+}
+
+// TriggerRemote starts a remote checkpoint: the helper catches up everything
+// staged as of this instant that is not yet resident at the buddy, then
+// commits the remote versions. The catch-up overlaps the application's next
+// compute phase (Figure 5's non-blocking remote checkpoint) and, in pre-copy
+// mode, stays rate-capped so the interconnect peak is bounded. The returned
+// completion fires when the remote versions commit; the application itself
+// does not block on it.
+func (a *Agent) TriggerRemote(p *sim.Proc) *sim.Completion {
+	if a.bursting {
+		return a.burstDone
+	}
+	a.bursting = true
+	a.burstDone = sim.NewCompletion(a.mesh.env)
+	a.burstTarget = make(map[chunkKey]uint64)
+	for _, s := range a.stores {
+		for _, st := range s.Snapshot(p) {
+			if st.CleanSeq > 0 {
+				a.burstTarget[chunkKey{s.Proc().Name(), st.ID}] = st.CleanSeq
+			}
+		}
+	}
+	a.wake.Broadcast()
+	return a.burstDone
+}
+
+// Stop terminates the helper. An in-flight burst is abandoned and its
+// completion released so no waiter hangs on a dead agent.
+func (a *Agent) Stop() {
+	a.stopped = true
+	if a.proc != nil && !a.proc.Done() {
+		a.proc.Kill()
+	}
+	if a.bursting {
+		a.bursting = false
+		a.burstDone.Complete()
+	}
+}
+
+// run is the helper main loop.
+func (a *Agent) run(p *sim.Proc) {
+	for !a.stopped {
+		st, store := a.nextToShip(p)
+		if store == nil {
+			if a.bursting {
+				// Burst drained: commit the remote checkpoint.
+				a.commitRemote(p)
+				a.bursting = false
+				a.burstDone.Complete()
+			}
+			a.wake.WaitTimeout(p, a.cfg.ScanTick)
+			continue
+		}
+		a.idle = sim.NewCompletion(a.mesh.env)
+		a.ship(p, st, store)
+		a.idle.Complete()
+	}
+}
+
+// nextToShip scans registered stores for a chunk whose staged data is newer
+// than what the buddy holds. While a remote checkpoint is draining, only the
+// chunks belonging to its trigger-time cut are shipped; between checkpoints,
+// pre-copy mode ships anything freshly staged once the interval delay has
+// passed.
+func (a *Agent) nextToShip(p *sim.Proc) (core.ChunkState, *core.Store) {
+	if !a.bursting {
+		if a.cfg.Scheme != PreCopy || a.mesh.env.Now() < a.intervalStart+a.cfg.Delay {
+			return core.ChunkState{}, nil
+		}
+	}
+	a.Counters.Add("scan_rounds", 1)
+	for _, s := range a.stores {
+		for _, st := range s.Snapshot(p) {
+			key := chunkKey{s.Proc().Name(), st.ID}
+			if st.CleanSeq == 0 {
+				continue // never staged locally; nothing durable to ship
+			}
+			if a.bursting {
+				target := a.burstTarget[key]
+				if target == 0 || a.shipped[key] >= target {
+					continue
+				}
+			} else if a.shipped[key] >= st.CleanSeq {
+				continue
+			}
+			return st, s
+		}
+	}
+	return core.ChunkState{}, nil
+}
+
+// HelperCPURate is the helper core's effective processing rate for
+// checkpoint data (metadata walk, chunk read, work-request posting, buffer
+// management): the CPU side of shipping a chunk, as distinct from the wire
+// time, which is NIC DMA. It determines the Table V utilization numbers.
+const HelperCPURate = 400e6 // bytes/sec
+
+// ship moves one chunk's staged payload to the buddy: local NVM read, RDMA
+// write across the fabric, buddy NVM write, and an in-progress version
+// update on the buddy. Only the helper's CPU work is metered — the RDMA
+// transfer itself is NIC DMA and costs wall time, not helper CPU.
+func (a *Agent) ship(p *sim.Proc, st core.ChunkState, store *core.Store) {
+	key := chunkKey{store.Proc().Name(), st.ID}
+	data, ok := store.StagedData(p, st.ID)
+	if !ok {
+		return
+	}
+	shipStart := p.Now()
+	defer func() {
+		a.cfg.Tracer.Span(fmt.Sprintf("ship %s/%d", key.proc, key.id), "remote",
+			a.node, helperLane, shipStart, p.Now()-shipStart,
+			map[string]string{"bytes": fmt.Sprintf("%d", st.Size)})
+	}()
+	a.Meter.Start(p.Now())
+	cpuStart := p.Now()
+
+	m := a.mesh
+	rc, exists := m.data[a.buddy][key]
+	if !exists {
+		if err := m.nvm[a.buddy].Reserve(2 * st.Size); err != nil {
+			// Buddy NVM full: surface loudly — experiments must size NVM.
+			panic(fmt.Sprintf("remote: buddy node %d NVM exhausted shipping %s/%d: %v",
+				a.buddy, key.proc, key.id, err))
+		}
+		rc = &remoteChunk{size: st.Size, committed: -1}
+		m.data[a.buddy][key] = rc
+	}
+
+	// Local NVM read of the staged chunk plus the helper's per-byte CPU
+	// work, padded up to the HelperCPURate budget.
+	store.Kernel().NVM.ReadBytes(p, st.Size)
+	cpuBudget := time.Duration(float64(st.Size) / HelperCPURate * float64(time.Second))
+	if spent := p.Now() - cpuStart; spent < cpuBudget {
+		p.Sleep(cpuBudget - spent)
+	}
+	a.Meter.Stop(p.Now())
+	// Across the wire: NIC DMA, unmetered. The configured rate cap applies
+	// to pre-copy shipping and to its checkpoint-time catch-up alike —
+	// bounding the peak is the point; the AsyncBurst baseline sets no cap.
+	m.fabric.RDMAWrite(p, a.node, a.buddy, st.Size, a.cfg.RateCap)
+	// Into the buddy's NVM.
+	m.nvm[a.buddy].WriteBytes(p, st.Size)
+
+	slot := 0
+	if rc.committed == 0 {
+		slot = 1
+	}
+	rc.versions[slot] = append([]byte(nil), data...)
+	rc.seqs[slot] = st.CleanSeq
+	rc.sums[slot] = st.Checksum
+	rc.inflight = true
+	a.shipped[key] = st.CleanSeq
+
+	a.Counters.Add("ships", 1)
+	a.Counters.Add("ship_bytes", st.Size)
+	m.Counters.Add("ships", 1)
+	m.Counters.Add("ship_bytes", st.Size)
+}
+
+// commitRemote flips the committed version of every chunk this agent shipped
+// since the last remote commit. Chunks from other source nodes that happen
+// to share the same buddy are left alone.
+func (a *Agent) commitRemote(p *sim.Proc) {
+	mine := make(map[string]bool, len(a.stores))
+	for _, s := range a.stores {
+		mine[s.Proc().Name()] = true
+	}
+	for key, rc := range a.mesh.data[a.buddy] {
+		if !rc.inflight || !mine[key.proc] {
+			continue
+		}
+		if rc.committed == 0 {
+			rc.committed = 1
+		} else {
+			rc.committed = 0
+		}
+		rc.inflight = false
+	}
+	a.Counters.Add("commits", 1)
+	a.mesh.Counters.Add("remote_commits", 1)
+}
+
+// Shipped reports the last shipped sequence for a chunk (testing aid).
+func (a *Agent) Shipped(procName string, id uint64) uint64 {
+	return a.shipped[chunkKey{procName, id}]
+}

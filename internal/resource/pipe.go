@@ -1,0 +1,319 @@
+// Package resource models bandwidth-shared hardware resources under the
+// simulation clock. A Pipe is a processor-sharing ("fluid flow") model of a
+// memory device, bus, or network link: concurrent transfers share the pipe's
+// capacity max-min fairly, with optional per-flow rate caps and a capacity
+// curve describing how aggregate bandwidth scales (or saturates) with the
+// number of concurrent flows. This is what produces the paper's per-core
+// bandwidth collapse (Figure 4) and interconnect contention (Figures 9/10).
+package resource
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nvmcp/internal/sim"
+)
+
+// ScalingFunc maps a concurrent-flow count to an aggregate-capacity
+// multiplier, relative to the single-flow rate. scale(1) must be 1; values
+// below n model contention (per-flow share = scale(n)/n of single-flow rate).
+type ScalingFunc func(n int) float64
+
+// FlatScaling models a device whose aggregate bandwidth a single flow can
+// already saturate (e.g. a PCM DIMM's ~2 GB/s write path): scale(n) = 1, so
+// n flows each get 1/n of the device.
+func FlatScaling() ScalingFunc {
+	return func(n int) float64 { return 1 }
+}
+
+// LinearScaling models perfect parallel scaling up to maxFlows concurrent
+// flows, flat afterwards.
+func LinearScaling(maxFlows int) ScalingFunc {
+	return func(n int) float64 {
+		if n > maxFlows {
+			n = maxFlows
+		}
+		return float64(n)
+	}
+}
+
+// SaturatingScaling models sub-linear scaling: scale(n) = n / (1 + beta*(n-1)).
+// beta = 0 is linear; beta = 1 is flat. The per-flow share relative to a lone
+// flow is 1/(1+beta*(n-1)), so beta can be calibrated directly from a
+// measured per-core bandwidth drop (e.g. the paper's 67 % drop at 12 cores
+// gives beta ≈ 0.1845).
+func SaturatingScaling(beta float64) ScalingFunc {
+	return func(n int) float64 {
+		if n < 1 {
+			n = 1
+		}
+		return float64(n) / (1 + beta*float64(n-1))
+	}
+}
+
+// BetaForPerFlowDrop returns the SaturatingScaling beta such that with n
+// flows each flow retains `retain` (0..1] of its single-flow bandwidth.
+func BetaForPerFlowDrop(n int, retain float64) float64 {
+	if n <= 1 || retain >= 1 {
+		return 0
+	}
+	return (1/retain - 1) / float64(n-1)
+}
+
+// RateListener observes every aggregate-rate change on a pipe. It is called
+// with the virtual time of the change and the new total rate in bytes/sec;
+// the rate holds until the next call.
+type RateListener func(t time.Duration, totalRate float64)
+
+// Pipe is a fair-shared bandwidth resource.
+type Pipe struct {
+	env        *sim.Env
+	name       string
+	singleRate float64 // bytes/sec achieved by a lone flow
+	scale      ScalingFunc
+	flows      map[*flow]struct{}
+	lastT      time.Duration
+	doneEv     *sim.Event
+	listeners  []RateListener
+
+	// Bytes is the cumulative volume moved through the pipe.
+	Bytes float64
+	// BusyTime accumulates virtual time during which at least one flow
+	// was active.
+	BusyTime time.Duration
+	// Transfers counts completed transfers.
+	Transfers int64
+
+	nextFlowID uint64
+}
+
+type flow struct {
+	id        uint64 // creation order, for deterministic completion order
+	remaining float64
+	rate      float64 // current allocation, bytes/sec
+	cap       float64 // per-flow rate cap (Inf if none)
+	done      *sim.Completion
+}
+
+// NewPipe creates a pipe where a lone flow moves singleRate bytes/sec and
+// aggregate capacity follows scale. singleRate must be positive; a nil scale
+// defaults to FlatScaling.
+func NewPipe(env *sim.Env, name string, singleRate float64, scale ScalingFunc) *Pipe {
+	if singleRate <= 0 {
+		panic("resource: pipe " + name + " needs positive bandwidth")
+	}
+	if scale == nil {
+		scale = FlatScaling()
+	}
+	return &Pipe{
+		env:        env,
+		name:       name,
+		singleRate: singleRate,
+		scale:      scale,
+		flows:      make(map[*flow]struct{}),
+		lastT:      env.Now(),
+	}
+}
+
+// Name returns the pipe's name.
+func (pp *Pipe) Name() string { return pp.name }
+
+// SingleRate returns the bandwidth a lone flow achieves, in bytes/sec.
+func (pp *Pipe) SingleRate() float64 { return pp.singleRate }
+
+// Capacity returns the aggregate bandwidth available to n concurrent flows.
+func (pp *Pipe) Capacity(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return pp.singleRate * pp.scale(n)
+}
+
+// PerFlowRate returns the fair share each of n uncapped flows receives.
+func (pp *Pipe) PerFlowRate(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return pp.Capacity(n) / float64(n)
+}
+
+// ActiveFlows returns the number of in-flight transfers.
+func (pp *Pipe) ActiveFlows() int { return len(pp.flows) }
+
+// CurrentRate returns the present aggregate transfer rate in bytes/sec.
+func (pp *Pipe) CurrentRate() float64 {
+	total := 0.0
+	for f := range pp.flows {
+		total += f.rate
+	}
+	return total
+}
+
+// OnRateChange registers a listener for aggregate-rate changes. The listener
+// fires immediately with the current rate so timelines start grounded.
+func (pp *Pipe) OnRateChange(l RateListener) {
+	pp.listeners = append(pp.listeners, l)
+	l(pp.env.Now(), pp.CurrentRate())
+}
+
+// Transfer moves size bytes through the pipe, blocking p in virtual time
+// until the transfer completes. Zero or negative sizes return immediately.
+func (pp *Pipe) Transfer(p *sim.Proc, size int64) {
+	pp.TransferCapped(p, size, math.Inf(1))
+}
+
+// TransferCapped is Transfer with a per-flow rate ceiling in bytes/sec,
+// used e.g. to model throttled background pre-copy streams.
+func (pp *Pipe) TransferCapped(p *sim.Proc, size int64, maxRate float64) {
+	if size <= 0 {
+		return
+	}
+	if maxRate <= 0 {
+		panic("resource: non-positive rate cap on " + pp.name)
+	}
+	pp.nextFlowID++
+	f := &flow{id: pp.nextFlowID, remaining: float64(size), cap: maxRate, done: sim.NewCompletion(pp.env)}
+	pp.advance()
+	pp.flows[f] = struct{}{}
+	pp.recompute()
+	defer func() {
+		if !f.done.Completed() {
+			// Kill unwind mid-transfer: account for what moved and
+			// free the flow's share.
+			pp.advance()
+			delete(pp.flows, f)
+			pp.recompute()
+		}
+	}()
+	f.done.Await(p)
+	pp.Transfers++
+}
+
+// EstimateTime returns how long size bytes would take if they were the only
+// flow (used by the pre-copy threshold calculator, not by transfers).
+func (pp *Pipe) EstimateTime(size int64) time.Duration {
+	secs := float64(size) / pp.singleRate
+	return time.Duration(secs * float64(time.Second))
+}
+
+// advance applies progress at the current rates up to Now.
+func (pp *Pipe) advance() {
+	now := pp.env.Now()
+	dt := (now - pp.lastT).Seconds()
+	if dt <= 0 {
+		pp.lastT = now
+		return
+	}
+	if len(pp.flows) > 0 {
+		pp.BusyTime += now - pp.lastT
+		moved := 0.0
+		for f := range pp.flows {
+			prog := f.rate * dt
+			if prog > f.remaining {
+				prog = f.remaining
+			}
+			f.remaining -= prog
+			moved += prog
+		}
+		pp.Bytes += moved
+	}
+	pp.lastT = now
+}
+
+// recompute performs max-min fair allocation with per-flow caps and
+// reschedules the next completion event.
+func (pp *Pipe) recompute() {
+	if pp.doneEv != nil {
+		pp.doneEv.Cancel()
+		pp.doneEv = nil
+	}
+	n := len(pp.flows)
+	if n == 0 {
+		pp.notify(0)
+		return
+	}
+	// Water-filling: satisfy capped flows whose cap is below the equal
+	// share, then split the rest equally.
+	capacity := pp.Capacity(n)
+	fs := make([]*flow, 0, n)
+	for f := range pp.flows {
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].cap != fs[j].cap {
+			return fs[i].cap < fs[j].cap
+		}
+		return fs[i].id < fs[j].id
+	})
+	remainingCap := capacity
+	remainingFlows := n
+	for _, f := range fs {
+		share := remainingCap / float64(remainingFlows)
+		if f.cap < share {
+			f.rate = f.cap
+		} else {
+			f.rate = share
+		}
+		remainingCap -= f.rate
+		remainingFlows--
+	}
+	// Schedule the earliest completion.
+	earliest := math.Inf(1)
+	for _, f := range fs {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < earliest {
+			earliest = t
+		}
+	}
+	total := 0.0
+	for _, f := range fs {
+		total += f.rate
+	}
+	pp.notify(total)
+	if math.IsInf(earliest, 1) {
+		return
+	}
+	d := time.Duration(math.Ceil(earliest * float64(time.Second)))
+	if d < 1 {
+		d = 1
+	}
+	pp.doneEv = pp.env.Schedule(d, pp.onDeadline)
+}
+
+// onDeadline fires when the earliest flow should have finished: apply
+// progress, retire finished flows, reallocate.
+func (pp *Pipe) onDeadline() {
+	pp.doneEv = nil
+	pp.advance()
+	const eps = 1e-3 // bytes; transfers are whole bytes, rates are floats
+	var finished []*flow
+	for f := range pp.flows {
+		if f.remaining <= eps {
+			finished = append(finished, f)
+		}
+	}
+	// Complete in creation order so the wake sequence (and therefore the
+	// whole simulation) is reproducible regardless of map iteration order.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+	for _, f := range finished {
+		delete(pp.flows, f)
+		f.done.Complete()
+	}
+	pp.recompute()
+}
+
+func (pp *Pipe) notify(total float64) {
+	for _, l := range pp.listeners {
+		l(pp.env.Now(), total)
+	}
+}
+
+// String implements fmt.Stringer.
+func (pp *Pipe) String() string {
+	return fmt.Sprintf("resource.Pipe{%s single=%.0fB/s flows=%d}", pp.name, pp.singleRate, len(pp.flows))
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw event scheduling/dispatch rate —
+// the floor under every simulation in the repository.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEnv()
+	count := 0
+	var self func()
+	self = func() {
+		count++
+		if count < b.N {
+			e.Schedule(time.Microsecond, self)
+		}
+	}
+	b.ResetTimer()
+	e.Schedule(0, self)
+	e.Run()
+}
+
+// BenchmarkProcSwitch measures coroutine park/wake round trips.
+func BenchmarkProcSwitch(b *testing.B) {
+	e := NewEnv()
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkMutexHandoff measures contended FIFO lock handoffs between two
+// processes.
+func BenchmarkMutexHandoff(b *testing.B) {
+	e := NewEnv()
+	m := NewMutex(e)
+	worker := func(p *Proc) {
+		for i := 0; i < b.N/2; i++ {
+			m.Lock(p)
+			p.Sleep(time.Nanosecond)
+			m.Unlock(p)
+		}
+	}
+	e.Go("a", worker)
+	e.Go("b", worker)
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,188 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// An Env owns a virtual clock and an event queue. Simulated activities are
+// either bare events (callbacks scheduled at a virtual time) or processes
+// (Proc), which are goroutines that run one at a time under the scheduler's
+// control, in the style of coroutine-based simulators such as SimPy. Because
+// at most one goroutine — the scheduler or exactly one process — is runnable
+// at any instant, simulations are fully deterministic: two runs with the same
+// seeds produce identical event orders and identical virtual timings.
+//
+// Virtual time is expressed as time.Duration since the start of the
+// simulation. It has no relation to wall-clock time; a simulated hour costs
+// only the CPU time needed to execute its events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus a pending event
+// queue. Create one with NewEnv, populate it with Go and Schedule, then call
+// Run or RunUntil. An Env must not be shared across host goroutines except
+// through the Proc mechanism itself.
+type Env struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    uint64 // tie-breaker for events scheduled at the same instant
+	parked chan struct{}
+	cur    *Proc // process currently executing, nil in scheduler context
+	fatal  any   // panic value captured from a process, re-raised by Run
+	nprocs int   // live (started, not yet finished) processes
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Schedule registers fn to run at Now()+delay in scheduler context and
+// returns a handle that may be used to cancel it. A negative delay is
+// treated as zero. Events at equal times fire in scheduling order.
+func (e *Env) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At registers fn to run at absolute virtual time t. If t is in the past it
+// fires at the current time (but never before events already due).
+func (e *Env) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Run executes events until the queue is empty, advancing the virtual clock.
+// If a process panics with anything other than a kill, Run re-panics with
+// that value so test failures surface at the call site.
+func (e *Env) Run() {
+	e.RunUntil(1<<62 - 1)
+}
+
+// RunUntil executes events with timestamps <= horizon, then sets the clock to
+// horizon if it advanced that far. Events beyond the horizon stay queued and
+// a later RunUntil or Run picks them up.
+func (e *Env) RunUntil(horizon time.Duration) {
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.t > horizon {
+			if e.now < horizon {
+				e.now = horizon
+			}
+			return
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.t
+		next.fn()
+		if e.fatal != nil {
+			f := e.fatal
+			e.fatal = nil
+			panic(f)
+		}
+	}
+	if e.now < horizon && horizon < 1<<62-1 {
+		e.now = horizon
+	}
+}
+
+// Idle reports whether no events remain queued.
+func (e *Env) Idle() bool { return e.queue.Len() == 0 }
+
+// LiveProcs returns the number of processes that have been started and have
+// not yet finished or been killed.
+func (e *Env) LiveProcs() int { return e.nprocs }
+
+// Cur returns the currently executing process, or nil when called from
+// scheduler (event callback) context.
+func (e *Env) Cur() *Proc { return e.cur }
+
+// switchTo transfers control to p, delivering wake kind k, and blocks until p
+// parks again or exits. It must only be called from scheduler context.
+func (e *Env) switchTo(p *Proc, k wakeKind) {
+	prev := e.cur
+	e.cur = p
+	p.resume <- k
+	<-e.parked
+	e.cur = prev
+}
+
+// wake resumes process p if and only if it is still parked on the wait
+// identified by seq. Stale wakes (the process moved on) are ignored, which is
+// what makes timeouts and racing signals safe.
+func (e *Env) wake(p *Proc, seq uint64, k wakeKind) {
+	if p.state != procParked || p.waitSeq != seq {
+		return
+	}
+	p.state = procRunning
+	e.switchTo(p, k)
+}
+
+// wakeLater schedules a wake of p for wait seq at the current instant. Use
+// this from process context, where a direct switchTo would deadlock the
+// scheduler handoff.
+func (e *Env) wakeLater(p *Proc, seq uint64, k wakeKind) {
+	e.Schedule(0, func() { e.wake(p, seq, k) })
+}
+
+// Event is a cancellable scheduled callback.
+type Event struct {
+	t         time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Time returns the virtual time at which the event is due.
+func (ev *Event) Time() time.Duration { return ev.t }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// String implements fmt.Stringer for debugging.
+func (e *Env) String() string {
+	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d}", e.now, e.queue.Len(), e.nprocs)
+}

@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"nvmcp/internal/sim"
+)
+
+// Example shows two processes interleaving deterministically under the
+// virtual clock.
+func Example() {
+	env := sim.NewEnv()
+	env.Go("worker", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		fmt.Println("worker done at", p.Now())
+	})
+	env.Go("watcher", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		fmt.Println("watcher tick at", p.Now())
+	})
+	env.Run()
+	fmt.Println("simulation ended at", env.Now())
+	// Output:
+	// watcher tick at 1s
+	// worker done at 2s
+	// simulation ended at 2s
+}
+
+// ExampleBarrier synchronizes parties the way coordinated checkpoints do.
+func ExampleBarrier() {
+	env := sim.NewEnv()
+	b := sim.NewBarrier(env, 2)
+	for i := 0; i < 2; i++ {
+		delay := time.Duration(i+1) * time.Second
+		env.Go("rank", func(p *sim.Proc) {
+			p.Sleep(delay)
+			b.Await(p)
+			fmt.Println("released at", p.Now())
+		})
+	}
+	env.Run()
+	// Output:
+	// released at 2s
+	// released at 2s
+}

@@ -1,0 +1,179 @@
+// Package stats provides the small statistical helpers shared by the
+// workload characterization, tracing, and benchmark-reporting code.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies and sorts internally.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P50    float64
+	P95    float64
+	Max    float64
+	Sum    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P50:    Percentile(xs, 50),
+		P95:    Percentile(xs, 95),
+		Max:    Max(xs),
+		Sum:    Sum(xs),
+	}
+}
+
+// Histogram counts values into caller-defined right-open bins
+// [edge[i], edge[i+1]). Values below the first edge or at/above the last
+// edge land in Under/Over.
+type Histogram struct {
+	Edges  []float64
+	Counts []int64
+	Under  int64
+	Over   int64
+	Total  int64
+}
+
+// NewHistogram creates a histogram over the given ascending bin edges.
+// At least two edges are required.
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) < 2 {
+		panic("stats: histogram needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: histogram edges must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		Edges:  append([]float64(nil), edges...),
+		Counts: make([]int64, len(edges)-1),
+	}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	if x < h.Edges[0] {
+		h.Under++
+		return
+	}
+	if x >= h.Edges[len(h.Edges)-1] {
+		h.Over++
+		return
+	}
+	// Binary search for the bin.
+	i := sort.SearchFloat64s(h.Edges, x)
+	// SearchFloat64s returns the first index with edge >= x; x belongs to
+	// the bin to the left unless it equals the edge exactly.
+	if i < len(h.Edges) && h.Edges[i] == x {
+		h.Counts[i]++
+		return
+	}
+	h.Counts[i-1]++
+}
+
+// Fraction returns bin i's share of all observations (including under/over).
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}

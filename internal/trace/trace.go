@@ -1,0 +1,271 @@
+// Package trace records virtual-time measurements — step-function timelines
+// of bandwidth use, busy-time meters for helper-core utilization, and named
+// counters — and renders them as the tables and series the experiments print.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline records a step function of a measurement over virtual time, fed
+// by calls to Set (e.g. from a resource.Pipe rate listener). Values hold
+// until the next Set.
+type Timeline struct {
+	times  []time.Duration
+	values []float64
+}
+
+// Set appends a step: from t onward the value is v. Calls must come with
+// non-decreasing t; a Set at an existing timestamp overwrites the step.
+func (tl *Timeline) Set(t time.Duration, v float64) {
+	n := len(tl.times)
+	if n > 0 && t < tl.times[n-1] {
+		panic("trace: timeline set in the past")
+	}
+	if n > 0 && tl.times[n-1] == t {
+		tl.values[n-1] = v
+		return
+	}
+	tl.times = append(tl.times, t)
+	tl.values = append(tl.values, v)
+}
+
+// Len returns the number of recorded steps.
+func (tl *Timeline) Len() int { return len(tl.times) }
+
+// At returns the value in effect at time t (0 before the first step).
+func (tl *Timeline) At(t time.Duration) float64 {
+	i := sort.Search(len(tl.times), func(i int) bool { return tl.times[i] > t })
+	if i == 0 {
+		return 0
+	}
+	return tl.values[i-1]
+}
+
+// Max returns the largest recorded step value.
+func (tl *Timeline) Max() float64 {
+	m := 0.0
+	for _, v := range tl.values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Integral returns the integral of the step function over [0, end] — for a
+// bandwidth timeline this is total bytes moved by end.
+func (tl *Timeline) Integral(end time.Duration) float64 {
+	total := 0.0
+	for i, t0 := range tl.times {
+		if t0 >= end {
+			break
+		}
+		t1 := end
+		if i+1 < len(tl.times) && tl.times[i+1] < end {
+			t1 = tl.times[i+1]
+		}
+		total += tl.values[i] * (t1 - t0).Seconds()
+	}
+	return total
+}
+
+// Buckets integrates the step function into fixed-width buckets covering
+// [0, end), returning one integral per bucket — e.g. bytes transferred per
+// 10-second window, the quantity Figure 10 plots.
+func (tl *Timeline) Buckets(end, width time.Duration) []float64 {
+	if width <= 0 {
+		panic("trace: bucket width must be positive")
+	}
+	n := int((end + width - 1) / width)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := time.Duration(i) * width
+		hi := lo + width
+		if hi > end {
+			hi = end
+		}
+		out[i] = tl.Integral(hi) - tl.Integral(lo)
+	}
+	return out
+}
+
+// DiffBuckets treats the timeline as a cumulative counter (each Set records
+// a new running total) and returns per-bucket increments over [0, end) —
+// e.g. bytes transferred per window from a cumulative-bytes series.
+func (tl *Timeline) DiffBuckets(end, width time.Duration) []float64 {
+	if width <= 0 {
+		panic("trace: bucket width must be positive")
+	}
+	n := int((end + width - 1) / width)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := time.Duration(i) * width
+		hi := lo + width
+		if hi > end {
+			hi = end
+		}
+		out[i] = tl.At(hi) - tl.At(lo)
+	}
+	return out
+}
+
+// PeakDiffBucket returns the maximum DiffBuckets increment and its index.
+func (tl *Timeline) PeakDiffBucket(end, width time.Duration) (peak float64, idx int) {
+	for i, v := range tl.DiffBuckets(end, width) {
+		if v > peak {
+			peak = v
+			idx = i
+		}
+	}
+	return peak, idx
+}
+
+// PeakBucket returns the maximum bucket integral and its index.
+func (tl *Timeline) PeakBucket(end, width time.Duration) (peak float64, idx int) {
+	for i, v := range tl.Buckets(end, width) {
+		if v > peak {
+			peak = v
+			idx = i
+		}
+	}
+	return peak, idx
+}
+
+// Meter accumulates busy time for a simulated worker (e.g. the checkpoint
+// helper core), from paired Start/Stop calls in virtual time.
+type Meter struct {
+	busy    time.Duration
+	started bool
+	since   time.Duration
+}
+
+// Start marks the worker busy from time t. Starting an already-started
+// meter panics — it means the instrumentation is wrong.
+func (m *Meter) Start(t time.Duration) {
+	if m.started {
+		panic("trace: meter started twice")
+	}
+	m.started = true
+	m.since = t
+}
+
+// Stop marks the worker idle from time t.
+func (m *Meter) Stop(t time.Duration) {
+	if !m.started {
+		panic("trace: meter stopped while idle")
+	}
+	m.busy += t - m.since
+	m.started = false
+}
+
+// Busy returns accumulated busy time, including a still-open interval up to now.
+func (m *Meter) Busy(now time.Duration) time.Duration {
+	if m.started {
+		return m.busy + (now - m.since)
+	}
+	return m.busy
+}
+
+// Utilization returns busy time as a fraction of total elapsed time.
+func (m *Meter) Utilization(now time.Duration) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(m.Busy(now)) / float64(now)
+}
+
+// Counters is a set of named int64 counters.
+type Counters struct {
+	m map[string]int64
+}
+
+// Add increments counter name by delta, creating it if needed.
+func (c *Counters) Add(name string, delta int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Get returns the value of counter name (0 if absent).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table is a simple fixed-column text table for experiment output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// FmtBytes renders a byte count with binary units, e.g. "410.0 MB".
+func FmtBytes(b float64) string {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+	)
+	switch {
+	case b >= gb:
+		return fmt.Sprintf("%.2f GB", b/gb)
+	case b >= mb:
+		return fmt.Sprintf("%.1f MB", b/mb)
+	case b >= kb:
+		return fmt.Sprintf("%.1f KB", b/kb)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// FmtRate renders a bytes/sec rate, e.g. "412.5 MB/s".
+func FmtRate(r float64) string { return FmtBytes(r) + "/s" }
+
+// FmtPct renders a fraction as a percentage, e.g. "46.2%".
+func FmtPct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

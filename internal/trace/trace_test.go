@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestTimelineAtAndMax(t *testing.T) {
+	var tl Timeline
+	tl.Set(0, 0)
+	tl.Set(time.Second, 100)
+	tl.Set(3*time.Second, 50)
+	tl.Set(5*time.Second, 0)
+	if v := tl.At(500 * time.Millisecond); v != 0 {
+		t.Fatalf("At(0.5s) = %v, want 0", v)
+	}
+	if v := tl.At(2 * time.Second); v != 100 {
+		t.Fatalf("At(2s) = %v, want 100", v)
+	}
+	if v := tl.At(10 * time.Second); v != 0 {
+		t.Fatalf("At(10s) = %v, want 0", v)
+	}
+	if m := tl.Max(); m != 100 {
+		t.Fatalf("Max = %v, want 100", m)
+	}
+}
+
+func TestTimelineOverwriteSameInstant(t *testing.T) {
+	var tl Timeline
+	tl.Set(time.Second, 10)
+	tl.Set(time.Second, 20)
+	if tl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after overwrite", tl.Len())
+	}
+	if v := tl.At(time.Second); v != 20 {
+		t.Fatalf("At = %v, want 20", v)
+	}
+}
+
+func TestTimelinePastSetPanics(t *testing.T) {
+	var tl Timeline
+	tl.Set(2*time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set in the past did not panic")
+		}
+	}()
+	tl.Set(time.Second, 2)
+}
+
+func TestTimelineIntegral(t *testing.T) {
+	var tl Timeline
+	tl.Set(0, 10)            // 10 B/s for 2s = 20
+	tl.Set(2*time.Second, 0) // idle 2s
+	tl.Set(4*time.Second, 5) // 5 B/s for 1s = 5
+	tl.Set(5*time.Second, 0)
+	if got := tl.Integral(5 * time.Second); !almost(got, 25) {
+		t.Fatalf("Integral(5s) = %v, want 25", got)
+	}
+	if got := tl.Integral(time.Second); !almost(got, 10) {
+		t.Fatalf("Integral(1s) = %v, want 10", got)
+	}
+	if got := tl.Integral(0); !almost(got, 0) {
+		t.Fatalf("Integral(0) = %v, want 0", got)
+	}
+}
+
+func TestTimelineBucketsAndPeak(t *testing.T) {
+	var tl Timeline
+	tl.Set(0, 0)
+	tl.Set(time.Second, 100) // burst in second bucket
+	tl.Set(2*time.Second, 0)
+	buckets := tl.Buckets(4*time.Second, time.Second)
+	want := []float64{0, 100, 0, 0}
+	for i := range want {
+		if !almost(buckets[i], want[i]) {
+			t.Fatalf("Buckets = %v, want %v", buckets, want)
+		}
+	}
+	peak, idx := tl.PeakBucket(4*time.Second, time.Second)
+	if !almost(peak, 100) || idx != 1 {
+		t.Fatalf("PeakBucket = (%v,%d), want (100,1)", peak, idx)
+	}
+}
+
+func TestTimelinePartialLastBucket(t *testing.T) {
+	var tl Timeline
+	tl.Set(0, 10)
+	buckets := tl.Buckets(2500*time.Millisecond, time.Second)
+	if len(buckets) != 3 {
+		t.Fatalf("bucket count = %d, want 3", len(buckets))
+	}
+	if !almost(buckets[2], 5) {
+		t.Fatalf("partial bucket = %v, want 5", buckets[2])
+	}
+}
+
+func TestMeterUtilization(t *testing.T) {
+	var m Meter
+	m.Start(0)
+	m.Stop(time.Second)
+	m.Start(2 * time.Second)
+	m.Stop(3 * time.Second)
+	if b := m.Busy(4 * time.Second); b != 2*time.Second {
+		t.Fatalf("Busy = %v, want 2s", b)
+	}
+	if u := m.Utilization(4 * time.Second); !almost(u, 0.5) {
+		t.Fatalf("Utilization = %v, want 0.5", u)
+	}
+}
+
+func TestMeterOpenInterval(t *testing.T) {
+	var m Meter
+	m.Start(time.Second)
+	if b := m.Busy(3 * time.Second); b != 2*time.Second {
+		t.Fatalf("open Busy = %v, want 2s", b)
+	}
+}
+
+func TestMeterMisusePanics(t *testing.T) {
+	var m Meter
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Stop while idle did not panic")
+			}
+		}()
+		m.Stop(time.Second)
+	}()
+	m.Start(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Start did not panic")
+			}
+		}()
+		m.Start(time.Second)
+	}()
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Add("faults", 3)
+	c.Add("faults", 2)
+	c.Add("copies", 1)
+	if c.Get("faults") != 5 {
+		t.Fatalf("faults = %d, want 5", c.Get("faults"))
+	}
+	if c.Get("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "copies" || names[1] != "faults" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"app", "time"}}
+	tb.AddRow("gtc", "1.5s")
+	tb.AddRow("lammps-long", "2s")
+	var sb strings.Builder
+	tb.Write(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "app") || !strings.Contains(lines[0], "time") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "lammps-long") {
+		t.Fatalf("bad row: %q", lines[3])
+	}
+}
+
+func TestSpanRecorderChromeOutput(t *testing.T) {
+	r := NewSpanRecorder()
+	r.NameProcess(0, "node0")
+	r.Span("iter 0", "compute", 0, 1, 2*time.Second, time.Second, nil)
+	r.Instant("failure", "failure", 0, 0, 5*time.Second, map[string]string{"kind": "soft"})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	var sb strings.Builder
+	if err := r.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != 3 { // span + instant + process_name metadata
+		t.Fatalf("events = %d, want 3", len(decoded.TraceEvents))
+	}
+	var span map[string]any
+	for _, e := range decoded.TraceEvents {
+		if e["ph"] == "X" {
+			span = e
+		}
+	}
+	if span == nil || span["ts"] != float64(2_000_000) || span["dur"] != float64(1_000_000) {
+		t.Fatalf("span = %v", span)
+	}
+	// Events are time-ordered.
+	last := float64(-1)
+	for _, e := range decoded.TraceEvents {
+		ts, _ := e["ts"].(float64)
+		if ts < last {
+			t.Fatal("events not time-sorted")
+		}
+		last = ts
+	}
+}
+
+func TestSpanRecorderNilSafe(t *testing.T) {
+	var r *SpanRecorder
+	r.Span("x", "c", 0, 0, 0, time.Second, nil) // must not panic
+	r.Instant("y", "c", 0, 0, 0, nil)
+	r.NameProcess(0, "n")
+	if r.Len() != 0 {
+		t.Fatal("nil recorder recorded something")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KB"},
+		{3 << 20, "3.0 MB"},
+		{float64(5) * (1 << 30), "5.00 GB"},
+	}
+	for _, c := range cases {
+		if got := FmtBytes(c.in); got != c.want {
+			t.Fatalf("FmtBytes(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := FmtRate(2048); got != "2.0 KB/s" {
+		t.Fatalf("FmtRate = %q", got)
+	}
+	if got := FmtPct(0.462); got != "46.2%" {
+		t.Fatalf("FmtPct = %q", got)
+	}
+}

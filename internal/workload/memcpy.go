@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"fmt"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/sim"
+)
+
+// MemcpyResult is one LANL parallel-memcpy measurement point (Figure 4).
+type MemcpyResult struct {
+	Procs     int
+	Size      int64   // bytes copied per process
+	PerCoreBW float64 // effective bytes/sec per process
+	TotalBW   float64 // aggregate bytes/sec
+}
+
+// ParallelMemcpy measures the effective per-core copy bandwidth when procs
+// processes each copy size bytes concurrently through the DRAM device —
+// the LANL parallel memcpy benchmark the paper uses both for Figure 4 and to
+// calibrate its NVM-emulation delays.
+func ParallelMemcpy(env *sim.Env, dram *mem.Device, procs int, size int64) MemcpyResult {
+	start := env.Now()
+	for i := 0; i < procs; i++ {
+		env.Go(fmt.Sprintf("memcpy-%d", i), func(p *sim.Proc) {
+			dram.WriteBytes(p, size)
+		})
+	}
+	env.Run()
+	elapsed := (env.Now() - start).Seconds()
+	per := 0.0
+	if elapsed > 0 {
+		per = float64(size) / elapsed
+	}
+	return MemcpyResult{
+		Procs:     procs,
+		Size:      size,
+		PerCoreBW: per,
+		TotalBW:   per * float64(procs),
+	}
+}
+
+// MemcpySweep runs ParallelMemcpy for each process count on a DRAM device
+// whose contention coefficient reflects the copy size (small copies are
+// partially cache-absorbed, so they contend less — the size dependence
+// visible in Figure 4).
+func MemcpySweep(procCounts []int, size int64) []MemcpyResult {
+	out := make([]MemcpyResult, 0, len(procCounts))
+	beta := mem.DRAMBetaForCopySize(size)
+	for _, n := range procCounts {
+		env := sim.NewEnv()
+		dram := mem.NewDRAMWithBeta(env, 64*mem.GB, beta)
+		out = append(out, ParallelMemcpy(env, dram, n, size))
+	}
+	return out
+}
