@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (and lists offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt vet test
+
+# ci is the gate the workflow runs: formatting, vet, and the full test
+# suite under the race detector (obs publication crosses host goroutines).
+ci: fmt vet race
+
+clean:
+	$(GO) clean ./...

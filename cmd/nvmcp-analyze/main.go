@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	nvmcp-analyze [-bw 400e6] [-interval 40s] [app ...]
+//	nvmcp-analyze [-bw 400e6] [-interval 40s] [-json] [app ...]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,27 +25,85 @@ import (
 func main() {
 	bw := flag.Float64("bw", 400e6, "effective NVM bandwidth per core, bytes/sec")
 	interval := flag.Duration("interval", 40*time.Second, "local checkpoint interval")
+	asJSON := flag.Bool("json", false, "emit the analysis as JSON instead of tables")
 	flag.Parse()
 
 	apps := flag.Args()
+	var specs []workload.AppSpec
 	if len(apps) == 0 {
-		experiments.PrintTable4(os.Stdout, experiments.RunTable4())
-		fmt.Println()
-		for _, spec := range workload.Specs() {
-			analyze(spec, *bw, *interval)
-			fmt.Println()
+		specs = workload.Specs()
+	} else {
+		for _, name := range apps {
+			spec, ok := workload.SpecByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown app %q\n", name)
+				os.Exit(2)
+			}
+			specs = append(specs, spec)
+		}
+	}
+
+	if *asJSON {
+		out := make([]appAnalysis, len(specs))
+		for i, spec := range specs {
+			out[i] = analyzeJSON(spec, *bw, *interval)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
-	for _, name := range apps {
-		spec, ok := workload.SpecByName(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown app %q\n", name)
-			os.Exit(2)
-		}
+
+	if len(apps) == 0 {
+		experiments.PrintTable4(os.Stdout, experiments.RunTable4())
+		fmt.Println()
+	}
+	for _, spec := range specs {
 		analyze(spec, *bw, *interval)
 		fmt.Println()
 	}
+}
+
+// appAnalysis is the machine-readable form of one workload's analysis.
+type appAnalysis struct {
+	App            string  `json:"app"`
+	Chunks         int     `json:"chunks"`
+	CheckpointSize int64   `json:"checkpoint_size"`
+	IntervalUS     int64   `json:"interval_us"`
+	BWPerCore      float64 `json:"bw_per_core"`
+	ThresholdUS    int64   `json:"threshold_us"`
+	HotChunks      int     `json:"hot_chunks"`
+}
+
+func analyzeJSON(spec workload.AppSpec, bw float64, interval time.Duration) appAnalysis {
+	tp := model.PreCopyThreshold(interval, spec.CheckpointSize(), bw)
+	return appAnalysis{
+		App:            spec.Name,
+		Chunks:         len(spec.Chunks),
+		CheckpointSize: spec.CheckpointSize(),
+		IntervalUS:     interval.Microseconds(),
+		BWPerCore:      bw,
+		ThresholdUS:    tp.Microseconds(),
+		HotChunks:      hotChunks(spec, interval, tp),
+	}
+}
+
+// hotChunks counts chunks still being modified past the pre-copy threshold
+// (the ones DCPCP intentionally leaves for the checkpoint).
+func hotChunks(spec workload.AppSpec, interval, tp time.Duration) int {
+	hot := 0
+	for _, c := range spec.Chunks {
+		for _, ph := range c.ModPhases {
+			if time.Duration(ph*float64(interval)) > tp {
+				hot++
+				break
+			}
+		}
+	}
+	return hot
 }
 
 func analyze(spec workload.AppSpec, bw float64, interval time.Duration) {
@@ -69,14 +128,6 @@ func analyze(spec workload.AppSpec, bw float64, interval time.Duration) {
 		trace.FmtRate(bw), interval,
 		(interval - tp).Round(time.Millisecond), tp.Round(time.Millisecond),
 		float64(tp)/float64(interval)*100)
-	hot := 0
-	for _, c := range spec.Chunks {
-		for _, ph := range c.ModPhases {
-			if time.Duration(ph*float64(interval)) > tp {
-				hot++
-				break
-			}
-		}
-	}
-	fmt.Printf("chunks modified after the threshold (hot, DCPCP holds them): %d\n", hot)
+	fmt.Printf("chunks modified after the threshold (hot, DCPCP holds them): %d\n",
+		hotChunks(spec, interval, tp))
 }

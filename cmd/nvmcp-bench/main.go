@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -125,10 +126,30 @@ var order = []string{
 	"redundancy", "hierarchy",
 }
 
+// benchRecord is the per-scenario machine-readable envelope written to
+// BENCH_<scenario>.json: which experiment ran, at what scale, how long the
+// host took, and the experiment's full result struct (which carries the
+// virtual times, bytes moved and peak bandwidths the scenario reports).
+type benchRecord struct {
+	Scenario string  `json:"scenario"`
+	Scale    string  `json:"scale"`
+	WallMS   float64 `json:"wall_ms"`
+	Result   any     `json:"result"`
+}
+
+// benchReport is the aggregate written by -report-out.
+type benchReport struct {
+	Tool      string        `json:"tool"`
+	Scale     string        `json:"scale"`
+	Scenarios []benchRecord `json:"scenarios"`
+}
+
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	list := flag.Bool("list", false, "list experiment names and exit")
-	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	asJSON := flag.Bool("json", false, "emit results as JSON (combined on stdout, plus one BENCH_<scenario>.json per experiment)")
+	jsonDir := flag.String("json-dir", ".", "directory for BENCH_<scenario>.json files")
+	reportOut := flag.String("report-out", "", "write an aggregate report JSON of every scenario run to this file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -169,6 +190,7 @@ func main() {
 	}
 
 	jsonOut := make(map[string]any, len(expanded))
+	records := make([]benchRecord, 0, len(expanded))
 	for _, name := range expanded {
 		def, ok := runners[name]
 		if !ok {
@@ -177,12 +199,21 @@ func main() {
 		}
 		start := time.Now()
 		result := def.run(scale)
+		wall := time.Since(start)
+		rec := benchRecord{
+			Scenario: name,
+			Scale:    *scaleFlag,
+			WallMS:   float64(wall.Microseconds()) / 1e3,
+			Result:   result,
+		}
+		records = append(records, rec)
 		if *asJSON {
 			jsonOut[name] = result
+			writeJSONFile(filepath.Join(*jsonDir, "BENCH_"+name+".json"), rec)
 			continue
 		}
 		def.print(os.Stdout, result)
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", name, wall.Round(time.Millisecond))
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -191,6 +222,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *reportOut != "" {
+		writeJSONFile(*reportOut, benchReport{
+			Tool:      "nvmcp-bench",
+			Scale:     *scaleFlag,
+			Scenarios: records,
+		})
+	}
+}
+
+// writeJSONFile renders v as indented JSON at path, exiting loudly on error.
+func writeJSONFile(path string, v any) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

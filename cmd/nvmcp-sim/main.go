@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/interconnect"
 	"nvmcp/internal/mem"
+	"nvmcp/internal/obs"
 	"nvmcp/internal/precopy"
 	"nvmcp/internal/remote"
 	"nvmcp/internal/trace"
@@ -44,6 +46,10 @@ func main() {
 		failAt      = flag.Duration("fail-at", 0, "inject a failure at this virtual time (0 = none)")
 		failNode    = flag.Int("fail-node", 0, "node that fails")
 		failHard    = flag.Bool("fail-hard", false, "hard failure: the node's NVM is lost")
+		eventsOut   = flag.String("events-out", "", "write the typed event log as JSONL to this file")
+		metricsOut  = flag.String("metrics-out", "", "write metrics in Prometheus text format to this file")
+		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event timeline to this file")
+		reportOut   = flag.String("report-out", "", "write the end-of-run report JSON to this file")
 	)
 	flag.Parse()
 
@@ -112,10 +118,12 @@ func main() {
 	tb.AddRow("data to NVM per rank", trace.FmtBytes(res.DataToNVMPerRank))
 	tb.AddRow("  via pre-copy", trace.FmtBytes(float64(res.PreCopyBytes)/float64(res.Ranks)))
 	tb.AddRow("  at checkpoints", trace.FmtBytes(float64(res.CkptBytes)/float64(res.Ranks)))
+	tb.AddRow("pre-copy hit rate", trace.FmtPct(res.PreCopyHitRate))
+	tb.AddRow("re-dirty rate", trace.FmtPct(res.ReDirtyRate))
 	if *remoteOn {
 		tb.AddRow("ckpt bytes on fabric", trace.FmtBytes(c.Fabric.Bytes(interconnect.ClassCkpt)))
-		peak, _ := c.Fabric.PeakCkptWindow(res.ExecTime, 5*time.Second)
-		tb.AddRow("peak fabric ckpt/5s", trace.FmtBytes(peak))
+		tb.AddRow(fmt.Sprintf("peak fabric ckpt/%v", cluster.PeakWindow),
+			trace.FmtBytes(res.PeakCkptWindowBytes))
 		for i, u := range res.HelperUtil {
 			tb.AddRow(fmt.Sprintf("helper util node %d", i), trace.FmtPct(u))
 		}
@@ -126,4 +134,30 @@ func main() {
 		tb.AddRow("remote restores", fmt.Sprintf("%d chunks", res.RemoteRestores))
 	}
 	tb.Write(os.Stdout)
+
+	writeArtifact(*eventsOut, "events", c.Obs.WriteEventsJSONL)
+	writeArtifact(*metricsOut, "metrics", c.Obs.Registry().WriteProm)
+	writeArtifact(*traceOut, "trace", c.Obs.Spans().WriteChrome)
+	writeArtifact(*reportOut, "report", func(w io.Writer) error {
+		return obs.WriteReport(w, c.Obs.BuildReport("nvmcp-sim", cfg, res))
+	})
+}
+
+// writeArtifact renders one observability sink to a file; an empty path skips
+// the sink.
+func writeArtifact(path, what string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: write %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s -> %s\n", what, path)
 }

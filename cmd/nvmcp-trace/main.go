@@ -21,7 +21,6 @@ import (
 	"nvmcp/internal/mem"
 	"nvmcp/internal/precopy"
 	"nvmcp/internal/remote"
-	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
 
@@ -60,10 +59,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	rec := trace.NewSpanRecorder()
-	for n := 0; n < *nodes; n++ {
-		rec.NameProcess(n, fmt.Sprintf("node%d", n))
-	}
+	// Spans are auto-wired through the cluster's Observer; no external
+	// recorder needed.
 	cfg := cluster.Config{
 		Nodes:        *nodes,
 		CoresPerNode: *cores,
@@ -73,7 +70,6 @@ func main() {
 		LocalScheme:  scheme,
 		Remote:       *remoteOn,
 		RemoteEvery:  *remEveryN,
-		Tracer:       rec,
 	}
 	if *remoteOn {
 		cfg.RemoteScheme = remote.PreCopy
@@ -84,7 +80,8 @@ func main() {
 		cfg.Failures = []cluster.FailureEvent{{After: *failAt, Node: 0}}
 	}
 
-	res, _ := cluster.Run(cfg)
+	res, c := cluster.Run(cfg)
+	rec := c.Obs.Spans()
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"nvmcp/internal/interconnect"
 	"nvmcp/internal/mem"
 	"nvmcp/internal/nvmkernel"
+	"nvmcp/internal/obs"
 	"nvmcp/internal/precopy"
 	"nvmcp/internal/remote"
 	"nvmcp/internal/sim"
@@ -78,9 +79,11 @@ type Config struct {
 	PayloadCap    int
 	SingleVersion bool
 
-	// Tracer, when set, records a Chrome-trace timeline of the run:
+	// Tracer, when set, redirects the run's Chrome-trace span output —
 	// compute iterations, quiesce, coordinated checkpoints per rank,
-	// remote-checkpoint triggers, helper ship spans, and failures.
+	// remote-checkpoint triggers, helper ship spans, and failures — into an
+	// externally owned recorder. Without it the same spans accumulate in the
+	// cluster's Observer, whose sinks render them on demand.
 	Tracer *trace.SpanRecorder
 }
 
@@ -134,6 +137,14 @@ type Result struct {
 	// Restores / RemoteRestores count chunk recoveries after failures.
 	Restores       int64
 	RemoteRestores int64
+	// PreCopyHitRate is the fraction of DRAM→NVM checkpoint traffic moved by
+	// background pre-copy rather than at the blocking checkpoint (Figure 9).
+	PreCopyHitRate float64
+	// ReDirtyRate is re-dirtied (wasted) pre-copies per pre-copied chunk.
+	ReDirtyRate float64
+	// PeakCkptWindowBytes is the largest checkpoint volume the fabric moved
+	// in any PeakWindow-wide window (Figure 10).
+	PeakCkptWindowBytes float64
 	// FailuresInjected counts failures that actually fired.
 	FailuresInjected int
 	// Ranks is the total rank count.
@@ -146,6 +157,8 @@ type Cluster struct {
 	Env    *sim.Env
 	Fabric *interconnect.Fabric
 	Mesh   *remote.Mesh
+	// Obs is the run's observability hub: typed events, metrics, spans.
+	Obs *obs.Observer
 
 	kernels []*nvmkernel.Kernel
 	barrier *sim.Barrier
@@ -186,11 +199,17 @@ func New(cfg Config) *Cluster {
 		kernels[n] = nvmkernel.New(env, dram, nvm)
 		nvms[n] = nvm
 	}
+	o := obs.New(env)
+	o.UseSpanRecorder(cfg.Tracer)
+	fabric.SetRecorder(o.Recorder(0, "fabric"))
+	mesh := remote.NewMesh(env, fabric, nvms)
+	mesh.SetRecorder(o.Recorder(0, "mesh"))
 	return &Cluster{
 		Cfg:        cfg,
 		Env:        env,
 		Fabric:     fabric,
-		Mesh:       remote.NewMesh(env, fabric, nvms),
+		Mesh:       mesh,
+		Obs:        o,
 		kernels:    kernels,
 		lastRemote: make(map[int]*sim.Completion),
 		ckptTime:   make([]time.Duration, cfg.Nodes*cfg.CoresPerNode),
@@ -264,7 +283,7 @@ func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 				Scheme:  cfg.RemoteScheme,
 				RateCap: cfg.RemoteRateCap,
 				Delay:   cfg.RemoteDelay,
-				Tracer:  cfg.Tracer,
+				Rec:     c.Obs.Recorder(n, "helper"),
 			})
 		}
 	}
@@ -285,14 +304,21 @@ func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 	cfg := c.Cfg
 	node := rank / cfg.CoresPerNode
-	leader := rank%cfg.CoresPerNode == 0
+	lane := rank % cfg.CoresPerNode
+	leader := lane == 0
 	kernel := c.kernels[node]
 	name := fmt.Sprintf("rank%d", rank)
+	rec := c.Obs.Recorder(node, name)
+	if leader {
+		rec.NameProcess(fmt.Sprintf("node%d", node))
+	}
 
 	store := core.NewStore(kernel.Attach(name), core.Options{
 		PayloadCap:    cfg.PayloadCap,
 		SingleVersion: cfg.SingleVersion,
 	})
+	// Attach before workload setup so restore events are captured too.
+	store.SetRecorder(rec)
 	c.allStores = append(c.allStores, store)
 
 	// Stagger each rank's communication phases so co-located ranks do not
@@ -347,6 +373,8 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 			Scheme:    cfg.LocalScheme,
 			RateCap:   cfg.LocalRateCap,
 			BWPerCore: kernel.NVM.PerCoreWriteBW(cfg.CoresPerNode),
+			Rec:       rec,
+			TraceLane: lane,
 		})
 		c.engines = append(c.engines, engine)
 	}
@@ -354,7 +382,6 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		c.Mesh.Agent(node).Register(store)
 	}
 
-	lane := rank % cfg.CoresPerNode
 	for iter := startIter; iter < cfg.Iterations; iter++ {
 		if engine != nil && iter%cfg.LocalEvery == 0 {
 			engine.BeginInterval(p)
@@ -366,8 +393,10 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		if err := app.Iterate(p); err != nil {
 			panic(err)
 		}
-		cfg.Tracer.Span(fmt.Sprintf("iter %d", iter), "compute", node, lane,
+		rec.Span(fmt.Sprintf("iter %d", iter), "compute", lane,
 			iterStart, p.Now()-iterStart, nil)
+		rec.Emit(obs.EvIteration, "", 0,
+			map[string]string{"iter": fmt.Sprintf("%d", iter)})
 		if cfg.NoCheckpoint {
 			c.barrier.Await(p)
 			if rank == 0 {
@@ -383,7 +412,7 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		qStart := p.Now()
 		engine.Quiesce(p)
 		if d := p.Now() - qStart; d > 0 {
-			cfg.Tracer.Span("quiesce", "ckpt", node, lane, qStart, d, nil)
+			rec.Span("quiesce", "ckpt", lane, qStart, d, nil)
 		}
 		c.barrier.Await(p) // coordinated checkpoint entry
 		ckStart := p.Now()
@@ -395,7 +424,7 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		}
 		engine.OnCheckpoint(ckStart)
 		c.ckptTime[rank] += st.Duration
-		cfg.Tracer.Span("local ckpt", "ckpt", node, lane, ckStart, st.Duration,
+		rec.Span("local ckpt", "ckpt", lane, ckStart, st.Duration,
 			map[string]string{"copied": fmt.Sprintf("%d", st.ChunksCopied),
 				"skipped": fmt.Sprintf("%d", st.ChunksSkipped)})
 		c.barrier.Await(p) // checkpoint exit
@@ -405,7 +434,9 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		}
 		if cfg.Remote && leader && (iter+1)%cfg.RemoteEvery == 0 {
 			c.lastRemote[node] = c.Mesh.Agent(node).TriggerRemote(p)
-			cfg.Tracer.Instant("remote trigger", "remote", node, lane, p.Now(), nil)
+			rec.Instant("remote trigger", "remote", lane, p.Now(), nil)
+			rec.Emit(obs.EvRemoteTrigger, "", 0,
+				map[string]string{"iter": fmt.Sprintf("%d", iter)})
 			if rank == 0 {
 				c.remCount++
 			}
@@ -425,7 +456,9 @@ func (c *Cluster) injectFailure(f FailureEvent) {
 	if f.Hard {
 		kind = "hard failure"
 	}
-	c.Cfg.Tracer.Instant(kind, "failure", f.Node, 0, c.Env.Now(), nil)
+	frec := c.Obs.Recorder(f.Node, "cluster")
+	frec.Instant(kind, "failure", 0, c.Env.Now(), nil)
+	frec.Emit(obs.EvFailure, "", 0, map[string]string{"kind": kind})
 	for _, rp := range c.rankProcs {
 		if !rp.Done() {
 			rp.Kill()
@@ -450,6 +483,8 @@ func (c *Cluster) recover(p *sim.Proc, f FailureEvent) {
 	}
 	// Job relaunch latency (scheduler requeue, process startup).
 	p.Sleep(2 * time.Second)
+	c.Obs.Recorder(f.Node, "cluster").Emit(obs.EvRecovery, "", 0,
+		map[string]string{"resume_iter": fmt.Sprintf("%d", c.committedIter)})
 }
 
 // shutdown stops engines and helper agents so the event queue drains.
@@ -486,5 +521,29 @@ func (c *Cluster) collect() Result {
 	}
 	res.DataToNVMPerRank = float64(res.PreCopyBytes+res.CkptBytes) / float64(ranks)
 	res.HelperUtil = c.helperUtil
+
+	// Derived figures from the obs registry's cluster-scope rollups: the
+	// Figure 9 pre-copy hit and re-dirty rates and the Figure 10 peak
+	// per-window checkpoint traffic. Published back as gauges so the report
+	// sinks pick them up.
+	reg := c.Obs.Registry()
+	pre := float64(reg.Counter("precopy_bytes", nil).Get())
+	ck := float64(reg.Counter("ckpt_bytes", nil).Get())
+	if pre+ck > 0 {
+		res.PreCopyHitRate = pre / (pre + ck)
+	}
+	precopied := float64(reg.Counter("chunks_precopied", nil).Get())
+	if precopied > 0 {
+		res.ReDirtyRate = float64(reg.Counter("redirtied_chunks", nil).Get()) / precopied
+	}
+	res.PeakCkptWindowBytes, _ = reg.Timeline("fabric_bytes", obs.Labels{"class": "ckpt"}).
+		PeakDiffBucket(c.Env.Now(), PeakWindow)
+	reg.Gauge("precopy_hit_rate", nil).Set(res.PreCopyHitRate)
+	reg.Gauge("redirty_rate", nil).Set(res.ReDirtyRate)
+	reg.Gauge("peak_ckpt_window_bytes", nil).Set(res.PeakCkptWindowBytes)
 	return res
 }
+
+// PeakWindow is the window width used for the peak-interconnect-usage figure
+// (Figure 10 samples checkpoint traffic in 5-second buckets).
+const PeakWindow = 5 * time.Second

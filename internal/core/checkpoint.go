@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nvmcp/internal/mem"
+	"nvmcp/internal/obs"
 	"nvmcp/internal/sim"
 )
 
@@ -80,6 +81,9 @@ func (s *Store) stageChunk(p *sim.Proc, c *Chunk, rateCap float64) int64 {
 	c.stagedSum = checksum(data, c.Size)
 	c.cleanSeq = seqAtStart
 	c.stagePending = true
+	s.rec.Emit(obs.EvChunkStaged, c.Name, c.Size, nil)
+	s.count("staged_bytes", c.Size)
+	s.count("staged_chunks", 1)
 	// Protection stays armed from the start of the stage; if a mid-copy
 	// store faulted, the chunk is already unprotected and dirty, and the
 	// next stage re-arms.
@@ -94,8 +98,8 @@ func (s *Store) PreCopyChunk(p *sim.Proc, c *Chunk, rateCap float64) int64 {
 		return 0
 	}
 	n := s.stageChunk(p, c, rateCap)
-	s.Counters.Add("precopy_bytes", n)
-	s.Counters.Add("chunks_precopied", 1)
+	s.count("precopy_bytes", n)
+	s.count("chunks_precopied", 1)
 	return n
 }
 
@@ -114,6 +118,10 @@ func (s *Store) ChkptAllForce(p *sim.Proc) CkptStats { return s.chkptAll(p, true
 
 func (s *Store) chkptAll(p *sim.Proc, force bool) CkptStats {
 	start := p.Now()
+	round := s.ckptRound
+	s.ckptRound++
+	s.rec.Emit(obs.EvCheckpointBegin, "", 0,
+		map[string]string{"round": fmt.Sprintf("%d", round)})
 	var st CkptStats
 	for _, c := range s.Chunks() {
 		if !c.Persistent {
@@ -128,10 +136,16 @@ func (s *Store) chkptAll(p *sim.Proc, force bool) CkptStats {
 	}
 	st.Committed = s.commit(p)
 	st.Duration = p.Now() - start
-	s.Counters.Add("ckpt_bytes", st.BytesCopied)
-	s.Counters.Add("chunks_copied", int64(st.ChunksCopied))
-	s.Counters.Add("chunks_skipped", int64(st.ChunksSkipped))
-	s.Counters.Add("commits", 1)
+	s.count("ckpt_bytes", st.BytesCopied)
+	s.count("chunks_copied", int64(st.ChunksCopied))
+	s.count("chunks_skipped", int64(st.ChunksSkipped))
+	s.count("commits", 1)
+	s.rec.Emit(obs.EvCheckpointCommit, "", st.BytesCopied, map[string]string{
+		"round":   fmt.Sprintf("%d", round),
+		"copied":  fmt.Sprintf("%d", st.ChunksCopied),
+		"skipped": fmt.Sprintf("%d", st.ChunksSkipped),
+		"dur_us":  fmt.Sprintf("%d", st.Duration.Microseconds()),
+	})
 	return st
 }
 
@@ -151,7 +165,7 @@ func (s *Store) ChkptID(p *sim.Proc, id uint64) (CkptStats, error) {
 	}
 	st.Committed = s.commitChunk(p, c)
 	st.Duration = p.Now() - start
-	s.Counters.Add("ckpt_bytes", st.BytesCopied)
+	s.count("ckpt_bytes", st.BytesCopied)
 	return st, nil
 }
 
@@ -226,7 +240,12 @@ func (s *Store) tryRestore(p *sim.Proc, c *Chunk) error {
 	c.Restored = true
 	c.cleanSeq = c.modSeq
 	c.Protect(p)
-	s.Counters.Add("restores", 1)
+	s.count("restores", 1)
+	source := "local"
+	if s.opts.LazyRestore {
+		source = "lazy"
+	}
+	s.rec.Emit(obs.EvRestore, c.Name, c.Size, map[string]string{"source": source})
 	return nil
 }
 
@@ -244,7 +263,7 @@ func (s *Store) materialize(p *sim.Proc, c *Chunk, overwrite bool) error {
 	pr := c.pending
 	c.pending = nil
 	if pr == nil || overwrite {
-		s.Counters.Add("lazy_restores_skipped", 1)
+		s.count("lazy_restores_skipped", 1)
 		return nil
 	}
 	mem.Copy(p, s.nvmDevice(), s.dramDevice(), c.Size)
@@ -252,7 +271,7 @@ func (s *Store) materialize(p *sim.Proc, c *Chunk, overwrite bool) error {
 	if !s.opts.NoChecksum && checksum(pr.data, c.Size) != pr.sum {
 		return fmt.Errorf("%w: %s (lazy)", ErrChecksum, c.Name)
 	}
-	s.Counters.Add("lazy_restores", 1)
+	s.count("lazy_restores", 1)
 	return nil
 }
 
@@ -269,7 +288,8 @@ func (s *Store) AdoptRemote(p *sim.Proc, c *Chunk, data []byte, version uint64) 
 	c.Restored = true
 	c.Version = version
 	c.markDirty(p)
-	s.Counters.Add("remote_restores", 1)
+	s.count("remote_restores", 1)
+	s.rec.Emit(obs.EvRestore, c.Name, c.Size, map[string]string{"source": "remote"})
 	return nil
 }
 

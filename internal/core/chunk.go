@@ -6,6 +6,7 @@ import (
 
 	"nvmcp/internal/nvmalloc"
 	"nvmcp/internal/nvmkernel"
+	"nvmcp/internal/obs"
 	"nvmcp/internal/sim"
 )
 
@@ -91,8 +92,15 @@ func (c *Chunk) installFaultHandler() {
 	})
 }
 
-// markDirty advances the modification sequence and notifies listeners.
+// markDirty advances the modification sequence and notifies listeners. A
+// chunk dirtied while its staged (but uncommitted) copy was current is a
+// re-dirty: the pre-copy work just done is wasted and the chunk must move
+// again at checkpoint time — the quantity Figure 9's re-dirty rate measures.
 func (c *Chunk) markDirty(p *sim.Proc) {
+	if c.modSeq == c.cleanSeq && c.stagePending {
+		c.store.rec.Emit(obs.EvChunkReDirtied, c.Name, c.Size, nil)
+		c.store.count("redirtied_chunks", 1)
+	}
 	c.modSeq++
 	c.ModCount++
 	c.store.notifyModify(c)

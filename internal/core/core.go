@@ -25,6 +25,7 @@ import (
 	"nvmcp/internal/mem"
 	"nvmcp/internal/nvmalloc"
 	"nvmcp/internal/nvmkernel"
+	"nvmcp/internal/obs"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/trace"
 )
@@ -85,9 +86,30 @@ type Store struct {
 
 	onModify []func(*Chunk)
 
+	// rec publishes events and registry metrics; nil outside instrumented
+	// runs (every method on a nil recorder is a no-op).
+	rec *obs.Recorder
+	// ckptRound numbers this store's coordinated checkpoints for the event
+	// stream's per-round grouping.
+	ckptRound int
+
 	// Counters: "precopy_bytes", "ckpt_bytes", "chunks_copied",
-	// "chunks_skipped", "commits", "restores".
+	// "chunks_skipped", "commits", "restores". The obs metrics registry
+	// (when a Recorder is attached) supersedes these for machine-readable
+	// output; they remain the zero-dependency in-process view.
 	Counters trace.Counters
+}
+
+// SetRecorder attaches the observability handle this store publishes
+// checkpoint events and metrics through. Call it before allocations so
+// restore events are captured.
+func (s *Store) SetRecorder(r *obs.Recorder) { s.rec = r }
+
+// count bumps a named counter in both the legacy in-process set and the
+// attached metrics registry.
+func (s *Store) count(name string, delta int64) {
+	s.Counters.Add(name, delta)
+	s.rec.Add(name, delta)
 }
 
 // NewStore builds a checkpoint library instance for the attached kernel

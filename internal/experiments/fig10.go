@@ -8,6 +8,7 @@ import (
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/interconnect"
+	"nvmcp/internal/obs"
 	"nvmcp/internal/precopy"
 	"nvmcp/internal/remote"
 	"nvmcp/internal/trace"
@@ -59,8 +60,11 @@ func RunFig10(app workload.AppSpec, scale Scale) Fig10Result {
 		}
 		res, c := cluster.Run(base)
 		end := res.ExecTime
-		series = c.Fabric.Series(interconnect.ClassCkpt).DiffBuckets(end, window)
-		peak, _ = c.Fabric.PeakCkptWindow(end, window)
+		// Read the fabric's cumulative checkpoint series through the obs
+		// registry — the same timeline every other sink sees.
+		tl := c.Obs.Registry().Timeline("fabric_bytes", obs.Labels{"class": interconnect.ClassCkpt.String()})
+		series = tl.DiffBuckets(end, window)
+		peak, _ = tl.PeakDiffBucket(end, window)
 		return series, peak
 	}
 

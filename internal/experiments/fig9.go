@@ -27,6 +27,12 @@ type Fig9Point struct {
 	EffPre    float64
 	OvhNoPre  float64
 	OvhPre    float64
+	// PreHitRate / ReDirtyRate characterize the local pre-copy under the
+	// pre-copy remote run, from the obs registry rollups: the fraction of
+	// checkpoint data moved ahead of the blocking step, and the wasted
+	// (re-dirtied) pre-copies per pre-copied chunk.
+	PreHitRate  float64
+	ReDirtyRate float64
 }
 
 // Fig9Result is the full sweep plus the paper's headline averages.
@@ -97,6 +103,8 @@ func RunFig9(app workload.AppSpec, scale Scale) Fig9Result {
 			EffPre:         float64(ideal) / float64(preRes.ExecTime),
 			OvhNoPre:       overhead(noPreRes.ExecTime, ideal),
 			OvhPre:         overhead(preRes.ExecTime, ideal),
+			PreHitRate:     preRes.PreCopyHitRate,
+			ReDirtyRate:    preRes.ReDirtyRate,
 		}
 	})
 	var sumNo, sumPre float64
@@ -148,6 +156,7 @@ func PrintFig9(w io.Writer, r Fig9Result) {
 	fmt.Fprintf(w, "== Remote checkpoint efficiency, %s (%s scale): async pre-copy vs async burst ==\n", r.App, r.Scale)
 	tb := &trace.Table{Header: []string{
 		"NVM BW/core", "K", "remote interval", "eff no-pre", "eff pre", "ovh no-pre", "ovh pre",
+		"hit rate", "re-dirty",
 	}}
 	for _, pt := range r.Points {
 		tb.AddRow(
@@ -158,6 +167,8 @@ func PrintFig9(w io.Writer, r Fig9Result) {
 			fmt.Sprintf("%.3f", pt.EffPre),
 			trace.FmtPct(pt.OvhNoPre),
 			trace.FmtPct(pt.OvhPre),
+			trace.FmtPct(pt.PreHitRate),
+			trace.FmtPct(pt.ReDirtyRate),
 		)
 	}
 	tb.Write(w)

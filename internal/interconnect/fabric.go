@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"nvmcp/internal/obs"
 	"nvmcp/internal/resource"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/trace"
@@ -65,7 +66,14 @@ type Fabric struct {
 
 	// Counters: "transfers", "segments", "bytes_app", "bytes_ckpt".
 	Counters trace.Counters
+
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches the fabric to the run's observability bus: byte
+// counters are mirrored and the per-class cumulative series is published as
+// the "fabric_bytes" timeline, labeled by class (nil-safe).
+func (f *Fabric) SetRecorder(r *obs.Recorder) { f.rec = r }
 
 // New builds a fabric for n nodes with the given per-node link bandwidth in
 // bytes/sec (LinkBW if 0).
@@ -222,10 +230,13 @@ func (f *Fabric) Send(p *sim.Proc, from, to int, size int64) {
 func (f *Fabric) account(class Class, n int64) {
 	f.cumBytes[class] += float64(n)
 	f.series[class].Set(f.env.Now(), f.cumBytes[class])
+	f.rec.TimelineSet("fabric_bytes", obs.Labels{"class": class.String()}, f.cumBytes[class])
 	if class == ClassApp {
 		f.Counters.Add("bytes_app", n)
+		f.rec.Add("fabric_bytes_app", n)
 	} else {
 		f.Counters.Add("bytes_ckpt", n)
+		f.rec.Add("fabric_bytes_ckpt", n)
 	}
 }
 

@@ -1,0 +1,95 @@
+// Package obs is the unified instrumentation layer: a typed, virtual-time-
+// stamped event bus, a metrics registry (counters, gauges, histograms,
+// bandwidth timelines) with per-node and cluster-level scopes, and sinks
+// that render a run as structured JSONL events, a Prometheus-style text
+// exposition, a Chrome/Perfetto trace, and an end-of-run RunReport.
+//
+// Subsystems never talk to sinks directly: they hold a *Recorder — a cheap,
+// nil-safe handle scoped to one (node, actor) pair — and publish events,
+// spans, and metric updates through it. A nil Recorder drops everything, so
+// library code can instrument unconditionally and pay nothing when a test or
+// experiment runs without an Observer.
+//
+// All Observer and Registry state is mutex-guarded: the simulated remote
+// helper and application processes are separate host goroutines (the sim
+// scheduler interleaves them, but the race detector rightly demands explicit
+// synchronization), and experiment sweeps run many simulations concurrently.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Type names one kind of event in the taxonomy. The set below covers the
+// checkpoint lifecycle end to end; sinks treat the type as an opaque label,
+// so subsystems may introduce new types without touching this package.
+type Type string
+
+// The event taxonomy.
+const (
+	// EvCheckpointBegin marks one rank entering a coordinated local
+	// checkpoint; Attrs carry the round number.
+	EvCheckpointBegin Type = "ckpt_begin"
+	// EvCheckpointCommit marks the rank's commit flip; Bytes is the data the
+	// checkpoint itself copied, Attrs carry round, copied/skipped counts and
+	// the duration in microseconds.
+	EvCheckpointCommit Type = "ckpt_commit"
+	// EvChunkStaged records one chunk staged DRAM→NVM (pre-copy or
+	// checkpoint path); Chunk names it, Bytes is its virtual size.
+	EvChunkStaged Type = "chunk_staged"
+	// EvChunkReDirtied records a modification to a chunk whose staged data
+	// had not yet committed — work the checkpoint must redo.
+	EvChunkReDirtied Type = "chunk_redirtied"
+	// EvChunkShipped records the helper moving one staged chunk to the buddy.
+	EvChunkShipped Type = "chunk_shipped"
+	// EvPrecopyCopy records one background pre-copy of a chunk; Attrs note
+	// whether the copy raced a concurrent modification.
+	EvPrecopyCopy Type = "precopy_copy"
+	// EvHelperWake / EvHelperSleep mark the remote helper's busy/idle
+	// transitions (not every poll — only edges).
+	EvHelperWake  Type = "helper_wake"
+	EvHelperSleep Type = "helper_sleep"
+	// EvRestore records one chunk recovered on restart; Attrs carry the
+	// source ("local", "lazy", or "remote").
+	EvRestore Type = "restore"
+	// EvRemoteTrigger marks a remote checkpoint trigger on a node.
+	EvRemoteTrigger Type = "remote_trigger"
+	// EvRemoteCommit marks the helper flipping the buddy-side versions.
+	EvRemoteCommit Type = "remote_commit"
+	// EvFailure records an injected failure; Attrs carry the kind.
+	EvFailure Type = "failure"
+	// EvRecovery marks the cluster relaunching after a failure.
+	EvRecovery Type = "recovery"
+	// EvIteration marks one rank finishing a compute iteration.
+	EvIteration Type = "iteration"
+)
+
+// Event is one structured occurrence on the bus. Times are virtual
+// (microseconds since simulation start), matching the Chrome trace
+// timestamps so the JSONL stream and the Perfetto view line up.
+type Event struct {
+	TUS   int64             `json:"t_us"`
+	Type  Type              `json:"type"`
+	Node  int               `json:"node"`
+	Actor string            `json:"actor,omitempty"`
+	Chunk string            `json:"chunk,omitempty"`
+	Bytes int64             `json:"bytes,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Time returns the event's virtual time.
+func (e Event) Time() time.Duration { return time.Duration(e.TUS) * time.Microsecond }
+
+// WriteJSONL streams events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("obs: encode event: %w", err)
+		}
+	}
+	return nil
+}

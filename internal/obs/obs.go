@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"nvmcp/internal/sim"
+	"nvmcp/internal/trace"
+)
+
+// Observer is one run's instrumentation hub: the event bus, the metrics
+// registry, and the Chrome span recorder, all stamped with the simulation's
+// virtual clock. Create one per sim.Env; concurrent publication from
+// different host goroutines is safe — the bus and the span recorder are
+// serialized by the observer's mutex, the registry by its own.
+type Observer struct {
+	env *sim.Env
+	reg *Registry
+
+	mu     sync.Mutex
+	events []Event
+	spans  *trace.SpanRecorder
+}
+
+// New builds an Observer over a simulation environment.
+func New(env *sim.Env) *Observer {
+	return &Observer{
+		env:   env,
+		reg:   NewRegistry(),
+		spans: trace.NewSpanRecorder(),
+	}
+}
+
+// Registry returns the metrics registry.
+func (o *Observer) Registry() *Registry { return o.reg }
+
+// Spans returns the Chrome/Perfetto span recorder. Callers must not write
+// to it concurrently with live Recorders; read it after the run.
+func (o *Observer) Spans() *trace.SpanRecorder {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.spans
+}
+
+// UseSpanRecorder redirects span emission into an externally owned recorder
+// (cmd/nvmcp-trace passes its own so pre-existing callers keep working).
+func (o *Observer) UseSpanRecorder(r *trace.SpanRecorder) {
+	if r == nil {
+		return
+	}
+	o.mu.Lock()
+	o.spans = r
+	o.mu.Unlock()
+}
+
+// Emit publishes one event, stamping it with the current virtual time.
+func (o *Observer) Emit(ev Event) {
+	o.mu.Lock()
+	ev.TUS = o.env.Now().Microseconds()
+	o.events = append(o.events, ev)
+	o.mu.Unlock()
+}
+
+// Events returns a copy of every event published so far, in publication
+// order (which is virtual-time order, since the bus stamps on arrival).
+func (o *Observer) Events() []Event {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Event(nil), o.events...)
+}
+
+// EventCount returns how many events of a type were published ("" = all).
+func (o *Observer) EventCount(t Type) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if t == "" {
+		return len(o.events)
+	}
+	n := 0
+	for _, ev := range o.events {
+		if ev.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteEventsJSONL streams the event log, one JSON object per line.
+func (o *Observer) WriteEventsJSONL(w io.Writer) error {
+	return WriteJSONL(w, o.Events())
+}
+
+// Recorder returns a publication handle scoped to (node, actor). Recorders
+// are cheap; make one per rank, helper, or device.
+func (o *Observer) Recorder(node int, actor string) *Recorder {
+	return &Recorder{o: o, node: node, actor: actor}
+}
+
+// Recorder is a nil-safe, scoped publication handle. Every method on a nil
+// Recorder is a no-op, so instrumented code needs no conditionals.
+type Recorder struct {
+	o     *Observer
+	node  int
+	actor string
+}
+
+// Observer returns the backing observer (nil for a nil recorder).
+func (r *Recorder) Observer() *Observer {
+	if r == nil {
+		return nil
+	}
+	return r.o
+}
+
+// Node returns the recorder's node scope.
+func (r *Recorder) Node() int {
+	if r == nil {
+		return 0
+	}
+	return r.node
+}
+
+// Emit publishes an event carrying this recorder's scope.
+func (r *Recorder) Emit(t Type, chunk string, bytes int64, attrs map[string]string) {
+	if r == nil {
+		return
+	}
+	r.o.Emit(Event{Type: t, Node: r.node, Actor: r.actor, Chunk: chunk, Bytes: bytes, Attrs: attrs})
+}
+
+// Add increments the named counter in both the recorder's (node, actor)
+// scope and the cluster scope, so per-node breakdowns and rollups are always
+// both available.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.o.reg.Counter(name, r.scope()).Add(delta)
+	r.o.reg.Counter(name, nil).Add(delta)
+}
+
+// SetGauge sets the named gauge in the recorder's scope.
+func (r *Recorder) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.o.reg.Gauge(name, r.scope()).Set(v)
+}
+
+// Observe counts one observation into the named histogram (edges fix the
+// bins on first use).
+func (r *Recorder) Observe(name string, edges []float64, v float64) {
+	if r == nil {
+		return
+	}
+	r.o.reg.Histogram(name, r.scope(), edges).Observe(v)
+}
+
+// TimelineSet appends a step to a labeled cluster-scope timeline (e.g. the
+// fabric's cumulative checkpoint bytes; labeled by class, not node, so the
+// figure code reads one series).
+func (r *Recorder) TimelineSet(name string, labels Labels, v float64) {
+	if r == nil {
+		return
+	}
+	r.o.reg.Timeline(name, labels).Set(r.o.env.Now(), v)
+}
+
+// Span records a completed interval on the recorder's node, in lane tid —
+// the auto-wired Perfetto view. Nothing is mirrored onto the event bus:
+// spans are the visual record, events the analytical one.
+func (r *Recorder) Span(name, cat string, lane int, start, dur time.Duration, args map[string]string) {
+	if r == nil {
+		return
+	}
+	r.o.mu.Lock()
+	r.o.spans.Span(name, cat, r.node, lane, start, dur, args)
+	r.o.mu.Unlock()
+}
+
+// Instant records a point event on the recorder's node and lane.
+func (r *Recorder) Instant(name, cat string, lane int, at time.Duration, args map[string]string) {
+	if r == nil {
+		return
+	}
+	r.o.mu.Lock()
+	r.o.spans.Instant(name, cat, r.node, lane, at, args)
+	r.o.mu.Unlock()
+}
+
+// NameProcess labels the recorder's node lane in the trace viewer.
+func (r *Recorder) NameProcess(name string) {
+	if r == nil {
+		return
+	}
+	r.o.mu.Lock()
+	r.o.spans.NameProcess(r.node, name)
+	r.o.mu.Unlock()
+}
+
+func (r *Recorder) scope() Labels {
+	return Labels{"node": itoa(r.node), "actor": r.actor}
+}
+
+// itoa avoids strconv for the tiny node numbers in scope labels.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

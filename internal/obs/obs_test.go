@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nvmcp/internal/sim"
+)
+
+func TestRecorderScopesAndRollup(t *testing.T) {
+	o := New(sim.NewEnv())
+	r0 := o.Recorder(0, "rank0")
+	r1 := o.Recorder(1, "rank4")
+	r0.Add("ckpt_bytes", 100)
+	r0.Add("ckpt_bytes", 50)
+	r1.Add("ckpt_bytes", 25)
+
+	reg := o.Registry()
+	if got := reg.Counter("ckpt_bytes", nil).Get(); got != 175 {
+		t.Fatalf("cluster rollup = %d, want 175", got)
+	}
+	if got := reg.Counter("ckpt_bytes", Labels{"node": "0", "actor": "rank0"}).Get(); got != 150 {
+		t.Fatalf("rank0 scope = %d, want 150", got)
+	}
+	// CounterTotal double-counts by design (scoped + rollup): verify the
+	// per-name sum matches that contract rather than silently drifting.
+	if got := reg.CounterTotal("ckpt_bytes"); got != 350 {
+		t.Fatalf("CounterTotal = %d, want 350 (scoped + rollup)", got)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(EvCheckpointBegin, "", 0, nil)
+	r.Add("c", 1)
+	r.SetGauge("g", 1)
+	r.Observe("h", []float64{0, 1}, 0.5)
+	r.TimelineSet("t", nil, 1)
+	r.Span("s", "c", 0, 0, time.Second, nil)
+	r.Instant("i", "c", 0, 0, nil)
+	r.NameProcess("n")
+	if r.Observer() != nil || r.Node() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestEventStampingAndJSONL(t *testing.T) {
+	env := sim.NewEnv()
+	o := New(env)
+	r := o.Recorder(2, "rank9")
+	env.Go("emitter", func(p *sim.Proc) {
+		p.Sleep(3 * time.Second)
+		r.Emit(EvChunkStaged, "psi", 4096, map[string]string{"k": "v"})
+	})
+	env.Run()
+
+	events := o.Events()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.TUS != 3_000_000 {
+		t.Fatalf("t_us = %d, want 3000000", ev.TUS)
+	}
+	if ev.Time() != 3*time.Second {
+		t.Fatalf("Time() = %v", ev.Time())
+	}
+	if ev.Node != 2 || ev.Actor != "rank9" || ev.Chunk != "psi" || ev.Bytes != 4096 {
+		t.Fatalf("event scope mangled: %+v", ev)
+	}
+
+	var buf bytes.Buffer
+	if err := o.WriteEventsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var decoded Event
+		if err := json.Unmarshal(sc.Bytes(), &decoded); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if decoded.Type != EvChunkStaged || decoded.Attrs["k"] != "v" {
+			t.Fatalf("round trip mangled: %+v", decoded)
+		}
+		lines++
+	}
+	if lines != 1 {
+		t.Fatalf("JSONL lines = %d, want 1", lines)
+	}
+	if o.EventCount(EvChunkStaged) != 1 || o.EventCount("") != 1 || o.EventCount(EvRestore) != 0 {
+		t.Fatal("EventCount wrong")
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	o := New(sim.NewEnv())
+	r := o.Recorder(0, "rank0")
+	r.Add("commits", 2)
+	r.SetGauge("precopy_hit_rate", 0.5)
+	r.Observe("stage_secs", []float64{0, 1, 2}, 0.5)
+	r.Observe("stage_secs", []float64{0, 1, 2}, 1.5)
+	r.TimelineSet("fabric_bytes", Labels{"class": "ckpt"}, 100)
+
+	var buf bytes.Buffer
+	if err := o.Registry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE commits_total counter",
+		"commits_total 2\n",
+		`commits_total{actor="rank0",node="0"} 2`,
+		"# TYPE precopy_hit_rate gauge",
+		`stage_secs_bucket{actor="rank0",node="0",le="1"} 1`,
+		`stage_secs_bucket{actor="rank0",node="0",le="+Inf"} 2`,
+		`stage_secs_sum{actor="rank0",node="0"} 2`,
+		`stage_secs_count{actor="rank0",node="0"} 2`,
+		`fabric_bytes_cum{class="ckpt"} 100`,
+		`fabric_bytes_steps{class="ckpt"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	o := New(sim.NewEnv())
+	r := o.Recorder(1, "rank1")
+	r.Add("restores", 3)
+	r.SetGauge("redirty_rate", 0.25)
+	flat := o.Registry().Flatten()
+	if flat["restores"] != 3 {
+		t.Fatalf("cluster restores = %v", flat["restores"])
+	}
+	if flat[`restores{actor="rank1",node="1"}`] != 3 {
+		t.Fatalf("scoped restores missing: %v", flat)
+	}
+	if flat[`redirty_rate{actor="rank1",node="1"}`] != 0.25 {
+		t.Fatalf("gauge missing: %v", flat)
+	}
+}
+
+func TestCheckpointRounds(t *testing.T) {
+	events := []Event{
+		{TUS: 50, Type: EvCheckpointCommit, Node: 0, Actor: "rank0", Bytes: 100,
+			Attrs: map[string]string{"round": "0", "copied": "4", "skipped": "1", "dur_us": "2000000"}},
+		{TUS: 40, Type: EvCheckpointCommit, Node: 0, Actor: "rank1", Bytes: 50,
+			Attrs: map[string]string{"round": "0", "copied": "2", "skipped": "3", "dur_us": "1000000"}},
+		{TUS: 90, Type: EvCheckpointCommit, Node: 1, Actor: "rank0", Bytes: 10,
+			Attrs: map[string]string{"round": "1", "copied": "1", "skipped": "0", "dur_us": "500000"}},
+		{TUS: 95, Type: EvChunkStaged, Node: 1}, // ignored
+	}
+	rounds := CheckpointRounds(events)
+	if len(rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(rounds))
+	}
+	r0 := rounds[0]
+	if r0.Round != 0 || r0.Ranks != 2 || r0.BytesCopied != 150 ||
+		r0.ChunksCopied != 6 || r0.ChunksSkipped != 4 {
+		t.Fatalf("round 0 = %+v", r0)
+	}
+	if r0.StartUS != 40 {
+		t.Fatalf("round 0 start = %d, want earliest 40", r0.StartUS)
+	}
+	if r0.DurSecs.Mean != 1.5 {
+		t.Fatalf("round 0 mean dur = %v, want 1.5", r0.DurSecs.Mean)
+	}
+	if rounds[1].Round != 1 || rounds[1].Ranks != 1 {
+		t.Fatalf("round 1 = %+v", rounds[1])
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	env := sim.NewEnv()
+	o := New(env)
+	r := o.Recorder(0, "rank0")
+	env.Go("run", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		r.Emit(EvCheckpointCommit, "", 200, map[string]string{
+			"round": "0", "copied": "2", "skipped": "0", "dur_us": "100000"})
+		r.Add("ckpt_bytes", 200)
+	})
+	env.Run()
+
+	rep := o.BuildReport("test-tool", map[string]int{"nodes": 2}, nil)
+	if rep.Tool != "test-tool" || rep.EventCount != 1 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if len(rep.Checkpoints) != 1 || rep.Checkpoints[0].BytesCopied != 200 {
+		t.Fatalf("checkpoints = %+v", rep.Checkpoints)
+	}
+	if rep.Metrics["ckpt_bytes"] != 200 {
+		t.Fatalf("metrics = %v", rep.Metrics)
+	}
+	if rep.VirtualEndUS != 1_000_000 {
+		t.Fatalf("virtual end = %d", rep.VirtualEndUS)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded RunReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if decoded.EventCount != 1 {
+		t.Fatalf("decoded report = %+v", decoded)
+	}
+}
+
+// TestConcurrentPublication drives one observer from many host goroutines —
+// the experiments package runs whole simulations concurrently, so the bus,
+// registry, and span recorder must be race-clean (run with -race).
+func TestConcurrentPublication(t *testing.T) {
+	o := New(sim.NewEnv())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := o.Recorder(g, "worker")
+			for i := 0; i < 200; i++ {
+				r.Emit(EvChunkStaged, "c", 1, nil)
+				r.Add("staged_chunks", 1)
+				r.SetGauge("gauge", float64(i))
+				r.Observe("hist", []float64{0, 100, 200}, float64(i))
+				r.TimelineSet("tl", Labels{"g": "x"}, float64(i))
+				r.Span("s", "c", 0, 0, time.Microsecond, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := o.EventCount(EvChunkStaged); got != 1600 {
+		t.Fatalf("events = %d, want 1600", got)
+	}
+	if got := o.Registry().Counter("staged_chunks", nil).Get(); got != 1600 {
+		t.Fatalf("rollup = %d, want 1600", got)
+	}
+	if got := o.Spans().Len(); got != 1600 {
+		t.Fatalf("spans = %d, want 1600", got)
+	}
+}
+
+func TestHistogramCreationPanicsWithoutEdges(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("histogram without edges did not panic")
+		}
+	}()
+	reg.Histogram("h", nil, nil)
+}

@@ -21,10 +21,12 @@
 package precopy
 
 import (
+	"fmt"
 	"time"
 
 	"nvmcp/internal/core"
 	"nvmcp/internal/model"
+	"nvmcp/internal/obs"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/trace"
 )
@@ -69,6 +71,11 @@ type Config struct {
 	BWPerCore float64
 	// PollTick bounds how long the worker sleeps with no work (default 50ms).
 	PollTick time.Duration
+	// Rec publishes engine activity onto the run's observability bus
+	// (nil-safe; nil disables instrumentation).
+	Rec *obs.Recorder
+	// TraceLane is the tid spans are drawn in on the engine's node.
+	TraceLane int
 }
 
 // Engine is one rank's background pre-copy worker.
@@ -141,7 +148,7 @@ func (e *Engine) onModify(c *core.Chunk) {
 		return
 	}
 	e.modsNow[c.ID]++
-	e.Counters.Add("mod_events", 1)
+	e.count("mod_events", 1)
 	switch e.cfg.Scheme {
 	case DCPCP:
 		// Keep counting episodes until the prediction is met (or while
@@ -239,20 +246,35 @@ func (e *Engine) run(p *sim.Proc) {
 		}
 		e.copying = true
 		e.copyDone = sim.NewCompletion(e.env)
-		e.Meter.Start(p.Now())
+		start := p.Now()
+		e.Meter.Start(start)
 		seqBefore := c.ModSeq()
 		n := e.store.PreCopyChunk(p, c, e.cfg.RateCap)
 		e.Meter.Stop(p.Now())
 		e.copying = false
 		e.copyDone.Complete()
 		if n > 0 {
-			e.Counters.Add("precopy_copies", 1)
+			raced := c.ModSeq() != seqBefore
+			e.count("precopy_copies", 1)
+			// precopy_bytes is already published by core.Store.PreCopyChunk;
+			// mirroring it here would double the cluster rollup.
 			e.Counters.Add("precopy_bytes", n)
-			if c.ModSeq() != seqBefore {
-				e.Counters.Add("raced_copies", 1)
+			if raced {
+				e.count("raced_copies", 1)
 			}
+			e.cfg.Rec.Emit(obs.EvPrecopyCopy, c.Name, n,
+				map[string]string{"raced": fmt.Sprintf("%v", raced)})
+			e.cfg.Rec.Span("precopy "+c.Name, "precopy", e.cfg.TraceLane,
+				start, p.Now()-start, nil)
 		}
 	}
+}
+
+// count mirrors a legacy counter onto the obs registry. precopy_bytes is the
+// exception (core already publishes it) and keeps the raw Counters path.
+func (e *Engine) count(name string, delta int64) {
+	e.Counters.Add(name, delta)
+	e.cfg.Rec.Add(name, delta)
 }
 
 // nextCandidate picks the next chunk eligible for background staging, in

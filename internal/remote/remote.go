@@ -22,6 +22,7 @@ import (
 	"nvmcp/internal/core"
 	"nvmcp/internal/interconnect"
 	"nvmcp/internal/mem"
+	"nvmcp/internal/obs"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/trace"
 )
@@ -55,8 +56,9 @@ type Config struct {
 	Delay time.Duration
 	// ScanTick is the helper's idle poll period (default 200ms).
 	ScanTick time.Duration
-	// Tracer, when set, records ship spans on the helper's timeline lane.
-	Tracer *trace.SpanRecorder
+	// Rec publishes helper activity — ship events, wake/sleep edges and
+	// spans on the helper lane — onto the run's observability bus (nil-safe).
+	Rec *obs.Recorder
 }
 
 // helperLane is the tid used for helper spans in trace timelines.
@@ -88,7 +90,13 @@ type Mesh struct {
 
 	// Counters: "ships", "ship_bytes", "remote_commits", "fetches".
 	Counters trace.Counters
+
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches the mesh to the run's observability bus; mesh-level
+// counters are mirrored as "remote_fetches" / "remote_commits".
+func (m *Mesh) SetRecorder(r *obs.Recorder) { m.rec = r }
 
 // NewMesh builds a remote-checkpoint mesh over a fabric; nvm[i] is node i's
 // NVM device.
@@ -160,6 +168,7 @@ func (m *Mesh) Fetch(p *sim.Proc, srcNode int, procName string, id uint64) ([]by
 		return nil, 0, false
 	}
 	m.Counters.Add("fetches", 1)
+	m.rec.Add("remote_fetches", 1)
 	m.fabric.RDMARead(p, a.buddy, srcNode, rc.size)
 	m.nvm[srcNode].WriteBytes(p, rc.size)
 	return rc.versions[rc.committed], rc.size, true
@@ -285,8 +294,11 @@ func (a *Agent) Stop() {
 	}
 }
 
-// run is the helper main loop.
+// run is the helper main loop. Wake/sleep edges (not every scan tick) are
+// published as events, so the bus shows the helper's duty cycle without
+// drowning in polls.
 func (a *Agent) run(p *sim.Proc) {
+	busy := false
 	for !a.stopped {
 		st, store := a.nextToShip(p)
 		if store == nil {
@@ -296,8 +308,16 @@ func (a *Agent) run(p *sim.Proc) {
 				a.bursting = false
 				a.burstDone.Complete()
 			}
+			if busy {
+				busy = false
+				a.cfg.Rec.Emit(obs.EvHelperSleep, "", 0, nil)
+			}
 			a.wake.WaitTimeout(p, a.cfg.ScanTick)
 			continue
+		}
+		if !busy {
+			busy = true
+			a.cfg.Rec.Emit(obs.EvHelperWake, "", 0, nil)
 		}
 		a.idle = sim.NewCompletion(a.mesh.env)
 		a.ship(p, st, store)
@@ -316,7 +336,7 @@ func (a *Agent) nextToShip(p *sim.Proc) (core.ChunkState, *core.Store) {
 			return core.ChunkState{}, nil
 		}
 	}
-	a.Counters.Add("scan_rounds", 1)
+	a.count("scan_rounds", 1)
 	for _, s := range a.stores {
 		for _, st := range s.Snapshot(p) {
 			key := chunkKey{s.Proc().Name(), st.ID}
@@ -337,6 +357,13 @@ func (a *Agent) nextToShip(p *sim.Proc) (core.ChunkState, *core.Store) {
 	return core.ChunkState{}, nil
 }
 
+// count mirrors a helper counter onto the obs registry under a helper_
+// prefix, keeping it distinct from the per-store checkpoint counters.
+func (a *Agent) count(name string, delta int64) {
+	a.Counters.Add(name, delta)
+	a.cfg.Rec.Add("helper_"+name, delta)
+}
+
 // HelperCPURate is the helper core's effective processing rate for
 // checkpoint data (metadata walk, chunk read, work-request posting, buffer
 // management): the CPU side of shipping a chunk, as distinct from the wire
@@ -355,9 +382,11 @@ func (a *Agent) ship(p *sim.Proc, st core.ChunkState, store *core.Store) {
 	}
 	shipStart := p.Now()
 	defer func() {
-		a.cfg.Tracer.Span(fmt.Sprintf("ship %s/%d", key.proc, key.id), "remote",
-			a.node, helperLane, shipStart, p.Now()-shipStart,
+		a.cfg.Rec.Span(fmt.Sprintf("ship %s/%d", key.proc, key.id), "remote",
+			helperLane, shipStart, p.Now()-shipStart,
 			map[string]string{"bytes": fmt.Sprintf("%d", st.Size)})
+		a.cfg.Rec.Emit(obs.EvChunkShipped, fmt.Sprintf("%s/%d", key.proc, key.id),
+			st.Size, map[string]string{"buddy": fmt.Sprintf("%d", a.buddy)})
 	}()
 	a.Meter.Start(p.Now())
 	cpuStart := p.Now()
@@ -399,8 +428,10 @@ func (a *Agent) ship(p *sim.Proc, st core.ChunkState, store *core.Store) {
 	rc.inflight = true
 	a.shipped[key] = st.CleanSeq
 
-	a.Counters.Add("ships", 1)
-	a.Counters.Add("ship_bytes", st.Size)
+	a.count("ships", 1)
+	a.count("ship_bytes", st.Size)
+	// Mesh totals stay on the legacy counters only: the agent mirror above
+	// already feeds the cluster rollup once.
 	m.Counters.Add("ships", 1)
 	m.Counters.Add("ship_bytes", st.Size)
 }
@@ -424,8 +455,12 @@ func (a *Agent) commitRemote(p *sim.Proc) {
 		}
 		rc.inflight = false
 	}
-	a.Counters.Add("commits", 1)
+	a.count("commits", 1)
 	a.mesh.Counters.Add("remote_commits", 1)
+	a.mesh.rec.Add("remote_commits", 1)
+	a.cfg.Rec.Emit(obs.EvRemoteCommit, "", 0, map[string]string{
+		"buddy": fmt.Sprintf("%d", a.buddy),
+	})
 }
 
 // Shipped reports the last shipped sequence for a chunk (testing aid).

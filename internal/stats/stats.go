@@ -148,8 +148,12 @@ func NewHistogram(edges []float64) *Histogram {
 	}
 }
 
-// Add counts one observation.
+// Add counts one observation. NaN is dropped silently (it belongs to no bin
+// and would otherwise corrupt the bin search); ±Inf count as Under/Over.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	h.Total++
 	if x < h.Edges[0] {
 		h.Under++

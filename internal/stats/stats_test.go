@@ -156,3 +156,51 @@ func TestHistogramTotalProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHistogramAddEdgeCases pins Add's behaviour at exact bin edges and for
+// the float special values: a value equal to an interior edge opens the bin
+// to its right (bins are right-open), the first and last edges split
+// Under/Over, NaN is dropped without counting, and the infinities land in
+// Under/Over like any other out-of-range value.
+func TestHistogramAddEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		x     float64
+		bin   int // index into Counts, -1 = none
+		under int64
+		over  int64
+		total int64
+	}{
+		{"below first edge", -0.5, -1, 1, 0, 1},
+		{"exactly first edge", 0, 0, 0, 0, 1},
+		{"interior value", 5, 0, 0, 0, 1},
+		{"exactly interior edge", 10, 1, 0, 0, 1},
+		{"just below interior edge", math.Nextafter(10, 0), 0, 0, 0, 1},
+		{"exactly last edge", 20, -1, 0, 1, 1},
+		{"above last edge", 25, -1, 0, 1, 1},
+		{"NaN dropped", math.NaN(), -1, 0, 0, 0},
+		{"+Inf overflows", math.Inf(1), -1, 0, 1, 1},
+		{"-Inf underflows", math.Inf(-1), -1, 1, 0, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram([]float64{0, 10, 20})
+			h.Add(c.x)
+			if h.Total != c.total {
+				t.Fatalf("Total = %d, want %d", h.Total, c.total)
+			}
+			if h.Under != c.under || h.Over != c.over {
+				t.Fatalf("Under/Over = %d/%d, want %d/%d", h.Under, h.Over, c.under, c.over)
+			}
+			for i, n := range h.Counts {
+				want := int64(0)
+				if i == c.bin {
+					want = 1
+				}
+				if n != want {
+					t.Fatalf("Counts[%d] = %d, want %d", i, n, want)
+				}
+			}
+		})
+	}
+}

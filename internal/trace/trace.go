@@ -245,26 +245,27 @@ func (t *Table) Write(w io.Writer) {
 	}
 }
 
-// FmtBytes renders a byte count with binary units, e.g. "410.0 MB".
+// FmtBytes renders a byte count with binary units and the IEC unit names
+// that match the 2^10 divisors, e.g. "410.0 MiB".
 func FmtBytes(b float64) string {
 	const (
-		kb = 1 << 10
-		mb = 1 << 20
-		gb = 1 << 30
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
 	)
 	switch {
-	case b >= gb:
-		return fmt.Sprintf("%.2f GB", b/gb)
-	case b >= mb:
-		return fmt.Sprintf("%.1f MB", b/mb)
-	case b >= kb:
-		return fmt.Sprintf("%.1f KB", b/kb)
+	case b >= gib:
+		return fmt.Sprintf("%.2f GiB", b/gib)
+	case b >= mib:
+		return fmt.Sprintf("%.1f MiB", b/mib)
+	case b >= kib:
+		return fmt.Sprintf("%.1f KiB", b/kib)
 	default:
 		return fmt.Sprintf("%.0f B", b)
 	}
 }
 
-// FmtRate renders a bytes/sec rate, e.g. "412.5 MB/s".
+// FmtRate renders a bytes/sec rate, e.g. "412.5 MiB/s".
 func FmtRate(r float64) string { return FmtBytes(r) + "/s" }
 
 // FmtPct renders a fraction as a percentage, e.g. "46.2%".

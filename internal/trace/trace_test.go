@@ -235,20 +235,151 @@ func TestFormatters(t *testing.T) {
 		in   float64
 		want string
 	}{
+		{0, "0 B"},
 		{512, "512 B"},
-		{2048, "2.0 KB"},
-		{3 << 20, "3.0 MB"},
-		{float64(5) * (1 << 30), "5.00 GB"},
+		{1023, "1023 B"},
+		{1024, "1.0 KiB"},
+		{2048, "2.0 KiB"},
+		{3 << 20, "3.0 MiB"},
+		{1536 << 10, "1.5 MiB"},
+		{float64(5) * (1 << 30), "5.00 GiB"},
+		{2560 << 20, "2.50 GiB"},
 	}
 	for _, c := range cases {
 		if got := FmtBytes(c.in); got != c.want {
 			t.Fatalf("FmtBytes(%v) = %q, want %q", c.in, got, c.want)
 		}
 	}
-	if got := FmtRate(2048); got != "2.0 KB/s" {
+	if got := FmtRate(2048); got != "2.0 KiB/s" {
+		t.Fatalf("FmtRate = %q", got)
+	}
+	if got := FmtRate(float64(3) * (1 << 30)); got != "3.00 GiB/s" {
 		t.Fatalf("FmtRate = %q", got)
 	}
 	if got := FmtPct(0.462); got != "46.2%" {
 		t.Fatalf("FmtPct = %q", got)
+	}
+}
+
+// TestTimelineSetEdgeCases pins Set's contract as a table: steps at strictly
+// increasing times append, a Set at the same instant overwrites in place, and
+// a NaN value is stored verbatim (the timeline is a dumb recorder; callers
+// that cannot tolerate NaN must filter before Set). Sets in the past panic —
+// that case is pinned separately in TestTimelinePastSetPanics, and the
+// zero-width window panic in TestTimelineZeroWidthWindowPanics: both are
+// intentional, since either would silently corrupt every derived series.
+func TestTimelineSetEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		sets []struct {
+			at time.Duration
+			v  float64
+		}
+		wantLen int
+		at      time.Duration
+		want    float64
+		wantNaN bool
+	}{
+		{
+			name: "strictly increasing appends",
+			sets: []struct {
+				at time.Duration
+				v  float64
+			}{{0, 1}, {time.Second, 2}, {2 * time.Second, 3}},
+			wantLen: 3, at: 90 * time.Minute, want: 3,
+		},
+		{
+			name: "same instant overwrites",
+			sets: []struct {
+				at time.Duration
+				v  float64
+			}{{time.Second, 1}, {time.Second, 7}},
+			wantLen: 2, at: time.Second, want: 7,
+		},
+		{
+			name: "zero duration step",
+			sets: []struct {
+				at time.Duration
+				v  float64
+			}{{0, 5}},
+			wantLen: 1, at: 0, want: 5,
+		},
+		{
+			name: "NaN stored verbatim",
+			sets: []struct {
+				at time.Duration
+				v  float64
+			}{{time.Second, math.NaN()}},
+			wantLen: 1, at: 2 * time.Second, wantNaN: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var tl Timeline
+			if c.wantLen == 2 && len(c.sets) == 2 && c.sets[0].at == c.sets[1].at {
+				// Overwrite case records one step plus a leading one so the
+				// overwrite is observable as not-append.
+				tl.Set(0, 0)
+			}
+			for _, s := range c.sets {
+				tl.Set(s.at, s.v)
+			}
+			if tl.Len() != c.wantLen {
+				t.Fatalf("Len = %d, want %d", tl.Len(), c.wantLen)
+			}
+			got := tl.At(c.at)
+			if c.wantNaN {
+				if !math.IsNaN(got) {
+					t.Fatalf("At(%v) = %v, want NaN", c.at, got)
+				}
+				return
+			}
+			if got != c.want {
+				t.Fatalf("At(%v) = %v, want %v", c.at, got, c.want)
+			}
+		})
+	}
+}
+
+// TestTimelineZeroWidthWindowPanics documents that a zero (or negative)
+// bucket width is a programming error, not an empty result: every bucketing
+// helper panics rather than looping forever or returning garbage.
+func TestTimelineZeroWidthWindowPanics(t *testing.T) {
+	var tl Timeline
+	tl.Set(0, 1)
+	for name, call := range map[string]func(){
+		"Buckets":     func() { tl.Buckets(time.Second, 0) },
+		"DiffBuckets": func() { tl.DiffBuckets(time.Second, 0) },
+		"negative":    func() { tl.DiffBuckets(time.Second, -time.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with zero/negative width did not panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+// TestTimelineDiffBucketsExactEdges pins the windowing boundary convention:
+// a cumulative step landing exactly on a bucket edge belongs to the earlier
+// window (DiffBuckets samples At(edge), and At treats steps as effective at
+// their own timestamp).
+func TestTimelineDiffBucketsExactEdges(t *testing.T) {
+	var tl Timeline
+	tl.Set(0, 0)
+	tl.Set(10*time.Second, 100) // exactly on the first bucket edge
+	tl.Set(15*time.Second, 250)
+	got := tl.DiffBuckets(20*time.Second, 10*time.Second)
+	want := []float64{100, 150}
+	if len(got) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
 	}
 }
