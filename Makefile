@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check ci clean
+.PHONY: all build test race vet fmt check ci presets clean
 
 all: build
 
@@ -25,9 +25,20 @@ fmt:
 
 check: fmt vet test
 
-# ci is the gate the workflow runs: formatting, vet, and the full test
-# suite under the race detector (obs publication crosses host goroutines).
-ci: fmt vet race
+# presets smoke-runs every cluster-shaped preset at tiny scale under the
+# race detector — the fast end-to-end gate that the scenario layer, policy
+# registry and cluster composition still agree.
+presets:
+	$(GO) run -race ./cmd/nvmcp-sim -list-presets
+	@for p in $$($(GO) run ./cmd/nvmcp-sim -list-presets | awk '$$3 == "-preset" {print $$1}'); do \
+		echo "== preset $$p (tiny) =="; \
+		$(GO) run -race ./cmd/nvmcp-sim -preset $$p -scale tiny || exit 1; \
+	done
+
+# ci is the gate the workflow runs: formatting, vet, the full test suite
+# under the race detector (obs publication crosses host goroutines), and the
+# preset smoke sweep.
+ci: fmt vet race presets
 
 clean:
 	$(GO) clean ./...

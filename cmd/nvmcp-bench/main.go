@@ -16,10 +16,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"time"
 
 	"nvmcp/internal/experiments"
+	"nvmcp/internal/scenario"
 	"nvmcp/internal/workload"
 )
 
@@ -117,13 +117,16 @@ var runners = map[string]experimentDef{
 	},
 }
 
-// order fixes the presentation sequence of `all`.
-var order = []string{
-	"tab1", "madbench", "fig4", "tab4", "model",
-	"fig7", "fig8", "cm1", "fig9", "fig10", "tab5",
-	"ablation-page", "ablation-direct", "ablation-serial",
-	"restart", "transparent", "failures", "endurance", "interval",
-	"redundancy", "hierarchy",
+// order fixes the presentation sequence of `all`: the preset table's
+// DESIGN.md §4 order, restricted to ids that have a bench runner.
+func order() []string {
+	var ids []string
+	for _, p := range scenario.Presets() {
+		if _, ok := runners[p.ID]; ok {
+			ids = append(ids, p.ID)
+		}
+	}
+	return ids
 }
 
 // benchRecord is the per-scenario machine-readable envelope written to
@@ -154,13 +157,11 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		names := make([]string, 0, len(runners))
-		for n := range runners {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Println(n)
+		for _, p := range scenario.Presets() {
+			if _, ok := runners[p.ID]; !ok {
+				continue
+			}
+			fmt.Printf("%-16s %s\n", p.ID, p.Description)
 		}
 		return
 	}
@@ -183,7 +184,7 @@ func main() {
 	var expanded []string
 	for _, t := range targets {
 		if t == "all" {
-			expanded = append(expanded, order...)
+			expanded = append(expanded, order()...)
 			continue
 		}
 		expanded = append(expanded, t)
@@ -192,9 +193,15 @@ func main() {
 	jsonOut := make(map[string]any, len(expanded))
 	records := make([]benchRecord, 0, len(expanded))
 	for _, name := range expanded {
+		// Experiment ids resolve through the preset table, so bench and sim
+		// share one namespace; DESIGN.md ids (e.g. F7) are accepted too.
+		if p, ok := scenario.PresetByDesignID(name); ok {
+			name = p.ID
+		}
 		def, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %v); use -list\n",
+				name, scenario.PresetIDs())
 			os.Exit(2)
 		}
 		start := time.Now()

@@ -1,12 +1,19 @@
-// Command nvmcp-sim runs one configurable cluster simulation: pick the
-// application, machine shape, checkpoint schemes, and optional failure
-// injection, and get the run's timing, data-movement, and recovery summary.
+// Command nvmcp-sim runs one configurable cluster simulation: load a
+// declarative scenario file, pick a named preset, or compose a run from
+// flags — machine shape, workload, checkpoint policies for all three levels
+// (local pre-copy, remote tier, bottom storage), and optional failure
+// injection — and get the run's timing, data-movement, and recovery summary.
+//
+// Every policy is named, not hard-coded: the -local/-remote/-bottom flags
+// and the corresponding scenario fields resolve through the policy registry,
+// so a scheme registered in internal/policy is immediately runnable here.
 //
 // Examples:
 //
+//	nvmcp-sim -preset fig7 -scale quick
+//	nvmcp-sim -scenario docs/scenarios/erasure-remote.json
 //	nvmcp-sim -app gtc -nodes 4 -cores 12 -iters 4 -local dcpcp
-//	nvmcp-sim -app lammps-rhodo -local none -forcefull
-//	nvmcp-sim -app cm1 -remote -remote-every 2 -fail-at 30s -fail-node 0 -fail-hard
+//	nvmcp-sim -app cm1 -remote buddy-precopy -remote-every 2 -fail-at 30s -fail-hard
 package main
 
 import (
@@ -14,35 +21,41 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/interconnect"
-	"nvmcp/internal/mem"
 	"nvmcp/internal/obs"
-	"nvmcp/internal/precopy"
-	"nvmcp/internal/remote"
+	"nvmcp/internal/policy"
+	"nvmcp/internal/scenario"
 	"nvmcp/internal/trace"
-	"nvmcp/internal/workload"
 )
 
 func main() {
 	var (
-		appName     = flag.String("app", "gtc", "workload: gtc, lammps-rhodo, or cm1")
+		scenarioPath = flag.String("scenario", "", "run a declarative scenario JSON file")
+		presetName   = flag.String("preset", "", "run a named preset (see -list-presets)")
+		listPresets  = flag.Bool("list-presets", false, "list preset ids with descriptions and exit")
+		scaleName    = flag.String("scale", "quick", "preset scale: tiny, quick, or paper")
+
+		appName     = flag.String("app", "gtc", "workload: gtc, lammps-rhodo, cm1, or amr")
 		nodes       = flag.Int("nodes", 2, "cluster nodes")
 		cores       = flag.Int("cores", 4, "cores (ranks) per node")
 		iters       = flag.Int("iters", 4, "compute iterations (one local checkpoint each)")
-		ckptMB      = flag.Int64("ckpt-mb", 120, "checkpoint data per rank in MB (0 = workload natural size)")
+		ckptMB      = flag.Float64("ckpt-mb", 120, "checkpoint data per rank in MB (0 = workload natural size)")
 		iterSecs    = flag.Float64("iter-secs", 10, "compute seconds per iteration")
 		nvmBW       = flag.Float64("nvm-bw", 400e6, "effective NVM write bandwidth per core, bytes/sec (0 = Table I PCM)")
 		linkBW      = flag.Float64("link-bw", 250e6, "per-node link bandwidth, bytes/sec (0 = 40Gbps IB)")
-		local       = flag.String("local", "dcpcp", "local pre-copy scheme: none, cpc, dcpc, dcpcp")
+		local       = flag.String("local", "dcpcp", "local pre-copy policy: "+strings.Join(policy.Names(policy.KindLocal), ", "))
 		localEvery  = flag.Int("local-every", 1, "local checkpoint every N-th iteration")
 		forceFull   = flag.Bool("forcefull", false, "disable dirty tracking (classic full checkpoints)")
 		noCkpt      = flag.Bool("no-ckpt", false, "disable checkpointing entirely (ideal run)")
-		remoteOn    = flag.Bool("remote", false, "enable buddy-node remote checkpoints")
+		remoteName  = flag.String("remote", "none", "remote tier policy: "+strings.Join(policy.Names(policy.KindRemote), ", "))
 		remoteEvery = flag.Int("remote-every", 2, "remote checkpoint every K-th local checkpoint")
-		remotePre   = flag.Bool("remote-precopy", true, "use pre-copy remote shipping (false = async burst)")
+		remoteRate  = flag.Float64("remote-rate", 0, "remote shipping rate cap, bytes/sec (0 = uncapped)")
+		remoteAuto  = flag.Bool("remote-auto-rate", true, "derive the remote rate cap from the workload (2·D·cores per interval)")
+		bottomName  = flag.String("bottom", "none", "bottom storage policy: "+strings.Join(policy.Names(policy.KindBottom), ", "))
 		failAt      = flag.Duration("fail-at", 0, "inject a failure at this virtual time (0 = none)")
 		failNode    = flag.Int("fail-node", 0, "node that fails")
 		failHard    = flag.Bool("fail-hard", false, "hard failure: the node's NVM is lost")
@@ -53,63 +66,81 @@ func main() {
 	)
 	flag.Parse()
 
-	spec, ok := workload.SpecByName(*appName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown app %q (want gtc, lammps-rhodo, cm1)\n", *appName)
-		os.Exit(2)
-	}
-	if *ckptMB > 0 {
-		spec = spec.ScaledTo(*ckptMB * mem.MB)
-	}
-	spec.IterTime = time.Duration(*iterSecs * float64(time.Second))
-
-	var scheme precopy.Scheme
-	switch *local {
-	case "none":
-		scheme = precopy.NoPreCopy
-	case "cpc":
-		scheme = precopy.CPC
-	case "dcpc":
-		scheme = precopy.DCPC
-	case "dcpcp":
-		scheme = precopy.DCPCP
-	default:
-		fmt.Fprintf(os.Stderr, "unknown local scheme %q\n", *local)
-		os.Exit(2)
+	if *listPresets {
+		printPresets(os.Stdout)
+		return
 	}
 
-	cfg := cluster.Config{
-		Nodes:        *nodes,
-		CoresPerNode: *cores,
-		App:          spec,
-		Iterations:   *iters,
-		NVMPerCoreBW: *nvmBW,
-		LinkBW:       *linkBW,
-		LocalScheme:  scheme,
-		LocalEvery:   *localEvery,
-		ForceFull:    *forceFull,
-		NoCheckpoint: *noCkpt,
-		Remote:       *remoteOn,
-		RemoteEvery:  *remoteEvery,
-	}
-	if *remoteOn {
-		if *remotePre {
-			cfg.RemoteScheme = remote.PreCopy
-			interval := time.Duration(*remoteEvery) * spec.IterTime
-			cfg.RemoteRateCap = 2 * float64(spec.CheckpointSize()) * float64(*cores) / interval.Seconds()
-		} else {
-			cfg.RemoteScheme = remote.AsyncBurst
+	sc, err := resolveScenario(*scenarioPath, *presetName, *scaleName, func() *scenario.Scenario {
+		sc := &scenario.Scenario{
+			Name:         "cli",
+			Nodes:        *nodes,
+			CoresPerNode: *cores,
+			NVMPerCoreBW: *nvmBW,
+			LinkBW:       *linkBW,
+			Workload: scenario.WorkloadSpec{
+				App:      *appName,
+				CkptMB:   *ckptMB,
+				IterSecs: *iterSecs,
+			},
+			Iterations: *iters,
+			Local: scenario.LocalSpec{
+				Policy:    *local,
+				Every:     *localEvery,
+				ForceFull: *forceFull,
+			},
+			Remote: scenario.RemoteSpec{
+				Policy:      *remoteName,
+				RateCap:     *remoteRate,
+				AutoRateCap: *remoteRate == 0 && *remoteAuto,
+				Every:       *remoteEvery,
+			},
+			Bottom:       scenario.BottomSpec{Policy: *bottomName},
+			NoCheckpoint: *noCkpt,
+			PayloadCap:   2048,
 		}
-	}
-	if *failAt > 0 {
-		cfg.Failures = []cluster.FailureEvent{{After: *failAt, Node: *failNode, Hard: *failHard}}
+		if *failAt > 0 {
+			sc.Failures = []scenario.FailureSpec{{
+				AtSecs: failAt.Seconds(), Node: *failNode, Hard: *failHard,
+			}}
+		}
+		return sc
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		os.Exit(2)
 	}
 
-	res, c := cluster.Run(cfg)
+	// Flags override the scenario's own observability outputs.
+	if *eventsOut == "" {
+		*eventsOut = sc.Obs.EventsOut
+	}
+	if *metricsOut == "" {
+		*metricsOut = sc.Obs.MetricsOut
+	}
+	if *traceOut == "" {
+		*traceOut = sc.Obs.TraceOut
+	}
+	if *reportOut == "" {
+		*reportOut = sc.Obs.ReportOut
+	}
 
-	fmt.Printf("nvmcp-sim: %s on %dx%d ranks, %s/rank, local=%s remote=%v\n",
-		spec.Name, *nodes, *cores, trace.FmtBytes(float64(spec.CheckpointSize())),
-		scheme, *remoteOn)
+	cfg, err := cluster.FromScenario(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		os.Exit(2)
+	}
+	res, c, err := cluster.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	remoteOn := c.RemoteTier() != nil
+	fmt.Printf("nvmcp-sim: %s (%s) on %dx%d ranks, %s/rank, local=%s remote=%s bottom=%s\n",
+		cfg.App.Name, sc.Name, cfg.Nodes, cfg.CoresPerNode,
+		trace.FmtBytes(float64(cfg.App.CheckpointSize())),
+		policyName(cfg.Local), policyName(cfg.Remote), policyName(cfg.Bottom))
 	tb := &trace.Table{Header: []string{"metric", "value"}}
 	tb.AddRow("execution time", res.ExecTime.Round(time.Millisecond).String())
 	tb.AddRow("local checkpoints", fmt.Sprintf("%d", res.LocalCkpts))
@@ -120,13 +151,18 @@ func main() {
 	tb.AddRow("  at checkpoints", trace.FmtBytes(float64(res.CkptBytes)/float64(res.Ranks)))
 	tb.AddRow("pre-copy hit rate", trace.FmtPct(res.PreCopyHitRate))
 	tb.AddRow("re-dirty rate", trace.FmtPct(res.ReDirtyRate))
-	if *remoteOn {
+	if remoteOn {
 		tb.AddRow("ckpt bytes on fabric", trace.FmtBytes(c.Fabric.Bytes(interconnect.ClassCkpt)))
 		tb.AddRow(fmt.Sprintf("peak fabric ckpt/%v", cluster.PeakWindow),
 			trace.FmtBytes(res.PeakCkptWindowBytes))
 		for i, u := range res.HelperUtil {
-			tb.AddRow(fmt.Sprintf("helper util node %d", i), trace.FmtPct(u))
+			tb.AddRow(fmt.Sprintf("helper util %d", i), trace.FmtPct(u))
 		}
+	}
+	if res.BottomObjects > 0 {
+		tb.AddRow("bottom-tier objects", fmt.Sprintf("%d", res.BottomObjects))
+		tb.AddRow("bottom-tier bytes", trace.FmtBytes(float64(res.BottomBytes)))
+		tb.AddRow("bottom-tier drain time", res.BottomDrainTime.Round(time.Millisecond).String())
 	}
 	if res.FailuresInjected > 0 {
 		tb.AddRow("failures injected", fmt.Sprintf("%d", res.FailuresInjected))
@@ -141,6 +177,49 @@ func main() {
 	writeArtifact(*reportOut, "report", func(w io.Writer) error {
 		return obs.WriteReport(w, c.Obs.BuildReport("nvmcp-sim", cfg, res))
 	})
+}
+
+// resolveScenario picks the run's scenario: an explicit file, a named preset,
+// or the flag-composed fallback.
+func resolveScenario(path, preset, scaleName string, fromFlags func() *scenario.Scenario) (*scenario.Scenario, error) {
+	switch {
+	case path != "" && preset != "":
+		return nil, fmt.Errorf("-scenario and -preset are mutually exclusive")
+	case path != "":
+		return scenario.LoadFile(path)
+	case preset != "":
+		scale, err := scenario.ParseScale(scaleName)
+		if err != nil {
+			return nil, err
+		}
+		return scenario.BuildPreset(preset, scale)
+	}
+	sc := fromFlags()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// printPresets lists every preset id with its one-line description.
+func printPresets(w io.Writer) {
+	tb := &trace.Table{Header: []string{"preset", "runs via", "description"}}
+	for _, p := range scenario.Presets() {
+		via := "nvmcp-sim -preset " + p.ID
+		if !p.ClusterShaped() {
+			via = "nvmcp-bench " + p.ID
+		}
+		tb.AddRow(p.ID, via, p.Description)
+	}
+	tb.Write(w)
+}
+
+// policyName renders a policy field for the summary line ("" means none).
+func policyName(name string) string {
+	if name == "" {
+		return "none"
+	}
+	return name
 }
 
 // writeArtifact renders one observability sink to a file; an empty path skips

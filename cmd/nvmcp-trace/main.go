@@ -7,7 +7,7 @@
 //
 // Example:
 //
-//	nvmcp-trace -app lammps-rhodo -local dcpcp -remote -o trace.json
+//	nvmcp-trace -app lammps-rhodo -local dcpcp -remote buddy-precopy -o trace.json
 //	# then open trace.json in https://ui.perfetto.dev
 package main
 
@@ -15,29 +15,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/mem"
-	"nvmcp/internal/precopy"
-	"nvmcp/internal/remote"
+	"nvmcp/internal/policy"
+	"nvmcp/internal/scenario"
 	"nvmcp/internal/workload"
 )
 
 func main() {
 	var (
-		appName   = flag.String("app", "lammps-rhodo", "workload: gtc, lammps-rhodo, or cm1")
-		nodes     = flag.Int("nodes", 2, "cluster nodes")
-		cores     = flag.Int("cores", 4, "cores (ranks) per node")
-		iters     = flag.Int("iters", 4, "iterations")
-		ckptMB    = flag.Int64("ckpt-mb", 120, "checkpoint data per rank in MB")
-		iterSecs  = flag.Float64("iter-secs", 10, "compute seconds per iteration")
-		nvmBW     = flag.Float64("nvm-bw", 400e6, "NVM write bandwidth per core, bytes/sec")
-		local     = flag.String("local", "dcpcp", "local pre-copy scheme: none, cpc, dcpc, dcpcp")
-		remoteOn  = flag.Bool("remote", true, "enable buddy-node remote checkpoints")
-		failAt    = flag.Duration("fail-at", 0, "inject a soft failure at this virtual time")
-		out       = flag.String("o", "trace.json", "output file")
-		remEveryN = flag.Int("remote-every", 2, "remote checkpoint every K-th local")
+		appName    = flag.String("app", "lammps-rhodo", "workload: gtc, lammps-rhodo, or cm1")
+		nodes      = flag.Int("nodes", 2, "cluster nodes")
+		cores      = flag.Int("cores", 4, "cores (ranks) per node")
+		iters      = flag.Int("iters", 4, "iterations")
+		ckptMB     = flag.Int64("ckpt-mb", 120, "checkpoint data per rank in MB")
+		iterSecs   = flag.Float64("iter-secs", 10, "compute seconds per iteration")
+		nvmBW      = flag.Float64("nvm-bw", 400e6, "NVM write bandwidth per core, bytes/sec")
+		local      = flag.String("local", "dcpcp", "local pre-copy policy: "+strings.Join(policy.Names(policy.KindLocal), ", "))
+		remoteName = flag.String("remote", "buddy-precopy", "remote tier policy: "+strings.Join(policy.Names(policy.KindRemote), ", "))
+		failAt     = flag.Duration("fail-at", 0, "inject a soft failure at this virtual time")
+		out        = flag.String("o", "trace.json", "output file")
+		remEveryN  = flag.Int("remote-every", 2, "remote checkpoint every K-th local")
 	)
 	flag.Parse()
 
@@ -49,38 +50,29 @@ func main() {
 	spec = spec.ScaledTo(*ckptMB * mem.MB)
 	spec.IterTime = time.Duration(*iterSecs * float64(time.Second))
 
-	schemes := map[string]precopy.Scheme{
-		"none": precopy.NoPreCopy, "cpc": precopy.CPC,
-		"dcpc": precopy.DCPC, "dcpcp": precopy.DCPCP,
-	}
-	scheme, ok := schemes[*local]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *local)
-		os.Exit(2)
-	}
-
 	// Spans are auto-wired through the cluster's Observer; no external
-	// recorder needed.
+	// recorder needed. Policy names resolve through the registry — no
+	// scheme-specific branches here.
 	cfg := cluster.Config{
-		Nodes:        *nodes,
-		CoresPerNode: *cores,
-		App:          spec,
-		Iterations:   *iters,
-		NVMPerCoreBW: *nvmBW,
-		LocalScheme:  scheme,
-		Remote:       *remoteOn,
-		RemoteEvery:  *remEveryN,
-	}
-	if *remoteOn {
-		cfg.RemoteScheme = remote.PreCopy
-		interval := time.Duration(*remEveryN) * spec.IterTime
-		cfg.RemoteRateCap = 2 * float64(spec.CheckpointSize()) * float64(*cores) / interval.Seconds()
+		Nodes:         *nodes,
+		CoresPerNode:  *cores,
+		App:           spec,
+		Iterations:    *iters,
+		NVMPerCoreBW:  *nvmBW,
+		Local:         *local,
+		Remote:        *remoteName,
+		RemoteEvery:   *remEveryN,
+		RemoteRateCap: scenario.AutoRemoteRateCap(spec.CheckpointSize(), *cores, spec.IterTime, *remEveryN),
 	}
 	if *failAt > 0 {
 		cfg.Failures = []cluster.FailureEvent{{After: *failAt, Node: 0}}
 	}
 
-	res, c := cluster.Run(cfg)
+	res, c, err := cluster.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	rec := c.Obs.Spans()
 
 	f, err := os.Create(*out)

@@ -15,8 +15,6 @@ import (
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/mem"
-	"nvmcp/internal/precopy"
-	"nvmcp/internal/remote"
 	"nvmcp/internal/workload"
 )
 
@@ -29,26 +27,25 @@ func main() {
 		CoresPerNode: 2,
 		App:          app,
 		Iterations:   5,
-		LocalScheme:  precopy.DCPCP,
-		Remote:       true,
-		RemoteScheme: remote.AsyncBurst,
+		Local:        "dcpcp",
+		Remote:       "buddy-burst",
 		RemoteEvery:  1, // remote checkpoint every iteration: hard failures lose at most one
 	}
 
 	fmt.Println("--- run 1: soft failure at t=20s (node 0 reboots; NVM survives) ---")
 	soft := base
 	soft.Failures = []cluster.FailureEvent{{After: 20 * time.Second, Node: 0, Hard: false}}
-	res, _ := cluster.Run(soft)
+	res, _ := cluster.MustRun(soft)
 	report(res)
 
 	fmt.Println("\n--- run 2: hard failure at t=20s (node 0 lost; NVM gone with it) ---")
 	hard := base
 	hard.Failures = []cluster.FailureEvent{{After: 20 * time.Second, Node: 0, Hard: true}}
-	res, _ = cluster.Run(hard)
+	res, _ = cluster.MustRun(hard)
 	report(res)
 
 	fmt.Println("\n--- run 3: no failures, for comparison ---")
-	res, _ = cluster.Run(base)
+	res, _ = cluster.MustRun(base)
 	report(res)
 }
 

@@ -16,8 +16,7 @@ import (
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/interconnect"
 	"nvmcp/internal/mem"
-	"nvmcp/internal/precopy"
-	"nvmcp/internal/remote"
+	"nvmcp/internal/scenario"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -35,7 +34,6 @@ func main() {
 		Iterations:   4,
 		NVMPerCoreBW: 400e6, // constrained NVM: the regime pre-copy targets
 		LinkBW:       250e6,
-		Remote:       true,
 		RemoteEvery:  2,
 	}
 
@@ -45,21 +43,20 @@ func main() {
 
 	ideal := base
 	ideal.NoCheckpoint = true
-	ideal.Remote = false
-	idealRes, _ := cluster.Run(ideal)
+	idealRes, _ := cluster.MustRun(ideal)
 
 	baseline := base
 	baseline.ForceFull = true
-	baseline.LocalScheme = precopy.NoPreCopy
-	baseline.RemoteScheme = remote.AsyncBurst
-	baseRes, baseC := cluster.Run(baseline)
+	baseline.Local = "none"
+	baseline.Remote = "buddy-burst"
+	baseRes, baseC := cluster.MustRun(baseline)
 
 	tuned := base
-	tuned.LocalScheme = precopy.DCPCP
-	tuned.RemoteScheme = remote.PreCopy
-	interval := time.Duration(base.RemoteEvery) * app.IterTime
-	tuned.RemoteRateCap = 2 * float64(app.CheckpointSize()) * float64(base.CoresPerNode) / interval.Seconds()
-	tunedRes, tunedC := cluster.Run(tuned)
+	tuned.Local = "dcpcp"
+	tuned.Remote = "buddy-precopy"
+	tuned.RemoteRateCap = scenario.AutoRemoteRateCap(
+		app.CheckpointSize(), base.CoresPerNode, app.IterTime, base.RemoteEvery)
+	tunedRes, tunedC := cluster.MustRun(tuned)
 
 	tb := &trace.Table{Header: []string{"configuration", "exec time", "overhead", "ckpt block/rank", "data->NVM/rank", "peak link (5s)"}}
 	row := func(name string, res cluster.Result, c *cluster.Cluster) {

@@ -15,7 +15,6 @@ import (
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/mem"
-	"nvmcp/internal/precopy"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -40,27 +39,27 @@ func main() {
 
 	ideal := base
 	ideal.NoCheckpoint = true
-	idealRes, _ := cluster.Run(ideal)
+	idealRes, _ := cluster.MustRun(ideal)
 
 	type schemeRun struct {
 		name      string
-		scheme    precopy.Scheme
+		policy    string
 		forceFull bool
 	}
 	runs := []schemeRun{
-		{"no pre-copy (full checkpoint)", precopy.NoPreCopy, true},
-		{"CPC (eager chunk pre-copy)", precopy.CPC, false},
-		{"DCPC (delayed)", precopy.DCPC, false},
-		{"DCPCP (delayed + prediction)", precopy.DCPCP, false},
+		{"no pre-copy (full checkpoint)", "none", true},
+		{"CPC (eager chunk pre-copy)", "cpc", false},
+		{"DCPC (delayed)", "dcpc", false},
+		{"DCPCP (delayed + prediction)", "dcpcp", false},
 	}
 
 	tb := &trace.Table{Header: []string{"scheme", "exec time", "overhead", "ckpt block/rank", "data->NVM/rank"}}
 	tb.AddRow("ideal (no checkpoints)", idealRes.ExecTime.Round(time.Millisecond).String(), "-", "-", "-")
 	for _, r := range runs {
 		cfg := base
-		cfg.LocalScheme = r.scheme
+		cfg.Local = r.policy
 		cfg.ForceFull = r.forceFull
-		res, _ := cluster.Run(cfg)
+		res, _ := cluster.MustRun(cfg)
 		ovh := float64(res.ExecTime-idealRes.ExecTime) / float64(idealRes.ExecTime)
 		tb.AddRow(r.name,
 			res.ExecTime.Round(time.Millisecond).String(),

@@ -1,12 +1,15 @@
 // Package cluster assembles the full system: nodes with DRAM + NVM and a
 // kernel each, an RDMA fabric between them, MPI-rank-like application
-// processes running a workload spec, per-rank pre-copy engines, per-node
-// remote-checkpoint helper agents, coordinated local checkpoints at every
-// iteration boundary, asynchronous remote checkpoints every K-th local one,
-// and failure injection with multilevel recovery (local NVM restore for soft
-// failures, buddy-node fetch for hard ones).
+// processes running a workload spec, per-rank local checkpoint engines,
+// a pluggable remote checkpoint tier (buddy replication or erasure parity),
+// an optional bottom storage tier (PFS drain), coordinated local checkpoints
+// at iteration boundaries, asynchronous remote checkpoints every K-th local
+// one, and failure injection with multilevel recovery (local NVM restore for
+// soft failures, remote-tier fetch for hard ones).
 //
-// This is the harness behind Figures 7, 8, 9 and 10 and Table V.
+// Policies are composed by name through internal/policy — the cluster holds
+// no scheme-specific branches. This is the harness behind Figures 7, 8, 9
+// and 10 and Table V.
 package cluster
 
 import (
@@ -18,7 +21,8 @@ import (
 	"nvmcp/internal/mem"
 	"nvmcp/internal/nvmkernel"
 	"nvmcp/internal/obs"
-	"nvmcp/internal/precopy"
+	"nvmcp/internal/pfs"
+	"nvmcp/internal/policy"
 	"nvmcp/internal/remote"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/trace"
@@ -50,8 +54,9 @@ type Config struct {
 	App        workload.AppSpec
 	Iterations int
 
-	// LocalScheme selects the local pre-copy policy.
-	LocalScheme  precopy.Scheme
+	// Local names the local pre-copy policy ("" or "none", "cpc", "dcpc",
+	// "dcpcp" — see policy.Names(policy.KindLocal)).
+	Local        string
 	LocalRateCap float64
 	// LocalEvery takes a coordinated local checkpoint every N-th iteration
 	// (default 1): the knob for checkpoint-interval studies — recovery
@@ -64,13 +69,21 @@ type Config struct {
 	// the efficiency denominator).
 	NoCheckpoint bool
 
-	// Remote enables buddy-node remote checkpoints every RemoteEvery-th
-	// local checkpoint.
-	Remote        bool
-	RemoteScheme  remote.Scheme
+	// Remote names the remote checkpoint tier ("" or "none", "buddy-burst",
+	// "buddy-precopy", "erasure"), triggered every RemoteEvery-th local
+	// checkpoint.
+	Remote        string
 	RemoteRateCap float64
 	RemoteDelay   time.Duration
 	RemoteEvery   int
+	// RemoteGroup hints the tier's redundancy group size (0 = tier default).
+	RemoteGroup int
+
+	// Bottom names the bottom storage tier ("" or "none", "pfs-drain"),
+	// drained once after the remote level settles.
+	Bottom            string
+	BottomAggregateBW float64
+	BottomStripeBW    float64
 
 	Failures []FailureEvent
 
@@ -114,6 +127,61 @@ func (cfg *Config) setDefaults() {
 	}
 }
 
+// Validate checks a configuration after defaulting, returning an actionable
+// error instead of letting a degenerate run proceed silently.
+func (cfg *Config) Validate() error {
+	if cfg.Nodes < 1 {
+		return fmt.Errorf("cluster: nodes must be >= 1, got %d", cfg.Nodes)
+	}
+	if cfg.CoresPerNode < 1 {
+		return fmt.Errorf("cluster: cores per node must be >= 1, got %d", cfg.CoresPerNode)
+	}
+	if cfg.DRAMPerNode <= 0 || cfg.NVMPerNode <= 0 {
+		return fmt.Errorf("cluster: device capacities must be positive (dram %d, nvm %d)",
+			cfg.DRAMPerNode, cfg.NVMPerNode)
+	}
+	if cfg.NVMPerCoreBW < 0 || cfg.LinkBW < 0 {
+		return fmt.Errorf("cluster: bandwidths must be non-negative (nvm/core %g, link %g)",
+			cfg.NVMPerCoreBW, cfg.LinkBW)
+	}
+	if cfg.LocalRateCap < 0 || cfg.RemoteRateCap < 0 {
+		return fmt.Errorf("cluster: rate caps must be non-negative (local %g, remote %g)",
+			cfg.LocalRateCap, cfg.RemoteRateCap)
+	}
+	if cfg.Iterations < 1 {
+		return fmt.Errorf("cluster: iterations must be >= 1, got %d", cfg.Iterations)
+	}
+	if cfg.LocalEvery < 1 || cfg.RemoteEvery < 1 {
+		return fmt.Errorf("cluster: checkpoint intervals must be >= 1 (local %d, remote %d)",
+			cfg.LocalEvery, cfg.RemoteEvery)
+	}
+	if len(cfg.App.Chunks) == 0 {
+		return fmt.Errorf("cluster: workload %q has no chunks", cfg.App.Name)
+	}
+	if cfg.PayloadCap < 1 {
+		return fmt.Errorf("cluster: payload cap must be >= 1, got %d", cfg.PayloadCap)
+	}
+	for i, f := range cfg.Failures {
+		if f.Node < 0 || f.Node >= cfg.Nodes {
+			return fmt.Errorf("cluster: failure %d targets node %d, cluster has nodes 0..%d",
+				i, f.Node, cfg.Nodes-1)
+		}
+		if f.After <= 0 {
+			return fmt.Errorf("cluster: failure %d scheduled at %v; must be after t=0", i, f.After)
+		}
+	}
+	if _, err := policy.Parse(policy.KindLocal, cfg.Local); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if _, err := policy.Parse(policy.KindRemote, cfg.Remote); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if _, err := policy.Parse(policy.KindBottom, cfg.Bottom); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	return nil
+}
+
 // Result summarizes a run.
 type Result struct {
 	// ExecTime is when the last rank finished its final iteration
@@ -129,7 +197,7 @@ type Result struct {
 	// DataToNVMPerRank is the mean bytes a rank moved DRAM→NVM over the
 	// run (pre-copy plus checkpoint — the Figures 7/8 right axis).
 	DataToNVMPerRank float64
-	// HelperUtil is each node helper's busy fraction over the run (Table V).
+	// HelperUtil is each remote-tier helper's busy fraction (Table V).
 	HelperUtil []float64
 	// PreCopyBytes and CkptBytes split DataToNVM by origin.
 	PreCopyBytes int64
@@ -145,6 +213,11 @@ type Result struct {
 	// PeakCkptWindowBytes is the largest checkpoint volume the fabric moved
 	// in any PeakWindow-wide window (Figure 10).
 	PeakCkptWindowBytes float64
+	// BottomObjects / BottomBytes / BottomDrainTime summarize the bottom
+	// tier's end-of-run drain (zero when no bottom tier is configured).
+	BottomObjects   int
+	BottomBytes     int64
+	BottomDrainTime time.Duration
 	// FailuresInjected counts failures that actually fired.
 	FailuresInjected int
 	// Ranks is the total rank count.
@@ -156,16 +229,19 @@ type Cluster struct {
 	Cfg    Config
 	Env    *sim.Env
 	Fabric *interconnect.Fabric
-	Mesh   *remote.Mesh
 	// Obs is the run's observability hub: typed events, metrics, spans.
 	Obs *obs.Observer
 
 	kernels []*nvmkernel.Kernel
 	barrier *sim.Barrier
 
+	localPol   policy.LocalPolicy
+	remoteTier policy.RemoteTier
+	bottomTier policy.BottomTier
+
 	// epoch state
 	rankProcs  []*sim.Proc
-	engines    []*precopy.Engine
+	engines    []policy.LocalEngine
 	allStores  []*core.Store
 	lastRemote map[int]*sim.Completion
 
@@ -174,6 +250,7 @@ type Cluster struct {
 	ranksLive      bool
 	appDone        time.Duration
 	helperUtil     []float64
+	bottomStats    pfs.DrainStats
 
 	ckptTime   []time.Duration // per rank index, accumulated
 	localCount int
@@ -181,13 +258,26 @@ type Cluster struct {
 	failCount  int
 }
 
-// New builds a cluster (devices, kernels, fabric, mesh) without running it.
-func New(cfg Config) *Cluster {
+// New builds a cluster (devices, kernels, fabric, policy tiers) without
+// running it. The configuration is validated; policy names resolve through
+// the registry.
+func New(cfg Config) (*Cluster, error) {
 	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	localEntry, _ := policy.Parse(policy.KindLocal, cfg.Local)
+	remoteEntry, _ := policy.Parse(policy.KindRemote, cfg.Remote)
+	bottomEntry, _ := policy.Parse(policy.KindBottom, cfg.Bottom)
+
 	env := sim.NewEnv()
-	fabric := interconnect.New(env, cfg.Nodes, cfg.LinkBW)
+	// The remote tier may ask for extra non-compute fabric nodes (e.g. an
+	// erasure parity holder); those get NVM but no kernel or ranks.
+	extra := remoteEntry.Remote().ExtraNodes(cfg.Nodes)
+	totalNodes := cfg.Nodes + extra
+	fabric := interconnect.New(env, totalNodes, cfg.LinkBW)
 	kernels := make([]*nvmkernel.Kernel, cfg.Nodes)
-	nvms := make([]*mem.Device, cfg.Nodes)
+	nvms := make([]*mem.Device, totalNodes)
 	for n := 0; n < cfg.Nodes; n++ {
 		dram := mem.NewDRAM(env, cfg.DRAMPerNode)
 		var nvm *mem.Device
@@ -199,37 +289,86 @@ func New(cfg Config) *Cluster {
 		kernels[n] = nvmkernel.New(env, dram, nvm)
 		nvms[n] = nvm
 	}
+	for n := cfg.Nodes; n < totalNodes; n++ {
+		nvms[n] = mem.NewPCM(env, cfg.NVMPerNode)
+	}
 	o := obs.New(env)
 	o.UseSpanRecorder(cfg.Tracer)
 	fabric.SetRecorder(o.Recorder(0, "fabric"))
-	mesh := remote.NewMesh(env, fabric, nvms)
-	mesh.SetRecorder(o.Recorder(0, "mesh"))
+
+	remoteTier, err := remoteEntry.Remote().NewTier(policy.RemoteRuntime{
+		Env:          env,
+		Fabric:       fabric,
+		NVMs:         nvms,
+		ComputeNodes: cfg.Nodes,
+		Recorder:     o.Recorder,
+	}, policy.RemoteOptions{
+		RateCap: cfg.RemoteRateCap,
+		Delay:   cfg.RemoteDelay,
+		Group:   cfg.RemoteGroup,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: remote policy %q: %w", remoteEntry.Name, err)
+	}
+	bottomTier, err := bottomEntry.Bottom().NewTier(env, policy.BottomOptions{
+		AggregateBW: cfg.BottomAggregateBW,
+		StripeBW:    cfg.BottomStripeBW,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bottom policy %q: %w", bottomEntry.Name, err)
+	}
+	if bottomTier != nil && remoteTier == nil {
+		return nil, fmt.Errorf("cluster: bottom policy %q needs a remote tier to drain from", bottomEntry.Name)
+	}
+
 	return &Cluster{
 		Cfg:        cfg,
 		Env:        env,
 		Fabric:     fabric,
-		Mesh:       mesh,
 		Obs:        o,
 		kernels:    kernels,
+		localPol:   localEntry.Local(),
+		remoteTier: remoteTier,
+		bottomTier: bottomTier,
 		lastRemote: make(map[int]*sim.Completion),
 		ckptTime:   make([]time.Duration, cfg.Nodes*cfg.CoresPerNode),
-	}
+	}, nil
 }
 
 // Kernel returns node n's kernel (for tests).
 func (c *Cluster) Kernel(n int) *nvmkernel.Kernel { return c.kernels[n] }
 
+// Mesh returns the buddy tier's remote mesh, or nil when the remote policy is
+// not buddy-based (lower-level surface for tests and drain experiments).
+func (c *Cluster) Mesh() *remote.Mesh { return policy.BuddyMesh(c.remoteTier) }
+
+// RemoteTier returns the composed remote tier (nil when disabled).
+func (c *Cluster) RemoteTier() policy.RemoteTier { return c.remoteTier }
+
 // Run executes the configured workload to completion (surviving injected
 // failures) and returns the result summary.
-func Run(cfg Config) (Result, *Cluster) {
-	c := New(cfg)
+func Run(cfg Config) (Result, *Cluster, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
 	for i := range c.Cfg.Failures {
 		f := c.Cfg.Failures[i]
 		c.Env.At(f.After, func() { c.injectFailure(f) })
 	}
 	c.Env.Go("driver", c.drive)
 	c.Env.Run()
-	return c.collect(), c
+	return c.collect(), c, nil
+}
+
+// MustRun is Run for callers with statically known-good configurations
+// (experiment harnesses, examples, tests); it panics on a config error.
+func MustRun(cfg Config) (Result, *Cluster) {
+	res, c, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res, c
 }
 
 // drive runs epochs (spawn ranks, join, recover) until the job completes.
@@ -255,37 +394,52 @@ func (c *Cluster) drive(p *sim.Proc) {
 			done.Await(p)
 		}
 	}
-	// Capture helper utilization before the agents are torn down; the
+	// Capture helper utilization before the tier is torn down; the
 	// denominator is the post-drain clock since the helpers may still have
 	// been working past the application's completion.
-	if c.Cfg.Remote {
-		for n := 0; n < c.Cfg.Nodes; n++ {
-			if a := c.Mesh.Agent(n); a != nil {
-				c.helperUtil = append(c.helperUtil, a.Meter.Utilization(p.Now()))
-			}
-		}
+	if c.remoteTier != nil {
+		c.helperUtil = c.remoteTier.Utilization(p.Now())
 	}
+	c.drainBottom(p)
 	c.shutdown()
 }
 
-// spawnEpoch builds fresh per-epoch machinery (barrier, agents, engines,
-// stores) and spawns one process per rank, resuming at the committed
+// drainBottom flushes every remote holder's committed objects to the bottom
+// tier, one concurrent drain per holder (the hierarchy experiment's final
+// stage). No-op without a bottom tier.
+func (c *Cluster) drainBottom(p *sim.Proc) {
+	if c.bottomTier == nil || c.remoteTier == nil {
+		return
+	}
+	start := p.Now()
+	var procs []*sim.Proc
+	for n := 0; n < c.Fabric.Nodes(); n++ {
+		src := c.remoteTier.DrainSource(n)
+		if src == nil {
+			continue
+		}
+		procs = append(procs, c.Env.Go(fmt.Sprintf("drain/node%d", n), func(dp *sim.Proc) {
+			st := c.bottomTier.Drain(dp, src)
+			c.bottomStats.Objects += st.Objects
+			c.bottomStats.Bytes += st.Bytes
+		}))
+	}
+	for _, dp := range procs {
+		p.Join(dp)
+	}
+	c.bottomStats.Duration = p.Now() - start
+}
+
+// spawnEpoch builds fresh per-epoch machinery (barrier, tier epoch state,
+// engines, stores) and spawns one process per rank, resuming at the committed
 // iteration.
 func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 	cfg := c.Cfg
 	ranks := cfg.Nodes * cfg.CoresPerNode
 	c.barrier = sim.NewBarrier(c.Env, ranks)
 	c.engines = nil
-	if cfg.Remote {
-		for n := 0; n < cfg.Nodes; n++ {
-			c.Mesh.RemoveAgent(n)
-			c.Mesh.AddAgent(n, (n+1)%cfg.Nodes, remote.Config{
-				Scheme:  cfg.RemoteScheme,
-				RateCap: cfg.RemoteRateCap,
-				Delay:   cfg.RemoteDelay,
-				Rec:     c.Obs.Recorder(n, "helper"),
-			})
-		}
+	if c.remoteTier != nil {
+		c.remoteTier.BeginEpoch()
 	}
 	start := c.committedIter
 	procs := make([]*sim.Proc, 0, ranks)
@@ -350,13 +504,13 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		panic(fmt.Sprintf("cluster: rank %d setup: %v", rank, err))
 	}
 	// Hard-failure recovery: chunks with no local version are fetched from
-	// the buddy's committed remote copy.
-	if cfg.Remote && startIter > 0 {
+	// the remote tier's committed copy (buddy replica or parity rebuild).
+	if c.remoteTier != nil && startIter > 0 {
 		for _, ch := range app.Chunks {
 			if ch.Restored {
 				continue
 			}
-			if data, _, ok := c.Mesh.Fetch(p, node, name, ch.ID); ok {
+			if data, _, ok := c.remoteTier.Fetch(p, node, lane, name, ch.ID); ok {
 				if err := store.AdoptRemote(p, ch, data, 0); err != nil {
 					panic(err)
 				}
@@ -367,10 +521,9 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		c.Fabric.Send(p, node, (node+1)%cfg.Nodes, bytes)
 	}
 
-	var engine *precopy.Engine
+	var engine policy.LocalEngine
 	if !cfg.NoCheckpoint {
-		engine = precopy.New(store, precopy.Config{
-			Scheme:    cfg.LocalScheme,
+		engine = c.localPol.NewEngine(store, policy.LocalOptions{
 			RateCap:   cfg.LocalRateCap,
 			BWPerCore: kernel.NVM.PerCoreWriteBW(cfg.CoresPerNode),
 			Rec:       rec,
@@ -378,16 +531,16 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		})
 		c.engines = append(c.engines, engine)
 	}
-	if cfg.Remote {
-		c.Mesh.Agent(node).Register(store)
+	if c.remoteTier != nil {
+		c.remoteTier.Register(node, store)
 	}
 
 	for iter := startIter; iter < cfg.Iterations; iter++ {
 		if engine != nil && iter%cfg.LocalEvery == 0 {
 			engine.BeginInterval(p)
 		}
-		if cfg.Remote && leader && iter%cfg.RemoteEvery == 0 {
-			c.Mesh.Agent(node).BeginRemoteInterval()
+		if c.remoteTier != nil && leader && iter%cfg.RemoteEvery == 0 {
+			c.remoteTier.BeginInterval(node)
 		}
 		iterStart := p.Now()
 		if err := app.Iterate(p); err != nil {
@@ -432,8 +585,8 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 			c.committedIter = iter + 1
 			c.localCount++
 		}
-		if cfg.Remote && leader && (iter+1)%cfg.RemoteEvery == 0 {
-			c.lastRemote[node] = c.Mesh.Agent(node).TriggerRemote(p)
+		if c.remoteTier != nil && leader && (iter+1)%cfg.RemoteEvery == 0 {
+			c.lastRemote[node] = c.remoteTier.Trigger(p, node)
 			rec.Instant("remote trigger", "remote", lane, p.Now(), nil)
 			rec.Emit(obs.EvRemoteTrigger, "", 0,
 				map[string]string{"iter": fmt.Sprintf("%d", iter)})
@@ -487,13 +640,13 @@ func (c *Cluster) recover(p *sim.Proc, f FailureEvent) {
 		map[string]string{"resume_iter": fmt.Sprintf("%d", c.committedIter)})
 }
 
-// shutdown stops engines and helper agents so the event queue drains.
+// shutdown stops engines and the remote tier so the event queue drains.
 func (c *Cluster) shutdown() {
 	for _, e := range c.engines {
 		e.Stop()
 	}
-	for n := 0; n < c.Cfg.Nodes; n++ {
-		c.Mesh.RemoveAgent(n)
+	if c.remoteTier != nil {
+		c.remoteTier.Shutdown()
 	}
 }
 
@@ -521,6 +674,9 @@ func (c *Cluster) collect() Result {
 	}
 	res.DataToNVMPerRank = float64(res.PreCopyBytes+res.CkptBytes) / float64(ranks)
 	res.HelperUtil = c.helperUtil
+	res.BottomObjects = c.bottomStats.Objects
+	res.BottomBytes = c.bottomStats.Bytes
+	res.BottomDrainTime = c.bottomStats.Duration
 
 	// Derived figures from the obs registry's cluster-scope rollups: the
 	// Figure 9 pre-copy hit and re-dirty rates and the Figure 10 peak

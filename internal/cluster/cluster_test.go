@@ -6,8 +6,6 @@ import (
 	"time"
 
 	"nvmcp/internal/mem"
-	"nvmcp/internal/precopy"
-	"nvmcp/internal/remote"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -35,7 +33,7 @@ func smallCfg() Config {
 
 func TestRunCompletesAllIterations(t *testing.T) {
 	cfg := smallCfg()
-	res, _ := Run(cfg)
+	res, _ := MustRun(cfg)
 	if res.LocalCkpts != cfg.Iterations {
 		t.Fatalf("LocalCkpts = %d, want %d", res.LocalCkpts, cfg.Iterations)
 	}
@@ -49,11 +47,11 @@ func TestRunCompletesAllIterations(t *testing.T) {
 
 func TestDirtyTrackingSkipsInitOnlyChunks(t *testing.T) {
 	cfg := smallCfg()
-	cfg.LocalScheme = precopy.NoPreCopy
-	tracked, _ := Run(cfg)
+	cfg.Local = "none"
+	tracked, _ := MustRun(cfg)
 	cfg2 := smallCfg()
 	cfg2.ForceFull = true
-	full, _ := Run(cfg2)
+	full, _ := MustRun(cfg2)
 	// Tracked: init-only 20MB copied once; full: every checkpoint.
 	perIterExtra := float64(20*mem.MB) * float64(cfg.Iterations-1)
 	gotExtra := full.DataToNVMPerRank - tracked.DataToNVMPerRank
@@ -65,11 +63,11 @@ func TestDirtyTrackingSkipsInitOnlyChunks(t *testing.T) {
 func TestPreCopyShrinksBlockingCheckpointTime(t *testing.T) {
 	base := smallCfg()
 	base.ForceFull = true
-	noPre, _ := Run(base)
+	noPre, _ := MustRun(base)
 
 	pre := smallCfg()
-	pre.LocalScheme = precopy.CPC
-	withPre, _ := Run(pre)
+	pre.Local = "cpc"
+	withPre, _ := MustRun(pre)
 
 	if withPre.CkptTimePerRank >= noPre.CkptTimePerRank {
 		t.Fatalf("pre-copy ckpt time %v not below baseline %v",
@@ -86,11 +84,11 @@ func TestPreCopyShrinksBlockingCheckpointTime(t *testing.T) {
 func TestNoCheckpointIsFastest(t *testing.T) {
 	ideal := smallCfg()
 	ideal.NoCheckpoint = true
-	idealRes, _ := Run(ideal)
+	idealRes, _ := MustRun(ideal)
 
 	real := smallCfg()
 	real.ForceFull = true
-	realRes, _ := Run(real)
+	realRes, _ := MustRun(real)
 
 	if idealRes.ExecTime >= realRes.ExecTime {
 		t.Fatalf("ideal run (%v) not faster than checkpointed run (%v)",
@@ -104,14 +102,13 @@ func TestNoCheckpointIsFastest(t *testing.T) {
 func TestRemoteCheckpointsTriggerEveryK(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Iterations = 4
-	cfg.Remote = true
-	cfg.RemoteScheme = remote.AsyncBurst
+	cfg.Remote = "buddy-burst"
 	cfg.RemoteEvery = 2
-	res, c := Run(cfg)
+	res, c := MustRun(cfg)
 	if res.RemoteCkpts != 2 {
 		t.Fatalf("RemoteCkpts = %d, want 2", res.RemoteCkpts)
 	}
-	if got := c.Mesh.Counters.Get("ships"); got == 0 {
+	if got := c.Mesh().Counters.Get("ships"); got == 0 {
 		t.Fatal("no chunks shipped to buddies")
 	}
 	if len(res.HelperUtil) != cfg.Nodes {
@@ -127,15 +124,14 @@ func TestRemoteCheckpointsTriggerEveryK(t *testing.T) {
 func TestRemotePreCopyMovesDataBeforeTrigger(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Iterations = 4
-	cfg.Remote = true
-	cfg.RemoteScheme = remote.PreCopy
+	cfg.Remote = "buddy-precopy"
 	cfg.RemoteEvery = 4
-	cfg.LocalScheme = precopy.CPC // stages chunks early so the helper can ship
-	res, c := Run(cfg)
+	cfg.Local = "cpc" // stages chunks early so the helper can ship
+	res, c := MustRun(cfg)
 	if res.RemoteCkpts != 1 {
 		t.Fatalf("RemoteCkpts = %d, want 1", res.RemoteCkpts)
 	}
-	if got := c.Mesh.Counters.Get("ships"); got == 0 {
+	if got := c.Mesh().Counters.Get("ships"); got == 0 {
 		t.Fatal("pre-copy helper shipped nothing")
 	}
 }
@@ -145,7 +141,7 @@ func TestSoftFailureRecoversFromLocalNVM(t *testing.T) {
 	cfg.Iterations = 4
 	// Fail after the second checkpoint (~2 iterations of 2s + ckpt time).
 	cfg.Failures = []FailureEvent{{After: 5 * time.Second, Node: 0, Hard: false}}
-	res, _ := Run(cfg)
+	res, _ := MustRun(cfg)
 	if res.FailuresInjected != 1 {
 		t.Fatalf("FailuresInjected = %d", res.FailuresInjected)
 	}
@@ -161,11 +157,10 @@ func TestSoftFailureRecoversFromLocalNVM(t *testing.T) {
 func TestHardFailureRecoversFromBuddy(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Iterations = 4
-	cfg.Remote = true
-	cfg.RemoteScheme = remote.AsyncBurst
+	cfg.Remote = "buddy-burst"
 	cfg.RemoteEvery = 1 // remote checkpoint every iteration
 	cfg.Failures = []FailureEvent{{After: 7 * time.Second, Node: 0, Hard: true}}
-	res, _ := Run(cfg)
+	res, _ := MustRun(cfg)
 	if res.FailuresInjected != 1 {
 		t.Fatalf("FailuresInjected = %d", res.FailuresInjected)
 	}
@@ -181,7 +176,7 @@ func TestHardFailureRecoversFromBuddy(t *testing.T) {
 func TestFailureAfterCompletionIsIgnored(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Failures = []FailureEvent{{After: 24 * time.Hour, Node: 0}}
-	res, _ := Run(cfg)
+	res, _ := MustRun(cfg)
 	if res.FailuresInjected != 0 {
 		t.Fatalf("failure fired after completion: %d", res.FailuresInjected)
 	}
@@ -191,7 +186,7 @@ func TestLocalEverySkipsIntermediateCheckpoints(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Iterations = 6
 	cfg.LocalEvery = 3
-	res, _ := Run(cfg)
+	res, _ := MustRun(cfg)
 	if res.LocalCkpts != 2 {
 		t.Fatalf("LocalCkpts = %d, want 2 (every 3rd of 6 iterations)", res.LocalCkpts)
 	}
@@ -203,7 +198,7 @@ func TestLocalEveryRecoveryRollsBackToCheckpointBoundary(t *testing.T) {
 	cfg.LocalEvery = 2
 	// Fail mid-way: after the iter-1 checkpoint (~4s+ckpt), during iter 2/3.
 	cfg.Failures = []FailureEvent{{After: 7 * time.Second, Node: 0}}
-	res, _ := Run(cfg)
+	res, _ := MustRun(cfg)
 	if res.FailuresInjected != 1 {
 		t.Fatalf("FailuresInjected = %d", res.FailuresInjected)
 	}
@@ -219,13 +214,12 @@ func TestLocalEveryRecoveryRollsBackToCheckpointBoundary(t *testing.T) {
 
 func TestTracerRecordsTimeline(t *testing.T) {
 	cfg := smallCfg()
-	cfg.Remote = true
-	cfg.RemoteScheme = remote.AsyncBurst
+	cfg.Remote = "buddy-burst"
 	cfg.RemoteEvery = 1
 	cfg.Failures = []FailureEvent{{After: 3 * time.Second, Node: 0}}
 	rec := trace.NewSpanRecorder()
 	cfg.Tracer = rec
-	Run(cfg)
+	MustRun(cfg)
 	if rec.Len() == 0 {
 		t.Fatal("tracer recorded nothing")
 	}
@@ -243,13 +237,12 @@ func TestTracerRecordsTimeline(t *testing.T) {
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	cfg := smallCfg()
-	cfg.LocalScheme = precopy.DCPCP
-	cfg.Remote = true
-	cfg.RemoteScheme = remote.PreCopy
+	cfg.Local = "dcpcp"
+	cfg.Remote = "buddy-precopy"
 	cfg.RemoteEvery = 2
-	first, _ := Run(cfg)
+	first, _ := MustRun(cfg)
 	for i := 0; i < 3; i++ {
-		got, _ := Run(cfg)
+		got, _ := MustRun(cfg)
 		if got.ExecTime != first.ExecTime ||
 			got.DataToNVMPerRank != first.DataToNVMPerRank ||
 			got.CkptTimePerRank != first.CkptTimePerRank {
@@ -265,13 +258,12 @@ func TestCommunicationContendWithRemoteCheckpoint(t *testing.T) {
 	// A slow link keeps checkpoint shipping in flight long enough to meet
 	// the application's communication bursts.
 	quiet := Config{Nodes: 2, CoresPerNode: 2, App: app, Iterations: 3, LinkBW: 100e6}
-	quietRes, _ := Run(quiet)
+	quietRes, _ := MustRun(quiet)
 
 	noisy := quiet
-	noisy.Remote = true
-	noisy.RemoteScheme = remote.AsyncBurst
+	noisy.Remote = "buddy-burst"
 	noisy.RemoteEvery = 1
-	noisyRes, _ := Run(noisy)
+	noisyRes, _ := MustRun(noisy)
 
 	if noisyRes.ExecTime <= quietRes.ExecTime {
 		t.Fatalf("remote checkpoint traffic added no noise: %v vs %v",

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"time"
+
+	"nvmcp/internal/scenario"
+)
+
+// FromScenario lowers a declarative scenario into a runnable Config. The
+// scenario is validated; policy names pass through to the registry untouched,
+// so a scheme registered in internal/policy is reachable from a JSON file
+// with no cluster changes.
+func FromScenario(sc *scenario.Scenario) (Config, error) {
+	if err := sc.Validate(); err != nil {
+		return Config{}, err
+	}
+	app, err := sc.AppSpec()
+	if err != nil {
+		return Config{}, err
+	}
+	remoteRate, err := sc.ResolvedRemoteRateCap()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		Nodes:        sc.Nodes,
+		CoresPerNode: sc.CoresPerNode,
+		DRAMPerNode:  sc.DRAMPerNode,
+		NVMPerNode:   sc.NVMPerNode,
+		NVMPerCoreBW: sc.NVMPerCoreBW,
+		LinkBW:       sc.LinkBW,
+
+		App:        app,
+		Iterations: sc.Iterations,
+
+		Local:        sc.Local.Policy,
+		LocalRateCap: sc.Local.RateCap,
+		LocalEvery:   sc.Local.Every,
+		ForceFull:    sc.Local.ForceFull,
+		NoCheckpoint: sc.NoCheckpoint,
+
+		Remote:        sc.Remote.Policy,
+		RemoteRateCap: remoteRate,
+		RemoteDelay:   time.Duration(sc.Remote.DelaySecs * float64(time.Second)),
+		RemoteEvery:   sc.Remote.Every,
+		RemoteGroup:   sc.Remote.Group,
+
+		Bottom:            sc.Bottom.Policy,
+		BottomAggregateBW: sc.Bottom.AggregateBW,
+		BottomStripeBW:    sc.Bottom.StripeBW,
+
+		PayloadCap:    sc.PayloadCap,
+		SingleVersion: sc.SingleVersion,
+	}
+	for _, f := range sc.Failures {
+		cfg.Failures = append(cfg.Failures, FailureEvent{
+			After: time.Duration(f.AtSecs * float64(time.Second)),
+			Node:  f.Node,
+			Hard:  f.Hard,
+		})
+	}
+	return cfg, nil
+}
+
+// RunScenario builds and runs a scenario end to end.
+func RunScenario(sc *scenario.Scenario) (Result, *Cluster, error) {
+	cfg, err := FromScenario(sc)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return Run(cfg)
+}

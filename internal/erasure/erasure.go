@@ -92,6 +92,13 @@ func (g *Group) Register(member int, s *core.Store) {
 	g.stores[member] = append(g.stores[member], s)
 }
 
+// SetStores replaces a member node's rank-ordered stores wholesale — the
+// re-registration path after a failure epoch, where freshly attached stores
+// take over from the previous epoch's handles.
+func (g *Group) SetStores(member int, stores []*core.Store) {
+	g.stores[member] = append([]*core.Store(nil), stores...)
+}
+
 // Members returns the member node ids.
 func (g *Group) Members() []int { return append([]int(nil), g.members...) }
 
@@ -230,6 +237,65 @@ func (g *Group) Reconstruct(p *sim.Proc, failed int, replacement []*core.Store) 
 	g.stores[failed] = replacement
 	g.Counters.Add("reconstructions", 1)
 	return nil
+}
+
+// FetchChunk reconstructs a single chunk of a failed member from the parity
+// plus every survivor's contribution, returning the payload without adopting
+// it into a store (the caller delivers it). The transfer lands in the failed
+// node's NVM. Survivors must still hold the committed round's data, else
+// ErrStale.
+func (g *Group) FetchChunk(p *sim.Proc, failed, slot int, id uint64) ([]byte, int64, error) {
+	if g.round == 0 {
+		return nil, 0, ErrNoParity
+	}
+	fi := -1
+	for i, m := range g.members {
+		if m == failed {
+			fi = i
+		}
+	}
+	if fi < 0 {
+		return nil, 0, fmt.Errorf("erasure: node %d is not a group member", failed)
+	}
+	key := chunkKey{slot, id}
+	pc, ok := g.parity[key]
+	if !ok {
+		return nil, 0, fmt.Errorf("erasure: no parity for slot %d chunk %d", slot, id)
+	}
+	// Start from the parity, shipped from the parity node.
+	g.nvm[g.parityNode].ReadBytes(p, pc.size)
+	g.fabric.RDMARead(p, g.parityNode, failed, pc.size)
+	acc := append([]byte(nil), pc.data...)
+
+	for mi, member := range g.members {
+		if member == failed {
+			continue
+		}
+		stores := g.stores[member]
+		if slot >= len(stores) {
+			return nil, 0, fmt.Errorf("%w: survivor %d has no rank slot %d", ErrShape, member, slot)
+		}
+		ss := stores[slot]
+		snap := findState(ss, id)
+		if snap == nil {
+			return nil, 0, fmt.Errorf("erasure: survivor %d missing chunk %d", member, id)
+		}
+		if snap.CleanSeq != pc.seqs[mi] {
+			return nil, 0, fmt.Errorf("%w: survivor %d chunk %d at seq %d, parity at %d",
+				ErrStale, member, id, snap.CleanSeq, pc.seqs[mi])
+		}
+		data, ok := ss.StagedData(p, id)
+		if !ok {
+			return nil, 0, fmt.Errorf("erasure: survivor %d has no data for chunk %d", member, id)
+		}
+		ss.Kernel().NVM.ReadBytes(p, pc.size)
+		g.fabric.RDMARead(p, member, failed, pc.size)
+		acc = xorInto(acc, data)
+		g.Counters.Add("reconstruct_bytes", pc.size)
+	}
+	g.nvm[failed].WriteBytes(p, pc.size)
+	g.Counters.Add("reconstructions", 1)
+	return acc, pc.size, nil
 }
 
 // shape validates rank alignment across members and returns the (slot,

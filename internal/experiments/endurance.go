@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"nvmcp/internal/cluster"
-	"nvmcp/internal/precopy"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -34,23 +33,23 @@ type EnduranceRow struct {
 func RunEndurance(scale Scale) []EnduranceRow {
 	type schemeDef struct {
 		name      string
-		scheme    precopy.Scheme
+		policy    string
 		forceFull bool
 	}
 	schemes := []schemeDef{
-		{"full checkpoint (no tracking)", precopy.NoPreCopy, true},
-		{"dirty tracking, no pre-copy", precopy.NoPreCopy, false},
-		{"CPC (eager)", precopy.CPC, false},
-		{"DCPCP (delayed+prediction)", precopy.DCPCP, false},
+		{"full checkpoint (no tracking)", "none", true},
+		{"dirty tracking, no pre-copy", "none", false},
+		{"CPC (eager)", "cpc", false},
+		{"DCPCP (delayed+prediction)", "dcpcp", false},
 	}
 	rows := make([]EnduranceRow, len(schemes))
 	sweep(len(schemes), func(i int) {
 		sd := schemes[i]
 		cfg := baseConfig(workload.LAMMPSRhodo(), scale, 400e6)
 		cfg.App.CommPerIter = 0
-		cfg.LocalScheme = sd.scheme
+		cfg.Local = sd.policy
 		cfg.ForceFull = sd.forceFull
-		res, c := cluster.Run(cfg)
+		res, c := cluster.MustRun(cfg)
 
 		// Sum NVM write traffic over all nodes and normalize per node.
 		var written int64

@@ -16,8 +16,7 @@ import (
 	"time"
 
 	"nvmcp/internal/cluster"
-	"nvmcp/internal/mem"
-	"nvmcp/internal/precopy"
+	"nvmcp/internal/scenario"
 	"nvmcp/internal/workload"
 )
 
@@ -39,12 +38,12 @@ func (s Scale) String() string {
 	return "quick"
 }
 
-// nodes/cores/iterations for a scale.
-func (s Scale) dims() (nodes, cores, iters int) {
+// Scenario maps the experiment scale onto the scenario layer's scale names.
+func (s Scale) Scenario() scenario.Scale {
 	if s == Paper {
-		return 4, 12, 4
+		return scenario.ScalePaper
 	}
-	return 2, 4, 3
+	return scenario.ScaleQuick
 }
 
 // BWSweepPerCore is the Figures 7/8 x-axis: effective NVM write bandwidth
@@ -55,37 +54,24 @@ func (s Scale) dims() (nodes, cores, iters int) {
 var BWSweepPerCore = []float64{1600e6, 800e6, 400e6, 200e6, 100e6}
 
 // baseConfig assembles the common cluster configuration for an app at a
-// scale and per-core NVM bandwidth.
+// scale and per-core NVM bandwidth by lowering the scenario layer's base
+// shape (quick runs re-scale volumes so contention shape survives at speed).
 func baseConfig(app workload.AppSpec, scale Scale, bwPerCore float64) cluster.Config {
-	nodes, cores, iters := scale.dims()
-	if scale == Quick {
-		// Keep virtual volumes proportional to the smaller machine so
-		// quick runs finish fast but preserve contention shape; the
-		// communication volume scales with the data volume.
-		factor := float64(100*mem.MB) / float64(app.CheckpointSize())
-		app = app.ScaledTo(100 * mem.MB)
-		app.CommPerIter = int64(float64(app.CommPerIter) * factor)
-		app.IterTime = 10 * time.Second
+	cfg, err := cluster.FromScenario(scenario.Base(app.Name, scale.Scenario(), bwPerCore))
+	if err != nil {
+		panic(err)
 	}
-	return cluster.Config{
-		Nodes:        nodes,
-		CoresPerNode: cores,
-		App:          app,
-		Iterations:   iters,
-		NVMPerCoreBW: bwPerCore,
-		// Large chunk payloads are pointless at cluster scale; timing uses
-		// virtual sizes.
-		PayloadCap: 2048,
-	}
+	return cfg
 }
 
 // idealTime runs the no-checkpoint, no-failure configuration — the
 // denominator of every efficiency and overhead number.
 func idealTime(cfg cluster.Config) time.Duration {
 	cfg.NoCheckpoint = true
-	cfg.LocalScheme = precopy.NoPreCopy
-	cfg.Remote = false
-	res, _ := cluster.Run(cfg)
+	cfg.Local = "none"
+	cfg.Remote = "none"
+	cfg.Bottom = "none"
+	res, _ := cluster.MustRun(cfg)
 	return res.ExecTime
 }
 

@@ -9,8 +9,7 @@ import (
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/interconnect"
 	"nvmcp/internal/obs"
-	"nvmcp/internal/precopy"
-	"nvmcp/internal/remote"
+	"nvmcp/internal/scenario"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -37,9 +36,8 @@ type Fig10Result struct {
 // helper. The series are checkpoint bytes transferred per window.
 func RunFig10(app workload.AppSpec, scale Scale) Fig10Result {
 	nodesIters := func(base *cluster.Config) {
-		base.Remote = true
 		base.RemoteEvery = 2
-		base.LocalScheme = precopy.DCPCP
+		base.Local = "dcpcp"
 		if base.Iterations < 4 {
 			base.Iterations = 4
 		}
@@ -49,16 +47,16 @@ func RunFig10(app workload.AppSpec, scale Scale) Fig10Result {
 		window = 5 * time.Second
 	}
 
-	run := func(scheme remote.Scheme) (series []float64, peak float64) {
+	run := func(policy string) (series []float64, peak float64) {
 		base := baseConfig(app, scale, 800e6)
 		nodesIters(&base)
-		base.RemoteScheme = scheme
+		base.Remote = policy
 		base.LinkBW = fig9LinkBW(scale)
-		if scheme == remote.PreCopy {
-			base.RemoteRateCap, base.RemoteDelay = remotePreCopyTuning(
+		if policy == "buddy-precopy" {
+			base.RemoteRateCap = scenario.AutoRemoteRateCap(
 				base.App.CheckpointSize(), base.CoresPerNode, base.App.IterTime, base.RemoteEvery)
 		}
-		res, c := cluster.Run(base)
+		res, c := cluster.MustRun(base)
 		end := res.ExecTime
 		// Read the fabric's cumulative checkpoint series through the obs
 		// registry — the same timeline every other sink sees.
@@ -68,8 +66,8 @@ func RunFig10(app workload.AppSpec, scale Scale) Fig10Result {
 		return series, peak
 	}
 
-	burstSeries, burstPeak := run(remote.AsyncBurst)
-	preSeries, prePeak := run(remote.PreCopy)
+	burstSeries, burstPeak := run("buddy-burst")
+	preSeries, prePeak := run("buddy-precopy")
 	red := 0.0
 	if burstPeak > 0 {
 		red = 1 - prePeak/burstPeak

@@ -6,8 +6,7 @@ import (
 	"time"
 
 	"nvmcp/internal/cluster"
-	"nvmcp/internal/precopy"
-	"nvmcp/internal/remote"
+	"nvmcp/internal/scenario"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -74,23 +73,29 @@ func RunFig9(app workload.AppSpec, scale Scale) Fig9Result {
 		if k > base.Iterations {
 			base.Iterations = k
 		}
-		base.Remote = true
 		base.RemoteEvery = k
-		base.LocalScheme = precopy.DCPCP
+		base.Local = "dcpcp"
 		base.LinkBW = fig9LinkBW(scale)
 
 		ideal := idealTime(base)
 
 		noPre := base
-		noPre.RemoteScheme = remote.AsyncBurst
-		noPreRes, _ := cluster.Run(noPre)
+		noPre.Remote = "buddy-burst"
+		noPreRes, _ := cluster.MustRun(noPre)
 
 		pre := base
-		pre.RemoteScheme = remote.PreCopy
+		pre.Remote = "buddy-precopy"
 		interval := time.Duration(k) * base.App.IterTime
-		pre.RemoteRateCap, pre.RemoteDelay = remotePreCopyTuning(
+		// Budget twice the minimum sustained shipping rate (the scenario
+		// layer's auto cap): incremental shipping re-sends chunks re-staged
+		// within the interval, and the headroom lets the post-trigger
+		// catch-up finish promptly. Shipping this slowly leaves the
+		// application's communication the bulk of the link whenever they
+		// overlap; the remote commit may finish into the following segment —
+		// exactly Figure 5c's overlap.
+		pre.RemoteRateCap = scenario.AutoRemoteRateCap(
 			base.App.CheckpointSize(), base.CoresPerNode, base.App.IterTime, k)
-		preRes, _ := cluster.Run(pre)
+		preRes, _ := cluster.MustRun(pre)
 
 		out.Points[i] = Fig9Point{
 			BWPerCore:      bw,
@@ -116,24 +121,6 @@ func RunFig9(app workload.AppSpec, scale Scale) Fig9Result {
 	out.AvgOvhNoPre = sumNo / n
 	out.AvgOvhPre = sumPre / n
 	return out
-}
-
-// remotePreCopyTuning derives the remote pre-copy rate cap: the node's whole
-// checkpoint volume spread over the remote interval — the minimum sustained
-// rate at which the (serialized) helper keeps up. Shipping this slowly
-// leaves the application's communication the bulk of the link whenever they
-// overlap (a full-rate burst would take an equal fair share), while the
-// helper always sends a chunk's *latest* staged version, so versions that
-// appear faster than the budget drains are skipped, not queued. The remote
-// commit may finish into the following segment — exactly Figure 5c's overlap.
-func remotePreCopyTuning(ckptSize int64, ranksPerNode int, iterTime time.Duration, k int) (rateCap float64, delay time.Duration) {
-	interval := time.Duration(k) * iterTime
-	// Budget twice the minimum sustained rate: incremental shipping re-sends
-	// chunks that are re-staged within the interval (the paper's "potential
-	// increase in total checkpointing data volume"), and the headroom also
-	// lets the post-trigger catch-up finish promptly.
-	rateCap = 2 * float64(ckptSize) * float64(ranksPerNode) / interval.Seconds()
-	return rateCap, 0
 }
 
 // fig9LinkBW sizes the per-node link so a node's remote checkpoint volume

@@ -7,8 +7,7 @@ import (
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/pfs"
-	"nvmcp/internal/precopy"
-	"nvmcp/internal/remote"
+	"nvmcp/internal/scenario"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
@@ -53,15 +52,15 @@ func RunHierarchy(scale Scale) HierarchyResult {
 	out.PFSDirectExec = pfsDirect(base)
 	out.PFSDirectOvh = overhead(out.PFSDirectExec, out.Ideal)
 
-	// --- Multilevel: local + buddy, measured via the cluster ----------------
+	// --- Multilevel: local + buddy + PFS drain, one composed cluster run ----
 	multi := base
-	multi.LocalScheme = precopy.DCPCP
-	multi.Remote = true
-	multi.RemoteScheme = remote.PreCopy
+	multi.Local = "dcpcp"
+	multi.Remote = "buddy-precopy"
 	multi.RemoteEvery = 2
-	multi.RemoteRateCap, multi.RemoteDelay = remotePreCopyTuning(
+	multi.RemoteRateCap = scenario.AutoRemoteRateCap(
 		base.App.CheckpointSize(), base.CoresPerNode, base.App.IterTime, multi.RemoteEvery)
-	res, c := cluster.Run(multi)
+	multi.Bottom = "pfs-drain"
+	res, _ := cluster.MustRun(multi)
 	out.MultiExec = res.ExecTime
 	out.MultiOvh = overhead(res.ExecTime, out.Ideal)
 	out.LocalLatency = res.CkptTimePerRank / time.Duration(res.LocalCkpts)
@@ -71,20 +70,9 @@ func RunHierarchy(scale Scale) HierarchyResult {
 	nodeD := float64(base.App.CheckpointSize()) * float64(base.CoresPerNode)
 	out.RemoteLatency = time.Duration(nodeD / multi.RemoteRateCap * float64(time.Second))
 
-	// PFS drain of the committed buddy copies, on the same simulation.
-	fs := pfs.New(c.Env, 0, 0)
-	var drainTotal pfs.DrainStats
-	c.Env.Go("pfs-drain", func(p *sim.Proc) {
-		for n := 0; n < multi.Nodes; n++ {
-			st := fs.Drain(p, pfs.MeshSource{Mesh: c.Mesh, Holder: n})
-			drainTotal.Objects += st.Objects
-			drainTotal.Bytes += st.Bytes
-			drainTotal.Duration += st.Duration
-		}
-	})
-	c.Env.Run()
-	out.PFSLatency = drainTotal.Duration
-	out.PFSObjects = drainTotal.Objects
+	// The bottom tier drained the committed buddy copies at end of run.
+	out.PFSLatency = res.BottomDrainTime
+	out.PFSObjects = res.BottomObjects
 	return out
 }
 

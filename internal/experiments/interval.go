@@ -8,7 +8,6 @@ import (
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/model"
-	"nvmcp/internal/precopy"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -48,7 +47,7 @@ func RunInterval(scale Scale) IntervalResult {
 	// the U-curve shows both rising flanks.
 	base.App.IterTime = 5 * time.Second
 	base.Iterations = 48
-	base.LocalScheme = precopy.NoPreCopy
+	base.Local = "none"
 
 	mtbf := 90 * time.Second
 	ideal := idealTime(base)
@@ -71,7 +70,7 @@ func RunInterval(scale Scale) IntervalResult {
 		cfg := base
 		cfg.LocalEvery = intervals[i]
 		cfg.Failures = fails
-		res, _ := cluster.Run(cfg)
+		res, _ := cluster.MustRun(cfg)
 		rows[i] = IntervalRow{
 			Interval: time.Duration(intervals[i]) * base.App.IterTime,
 			ExecTime: res.ExecTime,

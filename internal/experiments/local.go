@@ -7,7 +7,6 @@ import (
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/mem"
-	"nvmcp/internal/precopy"
 	"nvmcp/internal/ramdisk"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/trace"
@@ -58,12 +57,12 @@ func RunLocal(app workload.AppSpec, scale Scale) LocalResult {
 
 		noPre := base
 		noPre.ForceFull = true
-		noPre.LocalScheme = precopy.NoPreCopy
-		noPreRes, _ := cluster.Run(noPre)
+		noPre.Local = "none"
+		noPreRes, _ := cluster.MustRun(noPre)
 
 		pre := base
-		pre.LocalScheme = precopy.DCPCP
-		preRes, _ := cluster.Run(pre)
+		pre.Local = "dcpcp"
+		preRes, _ := cluster.MustRun(pre)
 
 		out.Points[i] = LocalPoint{
 			BWPerCore:     bw,

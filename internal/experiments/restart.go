@@ -12,7 +12,6 @@ import (
 	"nvmcp/internal/mem"
 	"nvmcp/internal/model"
 	"nvmcp/internal/nvmkernel"
-	"nvmcp/internal/precopy"
 	"nvmcp/internal/remote"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/trace"
@@ -305,7 +304,7 @@ func failurePoint(mtbf time.Duration, scale Scale) FailureRow {
 	base := baseConfig(workload.CM1(), scale, 400e6)
 	base.App.CommPerIter = 0 // isolate checkpoint+failure effects
 	base.Iterations = 6
-	base.LocalScheme = precopy.DCPCP
+	base.Local = "dcpcp"
 
 	ideal := idealTime(base)
 
@@ -325,7 +324,7 @@ func failurePoint(mtbf time.Duration, scale Scale) FailureRow {
 	}
 	cfg := base
 	cfg.Failures = fails
-	res, _ := cluster.Run(cfg)
+	res, _ := cluster.MustRun(cfg)
 
 	localMTBF, remoteMTBF := mtbf, 100000*time.Hour // soft-only injection
 	params := model.Params{

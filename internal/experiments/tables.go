@@ -7,8 +7,7 @@ import (
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/mem"
-	"nvmcp/internal/precopy"
-	"nvmcp/internal/remote"
+	"nvmcp/internal/scenario"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -89,22 +88,21 @@ func RunTable5(scale Scale) []Table5Row {
 	sizes := []int64{370 * mem.MB, 472 * mem.MB, 588 * mem.MB}
 	for _, size := range sizes {
 		app := workload.LAMMPSRhodo().ScaledTo(size)
-		run := func(scheme remote.Scheme) float64 {
+		run := func(policy string) float64 {
 			cfg := baseConfig(app, scale, 800e6)
 			// Table V pins data volume per core, so do not rescale.
 			cfg.App = app
 			if scale == Quick {
 				cfg.App.IterTime = 20 * time.Second
 			}
-			cfg.Remote = true
+			cfg.Remote = policy
 			cfg.RemoteEvery = 2
-			cfg.RemoteScheme = scheme
-			cfg.LocalScheme = precopy.DCPCP
-			if scheme == remote.PreCopy {
-				cfg.RemoteRateCap, cfg.RemoteDelay = remotePreCopyTuning(
+			cfg.Local = "dcpcp"
+			if policy == "buddy-precopy" {
+				cfg.RemoteRateCap = scenario.AutoRemoteRateCap(
 					cfg.App.CheckpointSize(), cfg.CoresPerNode, cfg.App.IterTime, cfg.RemoteEvery)
 			}
-			res, _ := cluster.Run(cfg)
+			res, _ := cluster.MustRun(cfg)
 			var sum float64
 			for _, u := range res.HelperUtil {
 				sum += u
@@ -116,8 +114,8 @@ func RunTable5(scale Scale) []Table5Row {
 		}
 		rows = append(rows, Table5Row{
 			DataPerCore: size,
-			UtilNoPre:   run(remote.AsyncBurst),
-			UtilPre:     run(remote.PreCopy),
+			UtilNoPre:   run("buddy-burst"),
+			UtilPre:     run("buddy-precopy"),
 		})
 	}
 	return rows

@@ -1,0 +1,290 @@
+package policy
+
+import (
+	"fmt"
+
+	"time"
+
+	"nvmcp/internal/core"
+	"nvmcp/internal/erasure"
+	"nvmcp/internal/obs"
+	"nvmcp/internal/pfs"
+	"nvmcp/internal/precopy"
+	"nvmcp/internal/remote"
+	"nvmcp/internal/sim"
+	"nvmcp/internal/trace"
+)
+
+func init() {
+	Register(KindLocal, "none",
+		"no background pre-copy; the blocking checkpoint copies everything",
+		localPolicy{precopy.NoPreCopy})
+	Register(KindLocal, "cpc",
+		"continuous pre-copy: chunks copied as soon as they are modified",
+		localPolicy{precopy.CPC})
+	Register(KindLocal, "dcpc",
+		"delayed pre-copy: copies start at the adaptive threshold T_p",
+		localPolicy{precopy.DCPC})
+	Register(KindLocal, "dcpcp",
+		"delayed pre-copy plus per-chunk modification prediction (the paper's best)",
+		localPolicy{precopy.DCPCP})
+
+	Register(KindRemote, "none",
+		"no remote checkpoint level",
+		noneRemote{})
+	Register(KindRemote, "buddy-burst",
+		"buddy replication, shipping everything at the remote checkpoint point",
+		buddyPolicy{remote.AsyncBurst})
+	Register(KindRemote, "buddy-precopy",
+		"buddy replication with incremental pre-copy shipping ahead of the trigger",
+		buddyPolicy{remote.PreCopy})
+	Register(KindRemote, "erasure",
+		"XOR parity group on a dedicated parity node instead of full buddy copies",
+		erasurePolicy{})
+
+	Register(KindBottom, "none",
+		"no bottom storage level",
+		noneBottom{})
+	Register(KindBottom, "pfs-drain",
+		"drain committed remote copies to a parallel file system",
+		pfsDrainPolicy{})
+}
+
+// localPolicy adapts precopy.New to the LocalPolicy interface.
+type localPolicy struct{ scheme precopy.Scheme }
+
+func (lp localPolicy) NewEngine(s *core.Store, o LocalOptions) LocalEngine {
+	return precopy.New(s, precopy.Config{
+		Scheme:    lp.scheme,
+		RateCap:   o.RateCap,
+		BWPerCore: o.BWPerCore,
+		Rec:       o.Rec,
+		TraceLane: o.TraceLane,
+	})
+}
+
+// noneRemote disables the remote level by building a nil tier.
+type noneRemote struct{}
+
+func (noneRemote) ExtraNodes(int) int                                       { return 0 }
+func (noneRemote) NewTier(RemoteRuntime, RemoteOptions) (RemoteTier, error) { return nil, nil }
+
+// noneBottom disables the bottom level by building a nil tier.
+type noneBottom struct{}
+
+func (noneBottom) NewTier(*sim.Env, BottomOptions) (BottomTier, error) { return nil, nil }
+
+// buddyPolicy is the paper's remote level: each node's helper ships chunks to
+// a buddy node holding a two-version copy (remote.Mesh + per-node Agents).
+type buddyPolicy struct{ scheme remote.Scheme }
+
+func (buddyPolicy) ExtraNodes(int) int { return 0 }
+
+func (bp buddyPolicy) NewTier(rt RemoteRuntime, o RemoteOptions) (RemoteTier, error) {
+	if o.Group != 0 {
+		return nil, fmt.Errorf("buddy policies take no redundancy group size (got %d)", o.Group)
+	}
+	mesh := remote.NewMesh(rt.Env, rt.Fabric, rt.NVMs)
+	mesh.SetRecorder(rt.Recorder(0, "mesh"))
+	return &buddyTier{rt: rt, o: o, scheme: bp.scheme, mesh: mesh}, nil
+}
+
+type buddyTier struct {
+	rt     RemoteRuntime
+	o      RemoteOptions
+	scheme remote.Scheme
+	mesh   *remote.Mesh
+}
+
+// BuddyMesh unwraps a buddy tier's remote.Mesh for callers that need the
+// lower-level surface (counters, drain sources, restart experiments); nil for
+// any other tier.
+func BuddyMesh(t RemoteTier) *remote.Mesh {
+	if bt, ok := t.(*buddyTier); ok {
+		return bt.mesh
+	}
+	return nil
+}
+
+func (t *buddyTier) BeginEpoch() {
+	for n := 0; n < t.rt.ComputeNodes; n++ {
+		t.mesh.RemoveAgent(n)
+		t.mesh.AddAgent(n, (n+1)%t.rt.ComputeNodes, remote.Config{
+			Scheme:  t.scheme,
+			RateCap: t.o.RateCap,
+			Delay:   t.o.Delay,
+			Rec:     t.rt.Recorder(n, "helper"),
+		})
+	}
+}
+
+func (t *buddyTier) Register(node int, s *core.Store) { t.mesh.Agent(node).Register(s) }
+func (t *buddyTier) BeginInterval(node int)           { t.mesh.Agent(node).BeginRemoteInterval() }
+
+func (t *buddyTier) Trigger(p *sim.Proc, node int) *sim.Completion {
+	return t.mesh.Agent(node).TriggerRemote(p)
+}
+
+func (t *buddyTier) Fetch(p *sim.Proc, node, slot int, procName string, id uint64) ([]byte, int64, bool) {
+	return t.mesh.Fetch(p, node, procName, id)
+}
+
+func (t *buddyTier) Utilization(now time.Duration) []float64 {
+	var out []float64
+	for n := 0; n < t.rt.ComputeNodes; n++ {
+		if a := t.mesh.Agent(n); a != nil {
+			out = append(out, a.Meter.Utilization(now))
+		}
+	}
+	return out
+}
+
+func (t *buddyTier) DrainSource(holder int) pfs.Source {
+	if holder < 0 || holder >= t.rt.ComputeNodes {
+		return nil
+	}
+	return pfs.MeshSource{Mesh: t.mesh, Holder: holder}
+}
+
+func (t *buddyTier) Shutdown() {
+	for n := 0; n < t.rt.ComputeNodes; n++ {
+		t.mesh.RemoveAgent(n)
+	}
+}
+
+// erasurePolicy composes the erasure package as a remote tier: one XOR parity
+// group over all compute nodes, with the parity held on one extra fabric node.
+type erasurePolicy struct{}
+
+func (erasurePolicy) ExtraNodes(int) int { return 1 }
+
+func (erasurePolicy) NewTier(rt RemoteRuntime, o RemoteOptions) (RemoteTier, error) {
+	if o.Group != 0 && o.Group != rt.ComputeNodes {
+		return nil, fmt.Errorf("erasure: only a single parity group over all %d compute nodes is supported (got group size %d)",
+			rt.ComputeNodes, o.Group)
+	}
+	if rt.ComputeNodes < 2 {
+		return nil, fmt.Errorf("erasure: needs at least 2 compute nodes, got %d", rt.ComputeNodes)
+	}
+	members := make([]int, rt.ComputeNodes)
+	for i := range members {
+		members[i] = i
+	}
+	parityNode := rt.ComputeNodes // the tier-requested extra fabric node
+	return &erasureTier{
+		rt:  rt,
+		g:   erasure.NewGroup(rt.Env, rt.Fabric, rt.NVMs, members, parityNode),
+		cur: make(map[int][]*core.Store),
+		rec: rt.Recorder(parityNode, "parity"),
+	}, nil
+}
+
+type erasureTier struct {
+	rt  RemoteRuntime
+	g   *erasure.Group
+	rec *obs.Recorder
+
+	// cur collects the epoch's store registrations; they are flushed into
+	// the group only at the first Trigger, so a post-failure recovery can
+	// still reconstruct from the previous epoch's survivor stores.
+	cur     map[int][]*core.Store
+	flushed bool
+
+	// active is the in-flight parity round's completion, shared by every
+	// node's trigger in that round.
+	active *sim.Completion
+
+	// Meter tracks parity-build busy time (the tier's helper utilization).
+	meter trace.Meter
+}
+
+func (t *erasureTier) BeginEpoch() {
+	t.cur = make(map[int][]*core.Store)
+	t.flushed = false
+	if t.active != nil {
+		// A round abandoned by a failure must not strand the driver's
+		// end-of-run await.
+		t.active.Complete()
+		t.active = nil
+	}
+}
+
+func (t *erasureTier) Register(node int, s *core.Store) {
+	t.cur[node] = append(t.cur[node], s)
+}
+
+func (t *erasureTier) BeginInterval(int) {}
+
+func (t *erasureTier) Trigger(p *sim.Proc, node int) *sim.Completion {
+	if !t.flushed {
+		for m, ss := range t.cur {
+			t.g.SetStores(m, ss)
+		}
+		t.flushed = true
+	}
+	if t.active != nil && !t.active.Completed() {
+		// A parity round is already draining; this node's trigger joins it
+		// (all leaders trigger at the same coordinated checkpoint).
+		return t.active
+	}
+	done := sim.NewCompletion(t.rt.Env)
+	t.active = done
+	t.rt.Env.Go("parity/commit", func(pp *sim.Proc) {
+		t.meter.Start(pp.Now())
+		err := t.g.CommitParity(pp)
+		t.meter.Stop(pp.Now())
+		if err != nil {
+			// A failure mid-round leaves stores unreadable; the round is
+			// simply lost, like an abandoned buddy burst.
+			t.rec.Emit(obs.EvHelperSleep, "parity round abandoned", 0,
+				map[string]string{"err": err.Error()})
+		} else {
+			t.rec.Emit(obs.EvRemoteCommit, "", 0,
+				map[string]string{"round": fmt.Sprintf("%d", t.g.Round())})
+		}
+		done.Complete()
+	})
+	return done
+}
+
+func (t *erasureTier) Fetch(p *sim.Proc, node, slot int, procName string, id uint64) ([]byte, int64, bool) {
+	data, size, err := t.g.FetchChunk(p, node, slot, id)
+	if err != nil {
+		return nil, 0, false
+	}
+	t.rec.Add("remote_fetches", 1)
+	return data, size, true
+}
+
+func (t *erasureTier) Utilization(now time.Duration) []float64 {
+	return []float64{t.meter.Utilization(now)}
+}
+
+func (t *erasureTier) DrainSource(int) pfs.Source { return nil }
+
+func (t *erasureTier) Shutdown() {
+	if t.active != nil {
+		t.active.Complete()
+	}
+}
+
+// pfsDrainPolicy builds the PFS bottom tier.
+type pfsDrainPolicy struct{}
+
+func (pfsDrainPolicy) NewTier(env *sim.Env, o BottomOptions) (BottomTier, error) {
+	return &pfsTier{fs: pfs.New(env, o.AggregateBW, o.StripeBW)}, nil
+}
+
+type pfsTier struct{ fs *pfs.FS }
+
+func (t *pfsTier) Drain(p *sim.Proc, src pfs.Source) pfs.DrainStats {
+	return t.fs.Drain(p, src)
+}
+
+// PFSOf unwraps a pfs tier's file system for result shaping; nil otherwise.
+func PFSOf(t BottomTier) *pfs.FS {
+	if pt, ok := t.(*pfsTier); ok {
+		return pt.fs
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package policy is the registry behind the scenario layer: local pre-copy
+// engines, remote checkpoint tiers (buddy replication, erasure parity) and
+// bottom storage tiers (PFS drain) register small constructors under stable
+// names, and the cluster composes a run by looking policies up instead of
+// branching on scheme enums. New schemes plug in by registering here — no
+// cluster, cmd, or experiment edits required.
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nvmcp/internal/core"
+	"nvmcp/internal/interconnect"
+	"nvmcp/internal/mem"
+	"nvmcp/internal/obs"
+	"nvmcp/internal/pfs"
+	"nvmcp/internal/sim"
+)
+
+// Kind separates the three policy namespaces.
+type Kind int
+
+const (
+	// KindLocal names local pre-copy policies (none, cpc, dcpc, dcpcp).
+	KindLocal Kind = iota
+	// KindRemote names remote checkpoint tiers (none, buddy-precopy,
+	// buddy-burst, erasure).
+	KindRemote
+	// KindBottom names bottom storage tiers (none, pfs-drain).
+	KindBottom
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLocal:
+		return "local"
+	case KindRemote:
+		return "remote"
+	default:
+		return "bottom"
+	}
+}
+
+// LocalOptions carries the per-rank knobs a local policy needs to build its
+// engine.
+type LocalOptions struct {
+	// RateCap throttles background pre-copy in bytes/sec (0 = uncapped).
+	RateCap float64
+	// BWPerCore is the rank's effective NVM write bandwidth, used by the
+	// DCPC threshold computation.
+	BWPerCore float64
+	// Rec publishes engine activity onto the run's observability bus.
+	Rec *obs.Recorder
+	// TraceLane is the rank's lane in trace timelines.
+	TraceLane int
+}
+
+// LocalEngine is the per-rank local checkpoint engine contract the cluster
+// drives; *precopy.Engine satisfies it.
+type LocalEngine interface {
+	// BeginInterval (re)arms the engine at the start of a checkpoint interval.
+	BeginInterval(p *sim.Proc)
+	// OnCheckpoint informs the engine a coordinated checkpoint committed.
+	OnCheckpoint(ckptStart time.Duration)
+	// Quiesce blocks until in-flight background work settles before the
+	// coordinated checkpoint entry.
+	Quiesce(p *sim.Proc)
+	// Stop terminates background activity.
+	Stop()
+}
+
+// LocalPolicy builds one engine per rank store.
+type LocalPolicy interface {
+	NewEngine(s *core.Store, o LocalOptions) LocalEngine
+}
+
+// RemoteRuntime is the machine surface a remote tier builds on.
+type RemoteRuntime struct {
+	Env    *sim.Env
+	Fabric *interconnect.Fabric
+	// NVMs holds every fabric node's NVM device, compute nodes first and
+	// any tier-requested extra nodes (ExtraNodes) after them.
+	NVMs []*mem.Device
+	// ComputeNodes is how many nodes run application ranks; extra nodes
+	// (e.g. an erasure parity holder) index from ComputeNodes upward.
+	ComputeNodes int
+	// Recorder mints per-(node, actor) observability recorders.
+	Recorder func(node int, actor string) *obs.Recorder
+}
+
+// RemoteOptions carries the remote tier's tuning knobs.
+type RemoteOptions struct {
+	// RateCap throttles incremental shipping in bytes/sec (0 = uncapped).
+	RateCap float64
+	// Delay holds incremental shipping until this long into each remote
+	// interval.
+	Delay time.Duration
+	// Group hints the redundancy group size (erasure parity group; 0 = all
+	// compute nodes).
+	Group int
+}
+
+// RemoteTier is the cluster's view of a running remote checkpoint level.
+type RemoteTier interface {
+	// BeginEpoch resets per-epoch machinery (helper agents, trigger state)
+	// before ranks spawn; called again after every failure recovery.
+	BeginEpoch()
+	// Register adds a freshly attached rank store on a node, in rank order.
+	Register(node int, s *core.Store)
+	// BeginInterval marks the start of a remote checkpoint interval on a node.
+	BeginInterval(node int)
+	// Trigger starts a remote checkpoint for a node's data; the returned
+	// completion fires at remote commit. The application does not block on it.
+	Trigger(p *sim.Proc, node int) *sim.Completion
+	// Fetch recovers one chunk of a hard-failed node (slot is the rank's
+	// position within its node). ok is false when the tier cannot serve it.
+	Fetch(p *sim.Proc, node, slot int, procName string, id uint64) (data []byte, size int64, ok bool)
+	// Utilization reports the tier's helper busy fractions (Table V).
+	Utilization(now time.Duration) []float64
+	// DrainSource exposes a holder node's committed objects for the bottom
+	// tier, or nil when that node holds nothing drainable.
+	DrainSource(holder int) pfs.Source
+	// Shutdown stops tier processes so the event queue can drain.
+	Shutdown()
+}
+
+// RemotePolicy builds a remote tier for a run.
+type RemotePolicy interface {
+	// ExtraNodes is how many non-compute fabric nodes the tier needs (e.g.
+	// 1 parity holder for the single-group erasure tier).
+	ExtraNodes(computeNodes int) int
+	// NewTier builds the tier; a nil tier (with nil error) disables the
+	// remote level entirely (the "none" policy).
+	NewTier(rt RemoteRuntime, o RemoteOptions) (RemoteTier, error)
+}
+
+// BottomOptions tunes the bottom storage tier.
+type BottomOptions struct {
+	AggregateBW float64
+	StripeBW    float64
+}
+
+// BottomTier drains committed remote objects to the hierarchy's bottom level.
+type BottomTier interface {
+	Drain(p *sim.Proc, src pfs.Source) pfs.DrainStats
+}
+
+// BottomPolicy builds a bottom tier; a nil tier disables the level.
+type BottomPolicy interface {
+	NewTier(env *sim.Env, o BottomOptions) (BottomTier, error)
+}
+
+// Entry is one registered policy.
+type Entry struct {
+	Kind        Kind
+	Name        string
+	Description string
+	impl        any
+}
+
+// Local returns the entry's LocalPolicy (panics on kind mismatch).
+func (e *Entry) Local() LocalPolicy { return e.impl.(LocalPolicy) }
+
+// Remote returns the entry's RemotePolicy (panics on kind mismatch).
+func (e *Entry) Remote() RemotePolicy { return e.impl.(RemotePolicy) }
+
+// Bottom returns the entry's BottomPolicy (panics on kind mismatch).
+func (e *Entry) Bottom() BottomPolicy { return e.impl.(BottomPolicy) }
+
+var (
+	registry = map[Kind]map[string]*Entry{}
+	ordered  = map[Kind][]*Entry{}
+)
+
+// Register adds a policy under a kind and name; duplicate names panic at init
+// time. impl must implement the kind's policy interface.
+func Register(kind Kind, name, description string, impl any) {
+	switch kind {
+	case KindLocal:
+		impl = impl.(LocalPolicy)
+	case KindRemote:
+		impl = impl.(RemotePolicy)
+	case KindBottom:
+		impl = impl.(BottomPolicy)
+	default:
+		panic(fmt.Sprintf("policy: unknown kind %d", kind))
+	}
+	if registry[kind] == nil {
+		registry[kind] = map[string]*Entry{}
+	}
+	if _, dup := registry[kind][name]; dup {
+		panic(fmt.Sprintf("policy: duplicate %s policy %q", kind, name))
+	}
+	e := &Entry{Kind: kind, Name: name, Description: description, impl: impl}
+	registry[kind][name] = e
+	ordered[kind] = append(ordered[kind], e)
+}
+
+// Parse resolves a policy name within a kind. The empty string means "none".
+// Unknown names produce an error listing every valid name.
+func Parse(kind Kind, name string) (*Entry, error) {
+	if name == "" {
+		name = "none"
+	}
+	e, ok := registry[kind][name]
+	if !ok {
+		return nil, fmt.Errorf("unknown %s policy %q (valid: %s)",
+			kind, name, strings.Join(Names(kind), ", "))
+	}
+	return e, nil
+}
+
+// Names lists a kind's policy names in registration order.
+func Names(kind Kind) []string {
+	out := make([]string, 0, len(ordered[kind]))
+	for _, e := range ordered[kind] {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// Entries lists a kind's registered policies in registration order.
+func Entries(kind Kind) []*Entry {
+	return append([]*Entry(nil), ordered[kind]...)
+}

@@ -1,0 +1,358 @@
+// Package scenario is the declarative configuration surface of the
+// simulator: one serializable spec describing machine shape, workload,
+// checkpoint policies (local, remote, bottom), failure schedule and
+// observability outputs. Scenarios round-trip through JSON, validate with
+// actionable errors, come as named presets for every experiment in
+// DESIGN.md §4, and expand into cartesian sweeps. The cluster builds runs
+// from scenarios (cluster.FromScenario); new schemes appear here for free
+// once registered in internal/policy.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/policy"
+	"nvmcp/internal/workload"
+)
+
+// Scale names a run size: tiny (smoke tests), quick (CI-friendly) or paper
+// (the full 48-rank configuration of Section VI).
+type Scale string
+
+const (
+	// ScaleTiny runs 2 nodes x 2 cores with 2 short iterations.
+	ScaleTiny Scale = "tiny"
+	// ScaleQuick runs 2 nodes x 4 cores with 3 iterations.
+	ScaleQuick Scale = "quick"
+	// ScalePaper runs 4 nodes x 12 cores (48 MPI processes) x 4 iterations.
+	ScalePaper Scale = "paper"
+)
+
+// ParseScale resolves a scale name.
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case ScaleTiny, ScaleQuick, ScalePaper:
+		return Scale(s), nil
+	}
+	return "", fmt.Errorf("unknown scale %q (valid: tiny, quick, paper)", s)
+}
+
+// Dims returns the machine and run shape for a scale.
+func (s Scale) Dims() (nodes, cores, iters int) {
+	switch s {
+	case ScalePaper:
+		return 4, 12, 4
+	case ScaleTiny:
+		return 2, 2, 2
+	default:
+		return 2, 4, 3
+	}
+}
+
+// CkptMB is the per-rank checkpoint volume a scale pins the workload to
+// (0 = the application's natural size).
+func (s Scale) CkptMB() float64 {
+	switch s {
+	case ScalePaper:
+		return 0
+	case ScaleTiny:
+		return 24
+	default:
+		return 100
+	}
+}
+
+// IterSecs is the compute-iteration duration a scale pins (0 = natural).
+func (s Scale) IterSecs() float64 {
+	switch s {
+	case ScalePaper:
+		return 0
+	case ScaleTiny:
+		return 2
+	default:
+		return 10
+	}
+}
+
+// WorkloadSpec selects and re-shapes an application profile.
+type WorkloadSpec struct {
+	// App names a workload profile: gtc, lammps-rhodo, cm1, amr.
+	App string `json:"app"`
+	// CkptMB scales the per-rank checkpoint volume to this many MB
+	// (0 = the profile's natural size).
+	CkptMB float64 `json:"ckpt_mb,omitempty"`
+	// ScaleComm scales communication volume by the same factor as CkptMB,
+	// preserving the compute/communication shape at reduced size.
+	ScaleComm bool `json:"scale_comm,omitempty"`
+	// CommMB overrides per-iteration communication volume in MB
+	// (-1 disables communication, 0 keeps the profile's).
+	CommMB float64 `json:"comm_mb,omitempty"`
+	// IterSecs overrides the compute-iteration duration (0 keeps the
+	// profile's).
+	IterSecs float64 `json:"iter_secs,omitempty"`
+}
+
+// LocalSpec configures the local checkpoint level.
+type LocalSpec struct {
+	// Policy names the local pre-copy policy: none, cpc, dcpc, dcpcp.
+	Policy string `json:"policy,omitempty"`
+	// RateCap throttles background pre-copy in bytes/sec (0 = uncapped).
+	RateCap float64 `json:"rate_cap,omitempty"`
+	// Every takes a coordinated local checkpoint every N-th iteration.
+	Every int `json:"every,omitempty"`
+	// ForceFull disables dirty tracking (the full-checkpoint baseline).
+	ForceFull bool `json:"force_full,omitempty"`
+}
+
+// RemoteSpec configures the remote checkpoint level.
+type RemoteSpec struct {
+	// Policy names the remote tier: none, buddy-burst, buddy-precopy,
+	// erasure.
+	Policy string `json:"policy,omitempty"`
+	// RateCap throttles incremental shipping in bytes/sec.
+	RateCap float64 `json:"rate_cap,omitempty"`
+	// AutoRateCap derives the paper's pre-copy shipping cap
+	// (2·D·cores / remote interval) from the workload; overrides RateCap.
+	AutoRateCap bool `json:"auto_rate_cap,omitempty"`
+	// DelaySecs holds shipping until this long into each remote interval.
+	DelaySecs float64 `json:"delay_secs,omitempty"`
+	// Every triggers a remote checkpoint every N-th local one.
+	Every int `json:"every,omitempty"`
+	// Group hints the redundancy group size (0 = tier default).
+	Group int `json:"group,omitempty"`
+}
+
+// BottomSpec configures the bottom storage level.
+type BottomSpec struct {
+	// Policy names the bottom tier: none, pfs-drain.
+	Policy string `json:"policy,omitempty"`
+	// AggregateBW / StripeBW size the PFS (0 = package defaults).
+	AggregateBW float64 `json:"aggregate_bw,omitempty"`
+	StripeBW    float64 `json:"stripe_bw,omitempty"`
+}
+
+// FailureSpec schedules one injected failure.
+type FailureSpec struct {
+	AtSecs float64 `json:"at_secs"`
+	Node   int     `json:"node"`
+	Hard   bool    `json:"hard,omitempty"`
+}
+
+// ObsSpec names observability artifact outputs a runner should write.
+type ObsSpec struct {
+	EventsOut  string `json:"events_out,omitempty"`
+	MetricsOut string `json:"metrics_out,omitempty"`
+	TraceOut   string `json:"trace_out,omitempty"`
+	ReportOut  string `json:"report_out,omitempty"`
+}
+
+// Scenario is one declarative run description.
+type Scenario struct {
+	Name string `json:"name,omitempty"`
+
+	Nodes        int     `json:"nodes"`
+	CoresPerNode int     `json:"cores_per_node"`
+	DRAMPerNode  int64   `json:"dram_per_node,omitempty"`
+	NVMPerNode   int64   `json:"nvm_per_node,omitempty"`
+	NVMPerCoreBW float64 `json:"nvm_per_core_bw,omitempty"`
+	LinkBW       float64 `json:"link_bw,omitempty"`
+
+	Workload   WorkloadSpec `json:"workload"`
+	Iterations int          `json:"iterations"`
+
+	Local  LocalSpec  `json:"local,omitempty"`
+	Remote RemoteSpec `json:"remote,omitempty"`
+	Bottom BottomSpec `json:"bottom,omitempty"`
+
+	Failures []FailureSpec `json:"failures,omitempty"`
+
+	NoCheckpoint  bool `json:"no_checkpoint,omitempty"`
+	PayloadCap    int  `json:"payload_cap,omitempty"`
+	SingleVersion bool `json:"single_version,omitempty"`
+
+	Obs ObsSpec `json:"obs,omitempty"`
+}
+
+// Load parses a scenario from JSON, rejecting unknown fields so typos
+// surface instead of silently configuring nothing.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadFile reads and validates a scenario file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	sc, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Marshal renders the scenario as indented JSON.
+func (sc *Scenario) Marshal() ([]byte, error) {
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// Validate checks the scenario, returning actionable errors: unknown names
+// list the valid alternatives, out-of-range numbers say the range.
+func (sc *Scenario) Validate() error {
+	if sc.Nodes < 1 {
+		return fmt.Errorf("scenario %s: nodes must be >= 1, got %d", sc.label(), sc.Nodes)
+	}
+	if sc.CoresPerNode < 1 {
+		return fmt.Errorf("scenario %s: cores_per_node must be >= 1, got %d", sc.label(), sc.CoresPerNode)
+	}
+	if sc.Iterations < 1 {
+		return fmt.Errorf("scenario %s: iterations must be >= 1, got %d", sc.label(), sc.Iterations)
+	}
+	if sc.NVMPerCoreBW < 0 || sc.LinkBW < 0 {
+		return fmt.Errorf("scenario %s: bandwidths must be non-negative (nvm_per_core_bw %g, link_bw %g)",
+			sc.label(), sc.NVMPerCoreBW, sc.LinkBW)
+	}
+	if _, ok := workload.SpecByName(sc.Workload.App); !ok {
+		var names []string
+		for _, s := range workload.Specs() {
+			names = append(names, s.Name)
+		}
+		names = append(names, "amr")
+		return fmt.Errorf("scenario %s: unknown workload %q (valid: %s)",
+			sc.label(), sc.Workload.App, strings.Join(names, ", "))
+	}
+	if sc.Workload.CkptMB < 0 {
+		return fmt.Errorf("scenario %s: workload.ckpt_mb must be >= 0, got %g", sc.label(), sc.Workload.CkptMB)
+	}
+	if sc.Workload.CommMB < -1 {
+		return fmt.Errorf("scenario %s: workload.comm_mb must be >= -1 (-1 disables communication), got %g",
+			sc.label(), sc.Workload.CommMB)
+	}
+	if _, err := policy.Parse(policy.KindLocal, sc.Local.Policy); err != nil {
+		return fmt.Errorf("scenario %s: local: %w", sc.label(), err)
+	}
+	if _, err := policy.Parse(policy.KindRemote, sc.Remote.Policy); err != nil {
+		return fmt.Errorf("scenario %s: remote: %w", sc.label(), err)
+	}
+	if _, err := policy.Parse(policy.KindBottom, sc.Bottom.Policy); err != nil {
+		return fmt.Errorf("scenario %s: bottom: %w", sc.label(), err)
+	}
+	if sc.Local.Every < 0 || sc.Remote.Every < 0 {
+		return fmt.Errorf("scenario %s: checkpoint intervals must be >= 0 (local %d, remote %d)",
+			sc.label(), sc.Local.Every, sc.Remote.Every)
+	}
+	if sc.Local.RateCap < 0 || sc.Remote.RateCap < 0 {
+		return fmt.Errorf("scenario %s: rate caps must be >= 0 (local %g, remote %g)",
+			sc.label(), sc.Local.RateCap, sc.Remote.RateCap)
+	}
+	for i, f := range sc.Failures {
+		if f.Node < 0 || f.Node >= sc.Nodes {
+			return fmt.Errorf("scenario %s: failure %d targets node %d, cluster has nodes 0..%d",
+				sc.label(), i, f.Node, sc.Nodes-1)
+		}
+		if f.AtSecs <= 0 {
+			return fmt.Errorf("scenario %s: failure %d at %gs; must be after t=0", sc.label(), i, f.AtSecs)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) label() string {
+	if sc.Name != "" {
+		return fmt.Sprintf("%q", sc.Name)
+	}
+	return "(unnamed)"
+}
+
+// AppSpec resolves and re-shapes the workload profile per the spec.
+func (sc *Scenario) AppSpec() (workload.AppSpec, error) {
+	app, ok := workload.SpecByName(sc.Workload.App)
+	if !ok {
+		return workload.AppSpec{}, fmt.Errorf("scenario %s: unknown workload %q", sc.label(), sc.Workload.App)
+	}
+	if sc.Workload.CkptMB > 0 {
+		target := int64(sc.Workload.CkptMB * float64(mem.MB))
+		factor := float64(target) / float64(app.CheckpointSize())
+		app = app.ScaledTo(target)
+		if sc.Workload.ScaleComm {
+			app.CommPerIter = int64(float64(app.CommPerIter) * factor)
+		}
+	}
+	switch {
+	case sc.Workload.CommMB < 0:
+		app.CommPerIter = 0
+	case sc.Workload.CommMB > 0:
+		app.CommPerIter = int64(sc.Workload.CommMB * float64(mem.MB))
+	}
+	if sc.Workload.IterSecs > 0 {
+		app.IterTime = time.Duration(sc.Workload.IterSecs * float64(time.Second))
+	}
+	return app, nil
+}
+
+// AutoRemoteRateCap is the paper's remote pre-copy shipping cap: two full
+// checkpoint volumes per node (both remote versions) spread over one remote
+// checkpoint interval — 2·D·cores / (every·iterTime).
+func AutoRemoteRateCap(ckptSize int64, ranksPerNode int, iterTime time.Duration, every int) float64 {
+	if every < 1 {
+		every = 1
+	}
+	interval := time.Duration(every) * iterTime
+	if interval <= 0 {
+		return 0
+	}
+	return 2 * float64(ckptSize) * float64(ranksPerNode) / interval.Seconds()
+}
+
+// ResolvedRemoteRateCap returns the scenario's effective remote rate cap,
+// deriving it from the (re-shaped) workload when AutoRateCap is set.
+func (sc *Scenario) ResolvedRemoteRateCap() (float64, error) {
+	if !sc.Remote.AutoRateCap {
+		return sc.Remote.RateCap, nil
+	}
+	app, err := sc.AppSpec()
+	if err != nil {
+		return 0, err
+	}
+	return AutoRemoteRateCap(app.CheckpointSize(), sc.CoresPerNode, app.IterTime, sc.Remote.Every), nil
+}
+
+// Base returns the canonical scenario skeleton for an app at a scale and
+// per-core NVM bandwidth — the shared shape of every experiment preset
+// (tiny/quick runs re-scale volumes so contention shape survives at speed).
+func Base(appName string, scale Scale, bwPerCore float64) *Scenario {
+	nodes, cores, iters := scale.Dims()
+	return &Scenario{
+		Name:         fmt.Sprintf("%s-%s", appName, scale),
+		Nodes:        nodes,
+		CoresPerNode: cores,
+		NVMPerCoreBW: bwPerCore,
+		Workload: WorkloadSpec{
+			App:       appName,
+			CkptMB:    scale.CkptMB(),
+			ScaleComm: scale.CkptMB() > 0,
+			IterSecs:  scale.IterSecs(),
+		},
+		Iterations: iters,
+		// Large chunk payloads are pointless at cluster scale; timing uses
+		// virtual sizes.
+		PayloadCap: 2048,
+	}
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Axis is one swept dimension: a dotted JSON field path into Scenario (e.g.
+// "nvm_per_core_bw", "remote.every", "workload.ckpt_mb") and the values it
+// takes.
+type Axis struct {
+	Field  string        `json:"field"`
+	Values []interface{} `json:"values"`
+}
+
+// Sweep is a cartesian grid over a base scenario: every combination of axis
+// values produces one scenario. Sweeps serialize like scenarios, so a whole
+// parameter study is one JSON file.
+type Sweep struct {
+	Base Scenario `json:"base"`
+	Axes []Axis   `json:"axes"`
+}
+
+// LoadSweep parses a sweep from JSON, rejecting unknown fields.
+func LoadSweep(r io.Reader) (*Sweep, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sw Sweep
+	if err := dec.Decode(&sw); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return &sw, nil
+}
+
+// Expand materializes the grid: the cartesian product of all axis values
+// applied to the base, in row-major order (later axes vary fastest). Each
+// result validates; scenario names carry the axis assignments. An empty axis
+// list yields just the validated base.
+func (sw *Sweep) Expand() ([]*Scenario, error) {
+	for i, ax := range sw.Axes {
+		if ax.Field == "" {
+			return nil, fmt.Errorf("sweep: axis %d has no field", i)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Field)
+		}
+	}
+	idx := make([]int, len(sw.Axes))
+	var out []*Scenario
+	for {
+		sc, err := sw.point(idx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+		// Odometer increment, last axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(sw.Axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// point builds the scenario for one grid coordinate by setting each axis
+// field in the base's JSON form and decoding it back, so axis paths use the
+// same names as scenario files and typos surface as unknown-field errors.
+func (sw *Sweep) point(idx []int) (*Scenario, error) {
+	raw, err := json.Marshal(&sw.Base)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	var tags []string
+	for a, ax := range sw.Axes {
+		v := ax.Values[idx[a]]
+		if err := setPath(m, strings.Split(ax.Field, "."), v); err != nil {
+			return nil, fmt.Errorf("sweep: axis %q: %w", ax.Field, err)
+		}
+		tags = append(tags, fmt.Sprintf("%s=%v", ax.Field, v))
+	}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("sweep: point %s: %w", strings.Join(tags, ","), err)
+	}
+	base := sc.Name
+	if base == "" {
+		base = "sweep"
+	}
+	sc.Name = base + "/" + strings.Join(tags, ",")
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// setPath writes v at the dotted path inside the scenario's JSON object,
+// creating intermediate objects (omitted optional sections) as needed.
+func setPath(m map[string]interface{}, path []string, v interface{}) error {
+	for i, key := range path[:len(path)-1] {
+		next, ok := m[key]
+		if !ok || next == nil {
+			child := map[string]interface{}{}
+			m[key] = child
+			m = child
+			continue
+		}
+		child, ok := next.(map[string]interface{})
+		if !ok {
+			return fmt.Errorf("%q is not an object", strings.Join(path[:i+1], "."))
+		}
+		m = child
+	}
+	m[path[len(path)-1]] = v
+	return nil
+}
