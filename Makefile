@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check ci presets clean
+.PHONY: all build test race vet fmt check ci presets faults clean
 
 all: build
 
@@ -35,10 +35,18 @@ presets:
 		$(GO) run -race ./cmd/nvmcp-sim -preset $$p -scale tiny || exit 1; \
 	done
 
+# faults runs the fault-heavy configurations under the race detector: the
+# cascade preset, the checked-in scenario (which must recover through the
+# remote AND bottom tiers), and the per-tier MTTR comparison.
+faults:
+	$(GO) run -race ./cmd/nvmcp-sim -preset faults -scale tiny
+	$(GO) run -race ./cmd/nvmcp-sim -scenario docs/scenarios/faults-cascade.json
+	$(GO) run -race ./cmd/nvmcp-bench availability
+
 # ci is the gate the workflow runs: formatting, vet, the full test suite
 # under the race detector (obs publication crosses host goroutines), and the
-# preset smoke sweep.
-ci: fmt vet race presets
+# preset and fault-cascade smoke sweeps.
+ci: fmt vet race presets faults
 
 clean:
 	$(GO) clean ./...

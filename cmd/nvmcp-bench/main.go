@@ -115,6 +115,10 @@ var runners = map[string]experimentDef{
 		run:   func(s experiments.Scale) any { return experiments.RunHierarchy(s) },
 		print: func(w io.Writer, r any) { experiments.PrintHierarchy(w, r.(experiments.HierarchyResult)) },
 	},
+	"availability": {
+		run:   func(s experiments.Scale) any { return experiments.RunAvailability(s) },
+		print: func(w io.Writer, r any) { experiments.PrintAvailability(w, r.([]experiments.AvailabilityRow)) },
+	},
 }
 
 // order fixes the presentation sequence of `all`: the preset table's

@@ -39,30 +39,35 @@ func main() {
 		listPresets  = flag.Bool("list-presets", false, "list preset ids with descriptions and exit")
 		scaleName    = flag.String("scale", "quick", "preset scale: tiny, quick, or paper")
 
-		appName     = flag.String("app", "gtc", "workload: gtc, lammps-rhodo, cm1, or amr")
-		nodes       = flag.Int("nodes", 2, "cluster nodes")
-		cores       = flag.Int("cores", 4, "cores (ranks) per node")
-		iters       = flag.Int("iters", 4, "compute iterations (one local checkpoint each)")
-		ckptMB      = flag.Float64("ckpt-mb", 120, "checkpoint data per rank in MB (0 = workload natural size)")
-		iterSecs    = flag.Float64("iter-secs", 10, "compute seconds per iteration")
-		nvmBW       = flag.Float64("nvm-bw", 400e6, "effective NVM write bandwidth per core, bytes/sec (0 = Table I PCM)")
-		linkBW      = flag.Float64("link-bw", 250e6, "per-node link bandwidth, bytes/sec (0 = 40Gbps IB)")
-		local       = flag.String("local", "dcpcp", "local pre-copy policy: "+strings.Join(policy.Names(policy.KindLocal), ", "))
-		localEvery  = flag.Int("local-every", 1, "local checkpoint every N-th iteration")
-		forceFull   = flag.Bool("forcefull", false, "disable dirty tracking (classic full checkpoints)")
-		noCkpt      = flag.Bool("no-ckpt", false, "disable checkpointing entirely (ideal run)")
-		remoteName  = flag.String("remote", "none", "remote tier policy: "+strings.Join(policy.Names(policy.KindRemote), ", "))
-		remoteEvery = flag.Int("remote-every", 2, "remote checkpoint every K-th local checkpoint")
-		remoteRate  = flag.Float64("remote-rate", 0, "remote shipping rate cap, bytes/sec (0 = uncapped)")
-		remoteAuto  = flag.Bool("remote-auto-rate", true, "derive the remote rate cap from the workload (2·D·cores per interval)")
-		bottomName  = flag.String("bottom", "none", "bottom storage policy: "+strings.Join(policy.Names(policy.KindBottom), ", "))
-		failAt      = flag.Duration("fail-at", 0, "inject a failure at this virtual time (0 = none)")
-		failNode    = flag.Int("fail-node", 0, "node that fails")
-		failHard    = flag.Bool("fail-hard", false, "hard failure: the node's NVM is lost")
-		eventsOut   = flag.String("events-out", "", "write the typed event log as JSONL to this file")
-		metricsOut  = flag.String("metrics-out", "", "write metrics in Prometheus text format to this file")
-		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event timeline to this file")
-		reportOut   = flag.String("report-out", "", "write the end-of-run report JSON to this file")
+		appName      = flag.String("app", "gtc", "workload: gtc, lammps-rhodo, cm1, or amr")
+		nodes        = flag.Int("nodes", 2, "cluster nodes")
+		cores        = flag.Int("cores", 4, "cores (ranks) per node")
+		iters        = flag.Int("iters", 4, "compute iterations (one local checkpoint each)")
+		ckptMB       = flag.Float64("ckpt-mb", 120, "checkpoint data per rank in MB (0 = workload natural size)")
+		iterSecs     = flag.Float64("iter-secs", 10, "compute seconds per iteration")
+		nvmBW        = flag.Float64("nvm-bw", 400e6, "effective NVM write bandwidth per core, bytes/sec (0 = Table I PCM)")
+		linkBW       = flag.Float64("link-bw", 250e6, "per-node link bandwidth, bytes/sec (0 = 40Gbps IB)")
+		local        = flag.String("local", "dcpcp", "local pre-copy policy: "+strings.Join(policy.Names(policy.KindLocal), ", "))
+		localEvery   = flag.Int("local-every", 1, "local checkpoint every N-th iteration")
+		forceFull    = flag.Bool("forcefull", false, "disable dirty tracking (classic full checkpoints)")
+		noCkpt       = flag.Bool("no-ckpt", false, "disable checkpointing entirely (ideal run)")
+		remoteName   = flag.String("remote", "none", "remote tier policy: "+strings.Join(policy.Names(policy.KindRemote), ", "))
+		remoteEvery  = flag.Int("remote-every", 2, "remote checkpoint every K-th local checkpoint")
+		remoteRate   = flag.Float64("remote-rate", 0, "remote shipping rate cap, bytes/sec (0 = uncapped)")
+		remoteAuto   = flag.Bool("remote-auto-rate", true, "derive the remote rate cap from the workload (2·D·cores per interval)")
+		bottomName   = flag.String("bottom", "none", "bottom storage policy: "+strings.Join(policy.Names(policy.KindBottom), ", "))
+		failAt       = flag.Duration("fail-at", 0, "inject a failure at this virtual time (0 = none)")
+		failNode     = flag.Int("fail-node", 0, "node that fails")
+		failHard     = flag.Bool("fail-hard", false, "hard failure: the node's NVM is lost")
+		failKind     = flag.String("fail-kind", "", "failure kind: soft, hard, nvm-corrupt, link-flap, buddy-loss")
+		failChunks   = flag.Int("fail-chunks", 0, "nvm-corrupt: committed chunks to damage (0 = 1)")
+		failTorn     = flag.Bool("fail-torn", false, "nvm-corrupt: torn writes instead of bit-flips")
+		failDuration = flag.Duration("fail-duration", 0, "link-flap: outage length")
+		failFactor   = flag.Float64("fail-factor", 0, "link-flap: residual bandwidth fraction in [0,1)")
+		eventsOut    = flag.String("events-out", "", "write the typed event log as JSONL to this file")
+		metricsOut   = flag.String("metrics-out", "", "write metrics in Prometheus text format to this file")
+		traceOut     = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event timeline to this file")
+		reportOut    = flag.String("report-out", "", "write the end-of-run report JSON to this file")
 	)
 	flag.Parse()
 
@@ -102,6 +107,8 @@ func main() {
 		if *failAt > 0 {
 			sc.Failures = []scenario.FailureSpec{{
 				AtSecs: failAt.Seconds(), Node: *failNode, Hard: *failHard,
+				Kind: *failKind, Chunks: *failChunks, Torn: *failTorn,
+				DurationSecs: failDuration.Seconds(), Factor: *failFactor,
 			}}
 		}
 		return sc
@@ -168,7 +175,33 @@ func main() {
 		tb.AddRow("failures injected", fmt.Sprintf("%d", res.FailuresInjected))
 		tb.AddRow("local restores", fmt.Sprintf("%d chunks", res.Restores))
 		tb.AddRow("remote restores", fmt.Sprintf("%d chunks", res.RemoteRestores))
+		tb.AddRow("recovery path local", fmt.Sprintf("%d chunks", res.RecoveryLocal))
+		tb.AddRow("recovery path remote", fmt.Sprintf("%d chunks", res.RecoveryRemote))
+		tb.AddRow("recovery path bottom", fmt.Sprintf("%d chunks", res.RecoveryBottom))
+		if res.RecoveryLost > 0 {
+			tb.AddRow("recovery path lost", fmt.Sprintf("%d chunks", res.RecoveryLost))
+		}
+		tb.AddRow("MTTR", res.MTTR.Round(time.Millisecond).String())
 	}
+	if res.FailuresSkipped > 0 {
+		tb.AddRow("failures skipped", fmt.Sprintf("%d", res.FailuresSkipped))
+	}
+	if res.Corruptions > 0 {
+		tb.AddRow("NVM chunks corrupted", fmt.Sprintf("%d", res.Corruptions))
+	}
+	if res.LinkFlaps > 0 {
+		tb.AddRow("link flaps", fmt.Sprintf("%d", res.LinkFlaps))
+	}
+	if res.ShipRetries > 0 {
+		tb.AddRow("helper ship retries", fmt.Sprintf("%d", res.ShipRetries))
+	}
+	if res.BuddyFailovers > 0 {
+		tb.AddRow("buddy failovers", fmt.Sprintf("%d", res.BuddyFailovers))
+	}
+	if res.DegradedTime > 0 {
+		tb.AddRow("time degraded", res.DegradedTime.Round(time.Millisecond).String())
+	}
+	tb.AddRow("workload checksum", fmt.Sprintf("%016x", res.WorkloadChecksum))
 	tb.Write(os.Stdout)
 
 	writeArtifact(*eventsOut, "events", c.Obs.WriteEventsJSONL)

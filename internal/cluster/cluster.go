@@ -14,9 +14,13 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
 	"time"
 
 	"nvmcp/internal/core"
+	"nvmcp/internal/fault"
 	"nvmcp/internal/interconnect"
 	"nvmcp/internal/mem"
 	"nvmcp/internal/nvmkernel"
@@ -33,11 +37,49 @@ import (
 type FailureEvent struct {
 	// After is the absolute virtual time of the failure.
 	After time.Duration
-	// Node is the failing node.
+	// Node is the failing node (for buddy-loss: the node whose remote
+	// copies are lost — the fault strikes whichever node holds them).
 	Node int
 	// Hard marks an unrecoverable node failure (NVM lost); otherwise the
-	// failure is soft (processes die, NVM survives).
+	// failure is soft (processes die, NVM survives). Legacy shorthand for
+	// Kind == fault.Hard.
 	Hard bool
+	// Kind selects the failure class (soft/hard/nvm-corrupt/link-flap/
+	// buddy-loss); empty falls back to Hard's soft/hard split.
+	Kind fault.Kind
+	// Chunks bounds how many committed chunks an nvm-corrupt fault damages
+	// (0 means 1); Torn switches the damage from bit-flips to torn writes.
+	Chunks int
+	Torn   bool
+	// Duration and Factor shape a link-flap: outage length and residual
+	// bandwidth fraction (0 = fully down).
+	Duration time.Duration
+	Factor   float64
+}
+
+// EffectiveKind resolves the event's failure class: an explicit Kind wins,
+// otherwise Hard selects fault.Hard and the default is fault.Soft.
+func (f FailureEvent) EffectiveKind() fault.Kind {
+	if f.Kind != "" {
+		return f.Kind
+	}
+	if f.Hard {
+		return fault.Hard
+	}
+	return fault.Soft
+}
+
+// toFault lowers the event into the injector's representation.
+func (f FailureEvent) toFault() fault.Event {
+	return fault.Event{
+		At:       f.After,
+		Node:     f.Node,
+		Kind:     f.EffectiveKind(),
+		Chunks:   f.Chunks,
+		Torn:     f.Torn,
+		Duration: f.Duration,
+		Factor:   f.Factor,
+	}
 }
 
 // Config describes one cluster run.
@@ -86,6 +128,13 @@ type Config struct {
 	BottomStripeBW    float64
 
 	Failures []FailureEvent
+	// FaultModel, when set, adds stochastic failures on top of Failures:
+	// exponential inter-arrival times per class, seeded and deterministic.
+	// Nodes defaults to the cluster's node count.
+	FaultModel *fault.Model
+	// FaultSeed seeds the injector's corruption RNG (victim selection and
+	// bit positions for nvm-corrupt faults).
+	FaultSeed int64
 
 	// PayloadCap caps real payload bytes per chunk (default 4 KB for
 	// cluster-scale runs; unit tests use larger).
@@ -169,6 +218,27 @@ func (cfg *Config) Validate() error {
 		if f.After <= 0 {
 			return fmt.Errorf("cluster: failure %d scheduled at %v; must be after t=0", i, f.After)
 		}
+		if f.Hard && f.Kind != "" && f.Kind != fault.Hard {
+			return fmt.Errorf("cluster: failure %d sets hard but kind %q", i, f.Kind)
+		}
+		if err := f.toFault().Validate(cfg.Nodes); err != nil {
+			return fmt.Errorf("cluster: failure %d: %w", i, err)
+		}
+	}
+	if m := cfg.FaultModel; m != nil {
+		if m.Horizon <= 0 {
+			return fmt.Errorf("cluster: fault model horizon must be positive, got %v", m.Horizon)
+		}
+		if m.MTBFSoft < 0 || m.MTBFHard < 0 {
+			return fmt.Errorf("cluster: fault model MTBFs must be non-negative (soft %v, hard %v)",
+				m.MTBFSoft, m.MTBFHard)
+		}
+		if m.MTBFSoft == 0 && m.MTBFHard == 0 {
+			return fmt.Errorf("cluster: fault model needs at least one positive MTBF")
+		}
+		if m.Nodes < 0 || m.Nodes > cfg.Nodes {
+			return fmt.Errorf("cluster: fault model spans %d nodes, cluster has %d", m.Nodes, cfg.Nodes)
+		}
 	}
 	if _, err := policy.Parse(policy.KindLocal, cfg.Local); err != nil {
 		return fmt.Errorf("cluster: %w", err)
@@ -220,6 +290,29 @@ type Result struct {
 	BottomDrainTime time.Duration
 	// FailuresInjected counts failures that actually fired.
 	FailuresInjected int
+	// FailuresSkipped counts scheduled failures dropped because no epoch was
+	// live or another failure was already pending.
+	FailuresSkipped int
+	// Corruptions is how many committed chunks nvm-corrupt faults damaged;
+	// LinkFlaps counts link-degradation events.
+	Corruptions int
+	LinkFlaps   int
+	// RecoveryLocal/Remote/Bottom/Lost split post-failure chunk recoveries
+	// by the cascade tier that served them.
+	RecoveryLocal  int64
+	RecoveryRemote int64
+	RecoveryBottom int64
+	RecoveryLost   int64
+	// ShipRetries / BuddyFailovers count helper degraded-mode activity.
+	ShipRetries    int64
+	BuddyFailovers int64
+	// MTTR is the mean failure→all-ranks-recovered repair time; DegradedTime
+	// sums repair windows and link-flap outages.
+	MTTR         time.Duration
+	DegradedTime time.Duration
+	// WorkloadChecksum fingerprints the final epoch's application memory; a
+	// faulted run must match its fault-free twin.
+	WorkloadChecksum uint64
 	// Ranks is the total rank count.
 	Ranks int
 }
@@ -240,13 +333,19 @@ type Cluster struct {
 	bottomTier policy.BottomTier
 
 	// epoch state
-	rankProcs  []*sim.Proc
-	engines    []policy.LocalEngine
-	allStores  []*core.Store
-	lastRemote map[int]*sim.Completion
+	rankProcs []*sim.Proc
+	engines   []policy.LocalEngine
+	allStores []*core.Store
+	// epochStores holds only the live epoch's stores (allStores accumulates
+	// across recovery epochs) — the set the final content checksum walks.
+	epochStores []*core.Store
+	lastRemote  map[int]*sim.Completion
+	// lastDrain chains mid-run bottom drains per holder node so drains of
+	// successive remote bursts never overlap.
+	lastDrain map[int]*sim.Completion
 
 	committedIter  int
-	pendingFailure *FailureEvent
+	pendingFailure *fault.Event
 	ranksLive      bool
 	appDone        time.Duration
 	helperUtil     []float64
@@ -256,6 +355,17 @@ type Cluster struct {
 	localCount int
 	remCount   int
 	failCount  int
+
+	// degraded-mode bookkeeping
+	skipCount     int
+	corruptCount  int
+	flapCount     int
+	failureAt     time.Duration
+	recoverWait   int
+	mttrTotal     time.Duration
+	mttrN         int
+	degradedTotal time.Duration
+	workSum       uint64
 }
 
 // New builds a cluster (devices, kernels, fabric, policy tiers) without
@@ -331,6 +441,7 @@ func New(cfg Config) (*Cluster, error) {
 		remoteTier: remoteTier,
 		bottomTier: bottomTier,
 		lastRemote: make(map[int]*sim.Completion),
+		lastDrain:  make(map[int]*sim.Completion),
 		ckptTime:   make([]time.Duration, cfg.Nodes*cfg.CoresPerNode),
 	}, nil
 }
@@ -352,14 +463,33 @@ func Run(cfg Config) (Result, *Cluster, error) {
 	if err != nil {
 		return Result{}, nil, err
 	}
-	for i := range c.Cfg.Failures {
-		f := c.Cfg.Failures[i]
-		c.Env.At(f.After, func() { c.injectFailure(f) })
+	events := make([]fault.Event, 0, len(c.Cfg.Failures))
+	for _, f := range c.Cfg.Failures {
+		events = append(events, f.toFault())
+	}
+	if m := c.Cfg.FaultModel; m != nil {
+		mm := *m
+		if mm.Nodes == 0 {
+			mm.Nodes = c.Cfg.Nodes
+		}
+		events = append(events, mm.Schedule()...)
+	}
+	if len(events) > 0 {
+		fault.NewInjector(c.Env, c.Cfg.FaultSeed, fault.Surfaces{
+			Kill:       c.injectFailure,
+			CorruptNVM: c.corruptNVM,
+			FlapLink:   c.flapLink,
+		}).ScheduleAll(events)
 	}
 	c.Env.Go("driver", c.drive)
 	c.Env.Run()
 	return c.collect(), c, nil
 }
+
+// RelaunchDelay is the job relaunch latency charged on every restart
+// (scheduler requeue, process startup) — the fixed term of any MTTR before
+// the restore traffic itself.
+const RelaunchDelay = 2 * time.Second
 
 // MustRun is Run for callers with statically known-good configurations
 // (experiment harnesses, examples, tests); it panics on a config error.
@@ -388,6 +518,7 @@ func (c *Cluster) drive(p *sim.Proc) {
 		c.recover(p, f)
 	}
 	c.appDone = p.Now()
+	c.workSum = c.contentChecksum()
 	// Drain outstanding remote checkpoints, then shut everything down.
 	for n := 0; n < c.Cfg.Nodes; n++ {
 		if done := c.lastRemote[n]; done != nil {
@@ -410,6 +541,13 @@ func (c *Cluster) drive(p *sim.Proc) {
 func (c *Cluster) drainBottom(p *sim.Proc) {
 	if c.bottomTier == nil || c.remoteTier == nil {
 		return
+	}
+	// Mid-run drains chained off remote bursts must settle first so the final
+	// sweep never runs concurrently against the same holder.
+	for n := 0; n < c.Fabric.Nodes(); n++ {
+		if comp := c.lastDrain[n]; comp != nil {
+			comp.Await(p)
+		}
 	}
 	start := p.Now()
 	var procs []*sim.Proc
@@ -438,6 +576,7 @@ func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 	ranks := cfg.Nodes * cfg.CoresPerNode
 	c.barrier = sim.NewBarrier(c.Env, ranks)
 	c.engines = nil
+	c.epochStores = nil
 	if c.remoteTier != nil {
 		c.remoteTier.BeginEpoch()
 	}
@@ -470,10 +609,14 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 	store := core.NewStore(kernel.Attach(name), core.Options{
 		PayloadCap:    cfg.PayloadCap,
 		SingleVersion: cfg.SingleVersion,
+		// A corrupted local version must surface as a degraded-mode signal
+		// (drop to the next cascade tier), not a fatal restore error.
+		SalvageCorrupt: true,
 	})
 	// Attach before workload setup so restore events are captured too.
 	store.SetRecorder(rec)
 	c.allStores = append(c.allStores, store)
+	c.epochStores = append(c.epochStores, store)
 
 	// Stagger each rank's communication phases so co-located ranks do not
 	// inject at identical instants — real ranks drift apart; perfect
@@ -503,20 +646,48 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 	if err != nil {
 		panic(fmt.Sprintf("cluster: rank %d setup: %v", rank, err))
 	}
-	// Hard-failure recovery: chunks with no local version are fetched from
-	// the remote tier's committed copy (buddy replica or parity rebuild).
-	if c.remoteTier != nil && startIter > 0 {
+	// Post-failure recovery cascade, per chunk: a surviving local version
+	// restored in place ("local"), else the remote tier's committed copy
+	// (buddy replica or parity rebuild, "remote"), else the bottom tier's
+	// drained object ("bottom"). A chunk no tier can serve is "lost" — the
+	// replayed iterations regenerate it.
+	if startIter > 0 {
+		reg := c.Obs.Registry()
 		for _, ch := range app.Chunks {
-			if ch.Restored {
-				continue
-			}
-			if data, _, ok := c.remoteTier.Fetch(p, node, lane, name, ch.ID); ok {
-				if err := store.AdoptRemote(p, ch, data, 0); err != nil {
-					panic(err)
+			tier := "local"
+			if !ch.Restored {
+				tier = "lost"
+				if c.remoteTier != nil {
+					if data, _, ok := c.remoteTier.Fetch(p, node, lane, name, ch.ID); ok {
+						if err := store.AdoptRemote(p, ch, data, 0); err != nil {
+							panic(err)
+						}
+						tier = "remote"
+					}
 				}
+				if tier == "lost" && c.bottomTier != nil {
+					if data, _, ok := c.bottomTier.Fetch(p, fmt.Sprintf("%s/%d", name, ch.ID)); ok {
+						if err := store.AdoptBottom(p, ch, data, 0); err != nil {
+							panic(err)
+						}
+						tier = "bottom"
+					}
+				}
+				rec.Emit(obs.EvChunkRecovered, fmt.Sprintf("%s/%d", name, ch.ID),
+					ch.Size, map[string]string{"tier": tier})
 			}
+			reg.Counter("recovery_path", obs.Labels{"tier": tier}).Add(1)
+		}
+		// The last rank through the cascade closes the repair window.
+		c.recoverWait--
+		if c.recoverWait == 0 {
+			mttr := p.Now() - c.failureAt
+			c.mttrTotal += mttr
+			c.mttrN++
+			c.degradedTotal += mttr
 		}
 	}
+	app.SyncIteration(int64(startIter))
 	app.Comm = func(p *sim.Proc, bytes int64) {
 		c.Fabric.Send(p, node, (node+1)%cfg.Nodes, bytes)
 	}
@@ -590,6 +761,9 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 			rec.Instant("remote trigger", "remote", lane, p.Now(), nil)
 			rec.Emit(obs.EvRemoteTrigger, "", 0,
 				map[string]string{"iter": fmt.Sprintf("%d", iter)})
+			if c.bottomTier != nil {
+				c.scheduleDrain(node, c.lastRemote[node])
+			}
 			if rank == 0 {
 				c.remCount++
 			}
@@ -598,20 +772,39 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 }
 
 // injectFailure fires from scheduler context: it kills every rank process
-// and records the failure for the driver's recovery pass.
-func (c *Cluster) injectFailure(f FailureEvent) {
+// and records the failure for the driver's recovery pass. A buddy-loss fault
+// resolves its victim first — the node physically holding ev.Node's remote
+// copies — and takes that node's NVM with it. Faults that land while no epoch
+// is live (or while another failure is pending) are not silently dropped:
+// they are counted and published as skipped.
+func (c *Cluster) injectFailure(ev fault.Event) {
 	if !c.ranksLive || c.pendingFailure != nil {
+		reason := "ranks-not-live"
+		if c.pendingFailure != nil {
+			reason = "failure-pending"
+		}
+		c.skipCount++
+		srec := c.Obs.Recorder(ev.Node, "cluster")
+		srec.Add("failures_skipped", 1)
+		srec.Emit(obs.EvFailureSkipped, "", 0,
+			map[string]string{"kind": string(ev.Kind), "reason": reason})
 		return
 	}
-	c.pendingFailure = &f
-	c.failCount++
-	kind := "soft failure"
-	if f.Hard {
-		kind = "hard failure"
+	if ev.Kind == fault.BuddyLoss && c.remoteTier != nil {
+		if holder := c.remoteTier.HolderOf(ev.Node); holder >= 0 && holder < c.Cfg.Nodes {
+			ev.Node = holder
+		}
 	}
-	frec := c.Obs.Recorder(f.Node, "cluster")
-	frec.Instant(kind, "failure", 0, c.Env.Now(), nil)
-	frec.Emit(obs.EvFailure, "", 0, map[string]string{"kind": kind})
+	hard := ev.Kind == fault.Hard || ev.Kind == fault.BuddyLoss
+	c.pendingFailure = &ev
+	c.failCount++
+	c.failureAt = c.Env.Now()
+	if c.remoteTier != nil {
+		c.remoteTier.NodeFailed(ev.Node, hard)
+	}
+	frec := c.Obs.Recorder(ev.Node, "cluster")
+	frec.Instant(string(ev.Kind)+" failure", "failure", 0, c.Env.Now(), nil)
+	frec.Emit(obs.EvFailure, "", 0, map[string]string{"kind": string(ev.Kind)})
 	for _, rp := range c.rankProcs {
 		if !rp.Done() {
 			rp.Kill()
@@ -619,25 +812,114 @@ func (c *Cluster) injectFailure(f FailureEvent) {
 	}
 }
 
+// corruptNVM damages committed chunk payloads on ev.Node's NVM (bit-flips, or
+// torn writes when ev.Torn). The damage is latent: it surfaces only when a
+// later recovery's restore hits the checksum mismatch.
+func (c *Cluster) corruptNVM(rng *rand.Rand, ev fault.Event) int {
+	if ev.Node < 0 || ev.Node >= len(c.kernels) {
+		return 0
+	}
+	victims := core.CorruptCommitted(c.kernels[ev.Node], rng, ev.Chunks, ev.Torn)
+	c.corruptCount += len(victims)
+	rec := c.Obs.Recorder(ev.Node, "cluster")
+	rec.Add("nvm_corruptions", int64(len(victims)))
+	rec.Emit(obs.EvNVMCorrupt, fmt.Sprintf("%d chunks", len(victims)), 0,
+		map[string]string{"torn": fmt.Sprintf("%t", ev.Torn)})
+	return len(victims)
+}
+
+// flapLink degrades (Factor in (0,1)) or cuts (Factor 0) a node's fabric
+// links and schedules the restore after ev.Duration. In-flight transfers
+// stall or stretch; helpers see the outage through their pre-flight estimate
+// and back off.
+func (c *Cluster) flapLink(ev fault.Event) {
+	c.flapCount++
+	c.degradedTotal += ev.Duration
+	c.Fabric.SetLinkFactor(ev.Node, ev.Factor)
+	c.Obs.Recorder(ev.Node, "cluster").Emit(obs.EvLinkFlap, "", 0,
+		map[string]string{
+			"factor": fmt.Sprintf("%g", ev.Factor),
+			"secs":   fmt.Sprintf("%g", ev.Duration.Seconds()),
+		})
+	node := ev.Node
+	c.Env.Schedule(ev.Duration, func() {
+		c.Fabric.RestoreLink(node)
+		c.Obs.Recorder(node, "cluster").Emit(obs.EvLinkRestore, "", 0, nil)
+	})
+}
+
+// scheduleDrain chains a bottom-tier drain of node's remote holder behind the
+// burst that done tracks, making drained objects available for bottom-tier
+// recovery mid-run rather than only at the end. Drains on one holder are
+// serialized; pfs drains are version-idempotent so overlap with the final
+// sweep is harmless in content, only double-costed — hence the chaining.
+func (c *Cluster) scheduleDrain(node int, done *sim.Completion) {
+	holder := c.remoteTier.HolderOf(node)
+	src := c.remoteTier.DrainSource(holder)
+	if src == nil {
+		return
+	}
+	prev := c.lastDrain[holder]
+	comp := sim.NewCompletion(c.Env)
+	c.lastDrain[holder] = comp
+	c.Env.Go(fmt.Sprintf("drain/mid/node%d", holder), func(p *sim.Proc) {
+		if prev != nil {
+			prev.Await(p)
+		}
+		done.Await(p)
+		st := c.bottomTier.Drain(p, src)
+		c.bottomStats.Objects += st.Objects
+		c.bottomStats.Bytes += st.Bytes
+		comp.Complete()
+	})
+}
+
+// contentChecksum fingerprints every live store's persistent chunk contents,
+// in process-name order, so runs of the same scenario compare bit-for-bit.
+func (c *Cluster) contentChecksum() uint64 {
+	stores := append([]*core.Store(nil), c.epochStores...)
+	sort.Slice(stores, func(i, j int) bool {
+		return stores[i].Proc().Name() < stores[j].Proc().Name()
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, s := range stores {
+		sum := s.ContentChecksum()
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(sum >> (8 * i))
+		}
+		h.Write([]byte(s.Proc().Name()))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
 // recover applies the failure's effect on the machines and tears down the
 // dead epoch's machinery. The whole job restarts from the last coordinated
 // checkpoint: every node's processes are gone (DRAM state lost), NVM
 // survives everywhere except a hard-failed node.
-func (c *Cluster) recover(p *sim.Proc, f FailureEvent) {
+func (c *Cluster) recover(p *sim.Proc, f fault.Event) {
 	for _, e := range c.engines {
 		e.Stop()
 	}
+	hard := f.Kind == fault.Hard || f.Kind == fault.BuddyLoss
 	for n, k := range c.kernels {
-		if f.Hard && n == f.Node {
+		if hard && n == f.Node {
 			k.HardFail()
 		} else {
 			k.SoftReset()
 		}
 	}
-	// Job relaunch latency (scheduler requeue, process startup).
-	p.Sleep(2 * time.Second)
+	c.recoverWait = c.Cfg.Nodes * c.Cfg.CoresPerNode
+	p.Sleep(RelaunchDelay)
+	if c.remoteTier != nil {
+		c.remoteTier.NodeRecovered(f.Node)
+	}
 	c.Obs.Recorder(f.Node, "cluster").Emit(obs.EvRecovery, "", 0,
-		map[string]string{"resume_iter": fmt.Sprintf("%d", c.committedIter)})
+		map[string]string{
+			"resume_iter": fmt.Sprintf("%d", c.committedIter),
+			"kind":        string(f.Kind),
+		})
 }
 
 // shutdown stops engines and the remote tier so the event queue drains.
@@ -697,6 +979,25 @@ func (c *Cluster) collect() Result {
 	reg.Gauge("precopy_hit_rate", nil).Set(res.PreCopyHitRate)
 	reg.Gauge("redirty_rate", nil).Set(res.ReDirtyRate)
 	reg.Gauge("peak_ckpt_window_bytes", nil).Set(res.PeakCkptWindowBytes)
+
+	// Degraded-mode accounting: which cascade tier served each recovered
+	// chunk, helper retry/failover effort, and repair-time gauges.
+	res.FailuresSkipped = c.skipCount
+	res.Corruptions = c.corruptCount
+	res.LinkFlaps = c.flapCount
+	res.RecoveryLocal = reg.Counter("recovery_path", obs.Labels{"tier": "local"}).Get()
+	res.RecoveryRemote = reg.Counter("recovery_path", obs.Labels{"tier": "remote"}).Get()
+	res.RecoveryBottom = reg.Counter("recovery_path", obs.Labels{"tier": "bottom"}).Get()
+	res.RecoveryLost = reg.Counter("recovery_path", obs.Labels{"tier": "lost"}).Get()
+	res.ShipRetries = reg.Counter("helper_ship_retries", nil).Get()
+	res.BuddyFailovers = reg.Counter("helper_buddy_failovers", nil).Get()
+	if c.mttrN > 0 {
+		res.MTTR = c.mttrTotal / time.Duration(c.mttrN)
+	}
+	res.DegradedTime = c.degradedTotal
+	res.WorkloadChecksum = c.workSum
+	reg.Gauge("mttr_seconds", nil).Set(res.MTTR.Seconds())
+	reg.Gauge("degraded_seconds_total", nil).Set(res.DegradedTime.Seconds())
 	return res
 }
 

@@ -173,15 +173,6 @@ func TestHardFailureRecoversFromBuddy(t *testing.T) {
 	}
 }
 
-func TestFailureAfterCompletionIsIgnored(t *testing.T) {
-	cfg := smallCfg()
-	cfg.Failures = []FailureEvent{{After: 24 * time.Hour, Node: 0}}
-	res, _ := MustRun(cfg)
-	if res.FailuresInjected != 0 {
-		t.Fatalf("failure fired after completion: %d", res.FailuresInjected)
-	}
-}
-
 func TestLocalEverySkipsIntermediateCheckpoints(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Iterations = 6

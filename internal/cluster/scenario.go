@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"nvmcp/internal/fault"
 	"nvmcp/internal/scenario"
 )
 
@@ -54,11 +55,26 @@ func FromScenario(sc *scenario.Scenario) (Config, error) {
 	}
 	for _, f := range sc.Failures {
 		cfg.Failures = append(cfg.Failures, FailureEvent{
-			After: time.Duration(f.AtSecs * float64(time.Second)),
-			Node:  f.Node,
-			Hard:  f.Hard,
+			After:    time.Duration(f.AtSecs * float64(time.Second)),
+			Node:     f.Node,
+			Hard:     f.Hard,
+			Kind:     fault.Kind(f.Kind),
+			Chunks:   f.Chunks,
+			Torn:     f.Torn,
+			Duration: time.Duration(f.DurationSecs * float64(time.Second)),
+			Factor:   f.Factor,
 		})
 	}
+	if m := sc.FaultModel; m != nil {
+		cfg.FaultModel = &fault.Model{
+			MTBFSoft: time.Duration(m.MTBFSoftSecs * float64(time.Second)),
+			MTBFHard: time.Duration(m.MTBFHardSecs * float64(time.Second)),
+			Horizon:  time.Duration(m.HorizonSecs * float64(time.Second)),
+			Seed:     m.Seed,
+			Nodes:    sc.Nodes,
+		}
+	}
+	cfg.FaultSeed = sc.FaultSeed
 	return cfg, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"nvmcp/internal/mem"
@@ -232,6 +233,17 @@ func (s *Store) tryRestore(p *sim.Proc, c *Chunk) error {
 		mem.Copy(p, s.nvmDevice(), s.dramDevice(), c.Size)
 		copy(c.dram.Data, data)
 		if !s.opts.NoChecksum && checksum(data, c.Size) != rec.Checksum {
+			if s.opts.SalvageCorrupt {
+				// Clear the damaged version's commit record and leave the
+				// chunk un-restored; the caller's cascade takes it from here.
+				k.MetaLock.Lock(p)
+				s.kproc.SetMeta(p, c.metaKey(), nil)
+				k.MetaLock.Unlock(p)
+				s.count("restore_checksum_errors", 1)
+				s.rec.Emit(obs.EvChecksumError, c.Name, c.Size,
+					map[string]string{"action": "salvage"})
+				return nil
+			}
 			return fmt.Errorf("%w: %s", ErrChecksum, c.Name)
 		}
 	}
@@ -275,22 +287,35 @@ func (s *Store) materialize(p *sim.Proc, c *Chunk, overwrite bool) error {
 	return nil
 }
 
-// AdoptRemote installs checkpoint data fetched from a remote node as the
-// chunk's working contents — the hard-failure recovery path, when the local
-// NVM was lost with the node. The chunk is left dirty so the next local
-// checkpoint re-establishes a local NVM copy.
-func (s *Store) AdoptRemote(p *sim.Proc, c *Chunk, data []byte, version uint64) error {
+// adopt installs externally fetched checkpoint data as the chunk's working
+// contents. The chunk is left dirty so the next local checkpoint
+// re-establishes a local NVM copy.
+func (s *Store) adopt(p *sim.Proc, c *Chunk, data []byte, version uint64, source, counter string) error {
 	if int64(len(data)) > c.Size {
 		return fmt.Errorf("core: adopt %s: %d payload bytes exceed chunk size %d",
 			c.Name, len(data), c.Size)
 	}
 	copy(c.dram.Data, data)
+	c.pending = nil
 	c.Restored = true
 	c.Version = version
 	c.markDirty(p)
-	s.count("remote_restores", 1)
-	s.rec.Emit(obs.EvRestore, c.Name, c.Size, map[string]string{"source": "remote"})
+	s.count(counter, 1)
+	s.rec.Emit(obs.EvRestore, c.Name, c.Size, map[string]string{"source": source})
 	return nil
+}
+
+// AdoptRemote installs checkpoint data fetched from a remote node — the
+// hard-failure recovery path, when the local NVM was lost with the node.
+func (s *Store) AdoptRemote(p *sim.Proc, c *Chunk, data []byte, version uint64) error {
+	return s.adopt(p, c, data, version, "remote", "remote_restores")
+}
+
+// AdoptBottom installs checkpoint data read back from the bottom (PFS)
+// tier — the cascade's last rung, when both the local version and the
+// remote copy of a chunk are gone.
+func (s *Store) AdoptBottom(p *sim.Proc, c *Chunk, data []byte, version uint64) error {
+	return s.adopt(p, c, data, version, "bottom", "bottom_restores")
 }
 
 // HasCommitted reports whether a committed local checkpoint exists for the
@@ -374,4 +399,29 @@ func (s *Store) StagedData(p *sim.Proc, id uint64) ([]byte, bool) {
 		return nil, false
 	}
 	return v.([]byte), true
+}
+
+// ContentChecksum digests every persistent chunk's working payload in
+// allocation order — the run-level fingerprint fault-injection tests compare
+// against a fault-free twin to prove recovery reconstructed the exact
+// application state.
+func (s *Store) ContentChecksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, id := range s.order {
+		c := s.chunks[id]
+		if !c.Persistent {
+			continue
+		}
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(c.ID >> (8 * i))
+		}
+		h.Write(buf[:])
+		data := c.dram.Data
+		if c.pending != nil {
+			data = c.pending.data
+		}
+		h.Write(data)
+	}
+	return h.Sum64()
 }

@@ -140,6 +140,13 @@ func (c *Chunk) Write(p *sim.Proc, off, n int64) error {
 // structures fully change every iteration).
 func (c *Chunk) WriteAll(p *sim.Proc) error { return c.Write(p, 0, c.Size) }
 
+// SeedWrites pins the content-pattern generator so the next Write produces
+// bytes that depend only on the seed and the chunk identity. Workloads seed
+// each write from the iteration number, making a replayed iteration after a
+// restart regenerate byte-identical contents no matter which tier the chunk
+// was recovered from.
+func (c *Chunk) SeedWrites(seq uint64) { c.writeSeq = seq }
+
 // Read models the application reading the chunk's contents. Reads cost
 // nothing (data is in DRAM) except when a lazy restore is pending, in which
 // case the deferred NVM→DRAM fetch happens now.

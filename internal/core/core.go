@@ -72,6 +72,14 @@ type Options struct {
 	// chunk whose first post-restart access overwrites it entirely never
 	// pays the copy at all.
 	LazyRestore bool
+	// SalvageCorrupt turns a restore-time checksum mismatch from a fatal
+	// error into a degraded-mode signal: the damaged version's commit
+	// record is cleared and the chunk is left un-restored, so the caller's
+	// recovery cascade can fetch it from the next tier (buddy, then PFS)
+	// instead of failing the restart. Lazy materialization stays strict —
+	// by first touch the application is already running and there is no
+	// cascade to fall back on.
+	SalvageCorrupt bool
 }
 
 // Store is one process's (rank's) checkpoint library instance.

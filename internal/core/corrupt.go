@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"nvmcp/internal/nvmkernel"
+)
+
+// CorruptCommitted damages up to max committed chunk payloads across every
+// process with persistent state on k, leaving commit records untouched so
+// the damage surfaces as ErrChecksum at the next restore. With torn=false a
+// single byte of each victim gets a bit-flip (PCM media error); with
+// torn=true the payload's tail half is zeroed (a write torn by power loss).
+// Victims are chosen with rng over a sorted enumeration of processes and
+// metadata keys, so placement is reproducible under a fixed seed. Returns
+// the damaged chunks as "proc/id" names, in enumeration order.
+func CorruptCommitted(k *nvmkernel.Kernel, rng *rand.Rand, max int, torn bool) []string {
+	if max <= 0 {
+		max = 1
+	}
+	type victim struct {
+		proc string
+		id   string
+		rec  commitRecord
+		data []byte
+	}
+	var victims []victim
+	procs := k.ProcessNames()
+	sort.Strings(procs)
+	for _, proc := range procs {
+		for _, key := range k.MetaKeys(proc) {
+			id, ok := strings.CutPrefix(key, "cmeta/")
+			if !ok {
+				continue
+			}
+			v, ok := k.QueryMeta(nil, proc, key)
+			if !ok || v == nil {
+				continue
+			}
+			rec, ok := v.(commitRecord)
+			if !ok {
+				continue
+			}
+			dv, ok := k.QueryMeta(nil, proc, fmt.Sprintf("cdata/%s/%d", id, rec.Slot))
+			if !ok || dv == nil {
+				continue
+			}
+			data, ok := dv.([]byte)
+			if !ok || len(data) == 0 {
+				continue
+			}
+			victims = append(victims, victim{proc: proc, id: id, rec: rec, data: data})
+		}
+	}
+	// Sample without replacement: shuffle the candidate order, take max.
+	rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+	if len(victims) > max {
+		victims = victims[:max]
+	}
+	names := make([]string, 0, len(victims))
+	for _, v := range victims {
+		if torn {
+			for i := len(v.data) / 2; i < len(v.data); i++ {
+				v.data[i] = 0
+			}
+		} else {
+			v.data[rng.Intn(len(v.data))] ^= 1 << uint(rng.Intn(8))
+		}
+		// The mutation is in place, so a coincidental no-op (the pattern
+		// already held those bytes) would silently inject nothing; force a
+		// mismatch in that case.
+		if checksum(v.data, v.rec.Size) == v.rec.Checksum {
+			v.data[0] ^= 0xFF
+		}
+		names = append(names, v.proc+"/"+v.id)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nvmcp/internal/mem"
+	"nvmcp/internal/sim"
+)
+
+// ckptOneChunk runs a first process lifetime that allocates, writes, and
+// locally commits one 10MB chunk named "field".
+func ckptOneChunk(r *rig) {
+	r.env.Go("life1", func(p *sim.Proc) {
+		s := NewStore(r.k.Attach("rank0"), Options{})
+		c, _ := s.NVAlloc(p, "field", 10*mem.MB, true)
+		c.WriteAll(p)
+		s.ChkptAll(p)
+	})
+	r.env.Run()
+	r.k.SoftReset()
+}
+
+func TestCorruptCommittedNamesVictimsDeterministically(t *testing.T) {
+	r := newRig()
+	ckptOneChunk(r)
+	names := CorruptCommitted(r.k, rand.New(rand.NewSource(1)), 1, false)
+	if len(names) != 1 {
+		t.Fatalf("corrupted %d chunks, want 1", len(names))
+	}
+	if !strings.HasPrefix(names[0], "rank0/") {
+		t.Fatalf("victim name = %q, want rank0/<id>", names[0])
+	}
+	// Asking for more victims than exist corrupts only what is there.
+	if extra := CorruptCommitted(r.k, rand.New(rand.NewSource(2)), 99, true); len(extra) != 1 {
+		t.Fatalf("second pass corrupted %d chunks, want 1", len(extra))
+	}
+}
+
+func TestCorruptionSurfacesAsChecksumErrorOnEagerRestore(t *testing.T) {
+	r := newRig()
+	ckptOneChunk(r)
+	CorruptCommitted(r.k, rand.New(rand.NewSource(1)), 1, false)
+	r.env.Go("life2", func(p *sim.Proc) {
+		s := NewStore(r.k.Attach("rank0"), Options{})
+		if _, err := s.NVAlloc(p, "field", 10*mem.MB, true); !errors.Is(err, ErrChecksum) {
+			t.Errorf("strict restore err = %v, want ErrChecksum", err)
+		}
+	})
+	r.env.Run()
+}
+
+// Satellite: the lazy-restore path must also catch corruption — deferred to
+// the materializing read, not skipped.
+func TestCorruptionSurfacesAsChecksumErrorOnLazyRead(t *testing.T) {
+	r := newRig()
+	ckptOneChunk(r)
+	CorruptCommitted(r.k, rand.New(rand.NewSource(1)), 1, true)
+	r.env.Go("life2", func(p *sim.Proc) {
+		s := NewStore(r.k.Attach("rank0"), Options{LazyRestore: true})
+		c, err := s.NVAlloc(p, "field", 10*mem.MB, true)
+		if err != nil {
+			t.Errorf("lazy NVAlloc err = %v, want deferred verification", err)
+			return
+		}
+		if !c.RestorePending() {
+			t.Error("lazy restore not armed over corrupted data")
+		}
+		if err := c.Read(p, 0, 4096); !errors.Is(err, ErrChecksum) {
+			t.Errorf("materializing read err = %v, want ErrChecksum", err)
+		}
+	})
+	r.env.Run()
+}
+
+func TestSalvageCorruptLeavesChunkUnrestoredForCascade(t *testing.T) {
+	r := newRig()
+	ckptOneChunk(r)
+	CorruptCommitted(r.k, rand.New(rand.NewSource(1)), 1, false)
+	r.env.Go("life2", func(p *sim.Proc) {
+		s := NewStore(r.k.Attach("rank0"), Options{SalvageCorrupt: true})
+		c, err := s.NVAlloc(p, "field", 10*mem.MB, true)
+		if err != nil {
+			t.Errorf("salvage NVAlloc err = %v, want nil", err)
+			return
+		}
+		if c.Restored {
+			t.Error("corrupted chunk reported as restored under salvage")
+		}
+		if got := s.Counters.Get("restore_checksum_errors"); got != 1 {
+			t.Errorf("restore_checksum_errors = %d, want 1", got)
+		}
+		// The damaged version's commit record is gone: a fresh lifetime sees
+		// a clean allocation, not a second checksum failure.
+		c.WriteAll(p)
+		s.ChkptAll(p)
+	})
+	r.env.Run()
+	r.k.SoftReset()
+	r.env.Go("life3", func(p *sim.Proc) {
+		s := NewStore(r.k.Attach("rank0"), Options{})
+		c, err := s.NVAlloc(p, "field", 10*mem.MB, true)
+		if err != nil {
+			t.Errorf("post-salvage restore err = %v", err)
+			return
+		}
+		if !c.Restored {
+			t.Error("re-checkpointed chunk did not restore after salvage")
+		}
+	})
+	r.env.Run()
+}

@@ -1,0 +1,210 @@
+// Package fault is the deterministic, scenario-driven fault injector. It
+// perturbs three surfaces of the simulated machine — the PCM device
+// (bit-flips and torn writes on committed chunk payloads), the fabric
+// (transient link drops and bandwidth degradation), and processes (soft
+// crash, hard node loss, loss of the buddy holding a node's remote copies)
+// — all scheduled in virtual time and driven by seeded randomness, so a
+// faulted run replays identically.
+//
+// The package knows nothing about the cluster: callers hand the injector a
+// set of Surfaces (closures onto the kernel, fabric, and process layers)
+// and a list of Events, either written explicitly in a scenario or drawn
+// from a stochastic MTBF Model.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nvmcp/internal/sim"
+)
+
+// Kind names one failure class in the taxonomy.
+type Kind string
+
+const (
+	// Soft kills every rank process; NVM contents survive, so recovery
+	// restores from the local level.
+	Soft Kind = "soft"
+	// Hard kills every rank process and wipes the failed node's NVM;
+	// the node's chunks must come back from the remote or bottom tier.
+	Hard Kind = "hard"
+	// NVMCorrupt silently damages committed chunk payloads on the target
+	// node (bit-flips, or torn writes that lose the payload tail). The
+	// fault is latent: it surfaces as ErrChecksum at the next restore.
+	NVMCorrupt Kind = "nvm-corrupt"
+	// LinkFlap takes the target node's fabric links down (or degrades them
+	// to a fraction of their bandwidth) for a bounded duration. In-flight
+	// transfers stall or slow; the remote helper retries around it.
+	LinkFlap Kind = "link-flap"
+	// BuddyLoss hard-fails the node that holds the target node's remote
+	// checkpoint copies — the worst case for the remote level, forcing
+	// recovery of any locally damaged chunk down to the bottom tier.
+	BuddyLoss Kind = "buddy-loss"
+)
+
+// Kinds lists every valid kind, in taxonomy order.
+func Kinds() []Kind { return []Kind{Soft, Hard, NVMCorrupt, LinkFlap, BuddyLoss} }
+
+// ParseKind maps a scenario string to a Kind. The empty string is Soft, the
+// historical default.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "":
+		return Soft, nil
+	case Soft, Hard, NVMCorrupt, LinkFlap, BuddyLoss:
+		return Kind(s), nil
+	}
+	return "", fmt.Errorf("fault: unknown kind %q (want soft, hard, nvm-corrupt, link-flap, or buddy-loss)", s)
+}
+
+// Process reports whether the kind kills rank processes (and therefore
+// triggers a restart), as opposed to a latent or fabric-only perturbation.
+func (k Kind) Process() bool { return k == Soft || k == Hard || k == BuddyLoss }
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the virtual injection time.
+	At time.Duration
+	// Node is the fault's target. For BuddyLoss it names the node whose
+	// remote copies are lost (the injector resolves the holder).
+	Node int
+	// Kind selects the failure class.
+	Kind Kind
+
+	// Chunks bounds how many committed chunks an NVMCorrupt fault damages
+	// (0 means 1).
+	Chunks int
+	// Torn makes NVMCorrupt tear payloads (zero the tail half, as a write
+	// interrupted by power loss would) instead of flipping a single bit.
+	Torn bool
+
+	// Duration is a LinkFlap's outage length.
+	Duration time.Duration
+	// Factor is a LinkFlap's residual bandwidth fraction: 0 takes the links
+	// fully down, 0.1 leaves a 10% trickle.
+	Factor float64
+}
+
+// Validate checks the event's shape against nodes, the machine size.
+func (e Event) Validate(nodes int) error {
+	if _, err := ParseKind(string(e.Kind)); err != nil {
+		return err
+	}
+	if e.At <= 0 {
+		return fmt.Errorf("fault: event time %v not positive", e.At)
+	}
+	if e.Node < 0 || e.Node >= nodes {
+		return fmt.Errorf("fault: node %d outside cluster (nodes 0..%d)", e.Node, nodes-1)
+	}
+	if e.Chunks < 0 {
+		return fmt.Errorf("fault: negative chunk count %d", e.Chunks)
+	}
+	if e.Factor < 0 || e.Factor >= 1 {
+		return fmt.Errorf("fault: link factor %v outside [0,1)", e.Factor)
+	}
+	if e.Kind == LinkFlap && e.Duration <= 0 {
+		return fmt.Errorf("fault: link-flap needs a positive duration")
+	}
+	return nil
+}
+
+// Model draws a stochastic fault schedule from exponential interarrival
+// distributions — the MTBF-driven mode of Section III. Soft and hard
+// failures are sampled independently; the merged schedule is sorted by
+// time and assigns nodes round-robin, mirroring the restart experiment's
+// alternating-node idiom.
+type Model struct {
+	// MTBFSoft / MTBFHard are the mean times between failures of each
+	// class; zero disables that class.
+	MTBFSoft time.Duration
+	MTBFHard time.Duration
+	// Horizon bounds the schedule: no fault is drawn at or past it.
+	Horizon time.Duration
+	// Seed fixes the random stream (0 is a valid, fixed seed).
+	Seed int64
+	// Nodes is the machine size faults are spread over.
+	Nodes int
+}
+
+// Schedule expands the model into a concrete, reproducible event list.
+func (m Model) Schedule() []Event {
+	var events []Event
+	draw := func(mtbf time.Duration, kind Kind, seedSalt int64) {
+		if mtbf <= 0 {
+			return
+		}
+		rng := rand.New(rand.NewSource(m.Seed + seedSalt))
+		t := time.Duration(0)
+		for i := 0; ; i++ {
+			t += time.Duration(rng.ExpFloat64() * float64(mtbf))
+			if t >= m.Horizon {
+				return
+			}
+			node := 0
+			if m.Nodes > 0 {
+				node = i % m.Nodes
+			}
+			events = append(events, Event{At: t, Node: node, Kind: kind})
+		}
+	}
+	draw(m.MTBFSoft, Soft, 0)
+	draw(m.MTBFHard, Hard, 0x9e3779b9)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}
+
+// Surfaces are the hooks the injector perturbs. Each receives the full
+// event so kind-specific fields reach the implementation.
+type Surfaces struct {
+	// Kill handles process faults (Soft, Hard, BuddyLoss): it kills rank
+	// processes and arranges the restart.
+	Kill func(ev Event)
+	// CorruptNVM damages committed chunk payloads on ev.Node using rng for
+	// placement, returning how many chunks were hit.
+	CorruptNVM func(rng *rand.Rand, ev Event) int
+	// FlapLink degrades ev.Node's fabric links for ev.Duration.
+	FlapLink func(ev Event)
+}
+
+// Injector schedules fault events against a simulation environment and
+// dispatches them to the surfaces. One seeded rng, consumed in schedule
+// order, keeps corruption placement reproducible across runs.
+type Injector struct {
+	env *sim.Env
+	rng *rand.Rand
+	s   Surfaces
+}
+
+// NewInjector builds an injector over env with the given placement seed.
+func NewInjector(env *sim.Env, seed int64, s Surfaces) *Injector {
+	return &Injector{env: env, rng: rand.New(rand.NewSource(seed)), s: s}
+}
+
+// ScheduleAll arms every event at its virtual time. Events fire in At
+// order; ties resolve in slice order (the scheduler is FIFO per instant).
+func (in *Injector) ScheduleAll(events []Event) {
+	for _, ev := range events {
+		ev := ev
+		in.env.At(ev.At, func() { in.dispatch(ev) })
+	}
+}
+
+func (in *Injector) dispatch(ev Event) {
+	switch ev.Kind {
+	case NVMCorrupt:
+		if in.s.CorruptNVM != nil {
+			in.s.CorruptNVM(in.rng, ev)
+		}
+	case LinkFlap:
+		if in.s.FlapLink != nil {
+			in.s.FlapLink(ev)
+		}
+	default: // Soft, Hard, BuddyLoss
+		if in.s.Kill != nil {
+			in.s.Kill(ev)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"nvmcp/internal/sim"
+)
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(string(k))
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k, got, err)
+		}
+	}
+	if got, err := ParseKind(""); err != nil || got != Soft {
+		t.Errorf("ParseKind(\"\") = %v, %v, want Soft (the historical default)", got, err)
+	}
+	if _, err := ParseKind("meteor-strike"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	good := Event{At: time.Second, Node: 1, Kind: Hard}
+	if err := good.Validate(4); err != nil {
+		t.Errorf("valid event rejected: %v", err)
+	}
+	bad := []Event{
+		{At: 0, Node: 0, Kind: Soft},                                       // non-positive time
+		{At: time.Second, Node: 4, Kind: Soft},                             // node out of range
+		{At: time.Second, Node: -1, Kind: Soft},                            // negative node
+		{At: time.Second, Node: 0, Kind: "quantum"},                        // unknown kind
+		{At: time.Second, Node: 0, Kind: NVMCorrupt, Chunks: -1},           // negative chunks
+		{At: time.Second, Node: 0, Kind: LinkFlap, Factor: 1.0},            // factor not < 1
+		{At: time.Second, Node: 0, Kind: LinkFlap},                         // flap needs duration
+		{At: time.Second, Node: 0, Kind: LinkFlap, Duration: -time.Second}, // negative duration
+	}
+	for i, ev := range bad {
+		if err := ev.Validate(4); err == nil {
+			t.Errorf("bad event %d accepted: %+v", i, ev)
+		}
+	}
+}
+
+func TestModelScheduleDeterministicSortedBounded(t *testing.T) {
+	m := Model{
+		MTBFSoft: 20 * time.Second,
+		MTBFHard: 60 * time.Second,
+		Horizon:  5 * time.Minute,
+		Seed:     42,
+		Nodes:    4,
+	}
+	a, b := m.Schedule(), m.Schedule()
+	if len(a) == 0 {
+		t.Fatal("model drew no events over 15 soft MTBFs")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed drew %d then %d events", len(a), len(b))
+	}
+	var soft, hard int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across same-seed draws: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Fatalf("schedule unsorted at %d", i)
+		}
+		if a[i].At >= m.Horizon {
+			t.Fatalf("event %d at %v past horizon %v", i, a[i].At, m.Horizon)
+		}
+		if a[i].Node < 0 || a[i].Node >= m.Nodes {
+			t.Fatalf("event %d on node %d outside machine", i, a[i].Node)
+		}
+		switch a[i].Kind {
+		case Soft:
+			soft++
+		case Hard:
+			hard++
+		default:
+			t.Fatalf("model drew kind %q", a[i].Kind)
+		}
+	}
+	if soft == 0 || hard == 0 {
+		t.Fatalf("soft=%d hard=%d, want both classes present", soft, hard)
+	}
+	m2 := m
+	m2.Seed = 43
+	if c := m2.Schedule(); len(c) == len(a) && func() bool {
+		for i := range c {
+			if c[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Error("different seeds drew identical schedules")
+	}
+}
+
+func TestModelDisabledClassDrawsNothing(t *testing.T) {
+	m := Model{MTBFHard: 30 * time.Second, Horizon: 5 * time.Minute, Nodes: 2}
+	for _, ev := range m.Schedule() {
+		if ev.Kind != Hard {
+			t.Fatalf("disabled soft class drew %+v", ev)
+		}
+	}
+	if got := (Model{Horizon: time.Minute, Nodes: 2}).Schedule(); len(got) != 0 {
+		t.Fatalf("fully disabled model drew %d events", len(got))
+	}
+}
+
+func TestInjectorDispatchesByKindAtScheduledTime(t *testing.T) {
+	e := sim.NewEnv()
+	type hit struct {
+		kind Kind
+		at   time.Duration
+	}
+	var hits []hit
+	in := NewInjector(e, 7, Surfaces{
+		Kill: func(ev Event) { hits = append(hits, hit{ev.Kind, e.Now()}) },
+		CorruptNVM: func(rng *rand.Rand, ev Event) int {
+			if rng == nil {
+				t.Error("corrupt surface got nil rng")
+			}
+			hits = append(hits, hit{ev.Kind, e.Now()})
+			return ev.Chunks
+		},
+		FlapLink: func(ev Event) { hits = append(hits, hit{ev.Kind, e.Now()}) },
+	})
+	in.ScheduleAll([]Event{
+		{At: 3 * time.Second, Node: 0, Kind: BuddyLoss},
+		{At: time.Second, Node: 0, Kind: LinkFlap, Duration: time.Second},
+		{At: 2 * time.Second, Node: 1, Kind: NVMCorrupt, Chunks: 2},
+	})
+	e.Run()
+	want := []hit{
+		{LinkFlap, time.Second},
+		{NVMCorrupt, 2 * time.Second},
+		{BuddyLoss, 3 * time.Second},
+	}
+	if len(hits) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(hits), len(want))
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Errorf("dispatch %d = %+v, want %+v", i, hits[i], want[i])
+		}
+	}
+}

@@ -64,6 +64,13 @@ type Fabric struct {
 	cumBytes [numClasses]float64
 	series   [numClasses]*trace.Timeline
 
+	// linkFactor is each node's residual link-bandwidth fraction: 1 is
+	// healthy, (0,1) degraded, 0 fully down. Fault injection flips it;
+	// transfers stall on a down endpoint and slow on a degraded one.
+	linkFactor []float64
+	// linkWake releases transfers stalled on a down link when it recovers.
+	linkWake *sim.Signal
+
 	// Counters: "transfers", "segments", "bytes_app", "bytes_ckpt".
 	Counters trace.Counters
 
@@ -82,11 +89,16 @@ func New(env *sim.Env, n int, linkBW float64) *Fabric {
 		linkBW = LinkBW
 	}
 	f := &Fabric{
-		env:     env,
-		egress:  make([]*resource.Pipe, n),
-		ingress: make([]*resource.Pipe, n),
-		Segment: DefaultSegment,
-		Latency: DefaultLatency,
+		env:        env,
+		egress:     make([]*resource.Pipe, n),
+		ingress:    make([]*resource.Pipe, n),
+		Segment:    DefaultSegment,
+		Latency:    DefaultLatency,
+		linkFactor: make([]float64, n),
+		linkWake:   sim.NewSignal(env),
+	}
+	for i := range f.linkFactor {
+		f.linkFactor[i] = 1
 	}
 	for i := range f.egress {
 		f.egress[i] = resource.NewPipe(env, fmt.Sprintf("node%d-egress", i), linkBW, resource.FlatScaling())
@@ -110,6 +122,62 @@ func (f *Fabric) Ingress(node int) *resource.Pipe { return f.ingress[node] }
 // Series returns the cumulative-bytes timeline for a traffic class; use
 // DiffBuckets on it for per-window transferred volume (Figure 10).
 func (f *Fabric) Series(c Class) *trace.Timeline { return f.series[c] }
+
+// SetLinkFactor sets a node's residual link-bandwidth fraction: 1 restores
+// full health, a value in (0,1) degrades both directions, 0 takes the node's
+// links fully down. Restoring (factor > 0) wakes transfers stalled on it.
+func (f *Fabric) SetLinkFactor(node int, factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	if factor > 1 {
+		factor = 1
+	}
+	f.linkFactor[node] = factor
+	if factor > 0 {
+		f.linkWake.Broadcast()
+	}
+}
+
+// RestoreLink returns a node's links to full bandwidth.
+func (f *Fabric) RestoreLink(node int) { f.SetLinkFactor(node, 1) }
+
+// LinkFactor returns a node's current residual bandwidth fraction.
+func (f *Fabric) LinkFactor(node int) float64 { return f.linkFactor[node] }
+
+// LinkUp reports whether a node's links carry any traffic at all.
+func (f *Fabric) LinkUp(node int) bool { return f.linkFactor[node] > 0 }
+
+// pathFactor is the residual fraction of the slower endpoint on a path.
+func (f *Fabric) pathFactor(from, to int) float64 {
+	phi := f.linkFactor[from]
+	if f.linkFactor[to] < phi {
+		phi = f.linkFactor[to]
+	}
+	return phi
+}
+
+// EstimateTransfer predicts a transfer's uncontended wire time under the
+// current link state. ok=false means the path is unusable (an endpoint's
+// link is down) — the remote helper's pre-flight check treats that as an
+// immediately failed attempt rather than queueing into a black hole.
+func (f *Fabric) EstimateTransfer(from, to int, size int64, rateCap float64) (time.Duration, bool) {
+	if size <= 0 || from == to {
+		return 0, true
+	}
+	phi := f.pathFactor(from, to)
+	if phi <= 0 {
+		return 0, false
+	}
+	segs := (size + f.Segment - 1) / f.Segment
+	wire := f.egress[from].EstimateTime(size)
+	if rateCap > 0 {
+		if capped := time.Duration(float64(size) / rateCap * float64(time.Second)); capped > wire {
+			wire = capped
+		}
+	}
+	return time.Duration(segs)*f.Latency + time.Duration(float64(wire)/phi), true
+}
 
 // CongestionAmp scales the queueing penalty applied to application messages
 // that experience bandwidth contention. Fluid fair sharing alone understates
@@ -175,11 +243,23 @@ func (f *Fabric) Transfer(p *sim.Proc, from, to int, size int64, class Class, ra
 		if seg > remaining {
 			seg = remaining
 		}
+		// A down endpoint stalls the transfer until the link recovers; a
+		// degraded one stretches the segment by the residual fraction.
+		for f.pathFactor(from, to) <= 0 {
+			f.Counters.Add("link_stalls", 1)
+			f.linkWake.Wait(p)
+		}
+		phi := f.pathFactor(from, to)
+		segStart := p.Now()
 		p.Sleep(f.Latency)
 		if rateCap > 0 {
 			pipe.TransferCapped(p, seg, rateCap)
 		} else {
 			pipe.Transfer(p, seg)
+		}
+		if phi < 1 {
+			elapsed := p.Now() - segStart
+			p.Sleep(time.Duration(float64(elapsed) * (1 - phi) / phi))
 		}
 		if rxQueue != nil {
 			rxQueue.Put(seg)

@@ -16,6 +16,7 @@ package nvmkernel
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"nvmcp/internal/mem"
@@ -292,4 +293,20 @@ func (k *Kernel) ProcessNames() []string {
 		names = append(names, n)
 	}
 	return names
+}
+
+// MetaKeys returns a process's persistent metadata keys in sorted order —
+// the deterministic enumeration fault injection walks to pick victims.
+// Unknown processes yield nil.
+func (k *Kernel) MetaKeys(procName string) []string {
+	ps, ok := k.store[procName]
+	if !ok {
+		return nil
+	}
+	keys := make([]string, 0, len(ps.meta))
+	for key := range ps.meta {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -61,6 +61,29 @@ const (
 	EvRemoteCommit Type = "remote_commit"
 	// EvFailure records an injected failure; Attrs carry the kind.
 	EvFailure Type = "failure"
+	// EvFailureSkipped records an injection that was dropped (ranks not
+	// live, or another failure already pending); Attrs carry the reason.
+	EvFailureSkipped Type = "failure_skipped"
+	// EvNVMCorrupt records latent media damage injected into committed
+	// chunk payloads; Attrs carry the damaged-chunk count and mode.
+	EvNVMCorrupt Type = "nvm_corrupt"
+	// EvLinkFlap / EvLinkRestore bracket a fabric degradation window on a
+	// node; Attrs carry the residual bandwidth factor and duration.
+	EvLinkFlap    Type = "link_flap"
+	EvLinkRestore Type = "link_restore"
+	// EvShipRetry records the helper backing off after a blocked ship
+	// attempt; Attrs carry the reason and attempt number.
+	EvShipRetry Type = "ship_retry"
+	// EvBuddyFailover records the helper re-buddying to a live node after
+	// exhausting retries against a dead one.
+	EvBuddyFailover Type = "buddy_failover"
+	// EvChecksumError records a restore-time checksum mismatch; Attrs say
+	// whether the chunk was salvaged into the recovery cascade.
+	EvChecksumError Type = "checksum_error"
+	// EvChunkRecovered records the cascade's verdict for one chunk on
+	// restart; Attrs carry the tier that supplied it (local/remote/bottom)
+	// or "none" when every tier missed.
+	EvChunkRecovered Type = "chunk_recovered"
 	// EvRecovery marks the cluster relaunching after a failure.
 	EvRecovery Type = "recovery"
 	// EvIteration marks one rank finishing a compute iteration.

@@ -146,6 +146,23 @@ func (t *buddyTier) DrainSource(holder int) pfs.Source {
 	return pfs.MeshSource{Mesh: t.mesh, Holder: holder}
 }
 
+func (t *buddyTier) HolderOf(node int) int {
+	return t.mesh.HolderOf(node)
+}
+
+func (t *buddyTier) NodeFailed(node int, hard bool) {
+	// The node's helper dies with it; other helpers see the liveness flag
+	// and back off or fail over. A hard failure also takes the remote
+	// copies the node was holding for its own buddy-source.
+	t.mesh.RemoveAgent(node)
+	t.mesh.SetNodeDown(node, true)
+	if hard {
+		t.mesh.DropNode(node)
+	}
+}
+
+func (t *buddyTier) NodeRecovered(node int) { t.mesh.SetNodeDown(node, false) }
+
 func (t *buddyTier) Shutdown() {
 	for n := 0; n < t.rt.ComputeNodes; n++ {
 		t.mesh.RemoveAgent(n)
@@ -262,6 +279,13 @@ func (t *erasureTier) Utilization(now time.Duration) []float64 {
 
 func (t *erasureTier) DrainSource(int) pfs.Source { return nil }
 
+// HolderOf returns -1: parity fragments are spread over the group, so no
+// single fabric node holds a node's remote state.
+func (t *erasureTier) HolderOf(int) int { return -1 }
+
+func (t *erasureTier) NodeFailed(int, bool) {}
+func (t *erasureTier) NodeRecovered(int)    {}
+
 func (t *erasureTier) Shutdown() {
 	if t.active != nil {
 		t.active.Complete()
@@ -279,6 +303,14 @@ type pfsTier struct{ fs *pfs.FS }
 
 func (t *pfsTier) Drain(p *sim.Proc, src pfs.Source) pfs.DrainStats {
 	return t.fs.Drain(p, src)
+}
+
+func (t *pfsTier) Fetch(p *sim.Proc, name string) ([]byte, int64, bool) {
+	data, size, _, err := t.fs.Read(p, name)
+	if err != nil {
+		return nil, 0, false
+	}
+	return data, size, true
 }
 
 // PFSOf unwraps a pfs tier's file system for result shaping; nil otherwise.

@@ -122,6 +122,16 @@ type RemoteTier interface {
 	// DrainSource exposes a holder node's committed objects for the bottom
 	// tier, or nil when that node holds nothing drainable.
 	DrainSource(holder int) pfs.Source
+	// HolderOf reports which fabric node physically holds a node's remote
+	// copies, or -1 when the tier has no single holder (erasure spreads
+	// data across the group).
+	HolderOf(node int) int
+	// NodeFailed tells the tier a node just died; hard means its NVM — and
+	// any remote copies it held for others — are gone. Helpers shipping
+	// toward it back off, retry, and fail over until NodeRecovered.
+	NodeFailed(node int, hard bool)
+	// NodeRecovered marks the node's replacement hardware live again.
+	NodeRecovered(node int)
 	// Shutdown stops tier processes so the event queue can drain.
 	Shutdown()
 }
@@ -142,9 +152,14 @@ type BottomOptions struct {
 	StripeBW    float64
 }
 
-// BottomTier drains committed remote objects to the hierarchy's bottom level.
+// BottomTier drains committed remote objects to the hierarchy's bottom level
+// and serves them back during recovery.
 type BottomTier interface {
 	Drain(p *sim.Proc, src pfs.Source) pfs.DrainStats
+	// Fetch reads a drained object ("<proc>/<chunkID>") back — the last
+	// rung of the per-chunk recovery cascade, used when both the local
+	// version and the remote copy are gone.
+	Fetch(p *sim.Proc, name string) (data []byte, size int64, ok bool)
 }
 
 // BottomPolicy builds a bottom tier; a nil tier disables the level.

@@ -56,10 +56,32 @@ type Config struct {
 	Delay time.Duration
 	// ScanTick is the helper's idle poll period (default 200ms).
 	ScanTick time.Duration
+	// ShipTimeout bounds one ship attempt's estimated wire time under the
+	// current link state; an attempt whose estimate exceeds it (a degraded
+	// link) or whose buddy is down counts as failed and is retried with
+	// exponential backoff (default DefaultShipTimeout).
+	ShipTimeout time.Duration
+	// MaxShipRetries bounds the backoff retries per chunk pass before the
+	// helper fails over to a live buddy — or gives the pass up, degrading
+	// to whatever the bottom tier holds (default DefaultMaxShipRetries).
+	MaxShipRetries int
+	// RetryBackoff seeds the exponential backoff between retries, doubling
+	// each attempt up to a 5s cap (default DefaultRetryBackoff).
+	RetryBackoff time.Duration
 	// Rec publishes helper activity — ship events, wake/sleep edges and
 	// spans on the helper lane — onto the run's observability bus (nil-safe).
 	Rec *obs.Recorder
 }
+
+// Degraded-mode retry defaults. The timeout is generous — rate-capped
+// pre-copy legitimately ships large chunks over seconds — and trips only
+// when fault injection degrades a link by an order of magnitude.
+const (
+	DefaultShipTimeout    = 60 * time.Second
+	DefaultMaxShipRetries = 6
+	DefaultRetryBackoff   = 100 * time.Millisecond
+	maxRetryBackoff       = 5 * time.Second
+)
 
 // helperLane is the tid used for helper spans in trace timelines.
 const helperLane = 999
@@ -87,6 +109,7 @@ type Mesh struct {
 	nvm    []*mem.Device // per-node NVM (destination write charges + capacity)
 	agents []*Agent
 	data   []map[chunkKey]*remoteChunk // indexed by holding (buddy) node
+	down   []bool                      // per-node liveness, set by fault injection
 
 	// Counters: "ships", "ship_bytes", "remote_commits", "fetches".
 	Counters trace.Counters
@@ -110,6 +133,7 @@ func NewMesh(env *sim.Env, fabric *interconnect.Fabric, nvm []*mem.Device) *Mesh
 		nvm:    nvm,
 		agents: make([]*Agent, fabric.Nodes()),
 		data:   make([]map[chunkKey]*remoteChunk, fabric.Nodes()),
+		down:   make([]bool, fabric.Nodes()),
 	}
 	for i := range m.data {
 		m.data[i] = make(map[chunkKey]*remoteChunk)
@@ -127,6 +151,15 @@ func (m *Mesh) AddAgent(node, buddy int, cfg Config) *Agent {
 	}
 	if cfg.ScanTick == 0 {
 		cfg.ScanTick = 200 * time.Millisecond
+	}
+	if cfg.ShipTimeout == 0 {
+		cfg.ShipTimeout = DefaultShipTimeout
+	}
+	if cfg.MaxShipRetries == 0 {
+		cfg.MaxShipRetries = DefaultMaxShipRetries
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
 	}
 	a := &Agent{
 		mesh:    m,
@@ -154,13 +187,27 @@ func (m *Mesh) RemoveAgent(node int) {
 	}
 }
 
+// SetNodeDown flips a node's liveness. Helpers refuse to ship toward a down
+// buddy (they back off, then fail over); Fetch treats data held at a down
+// node as unreachable.
+func (m *Mesh) SetNodeDown(node int, down bool) { m.down[node] = down }
+
+// NodeDown reports a node's liveness flag.
+func (m *Mesh) NodeDown(node int) bool { return m.down[node] }
+
+// DropNode discards every remote copy held at a node — a hard failure took
+// its NVM. Copies OF the node's own data, held at its buddy, survive.
+func (m *Mesh) DropNode(node int) {
+	m.data[node] = make(map[chunkKey]*remoteChunk)
+}
+
 // Fetch retrieves the committed remote copy of a chunk belonging to procName
 // on srcNode, pulling it from the buddy across the fabric into srcNode's
 // NVM — the hard-failure recovery path. ok is false when the buddy holds no
-// committed version.
+// committed version or is itself down.
 func (m *Mesh) Fetch(p *sim.Proc, srcNode int, procName string, id uint64) ([]byte, int64, bool) {
 	a := m.agents[srcNode]
-	if a == nil {
+	if a == nil || m.down[a.buddy] {
 		return nil, 0, false
 	}
 	rc, ok := m.data[a.buddy][chunkKey{procName, id}]
@@ -174,8 +221,14 @@ func (m *Mesh) Fetch(p *sim.Proc, srcNode int, procName string, id uint64) ([]by
 	return rc.versions[rc.committed], rc.size, true
 }
 
-// HolderOf returns which node holds srcNode's remote checkpoints.
-func (m *Mesh) HolderOf(srcNode int) int { return m.agents[srcNode].buddy }
+// HolderOf returns which node holds srcNode's remote checkpoints, or -1
+// when srcNode has no agent (e.g. it was removed by fault injection).
+func (m *Mesh) HolderOf(srcNode int) int {
+	if a := m.agents[srcNode]; a != nil {
+		return a.buddy
+	}
+	return -1
+}
 
 // CommittedObject identifies one committed remote chunk copy for drains to
 // lower storage levels (the PFS).
@@ -320,9 +373,84 @@ func (a *Agent) run(p *sim.Proc) {
 			a.cfg.Rec.Emit(obs.EvHelperWake, "", 0, nil)
 		}
 		a.idle = sim.NewCompletion(a.mesh.env)
-		a.ship(p, st, store)
+		a.shipWithRetry(p, st, store)
 		a.idle.Complete()
 	}
+}
+
+// shipBlocked is the pre-flight check for one ship attempt: a non-empty
+// reason means the attempt would fail (buddy dead, link down, or the link
+// so degraded the estimated wire time blows the per-ship timeout).
+func (a *Agent) shipBlocked(size int64) string {
+	m := a.mesh
+	if m.down[a.buddy] {
+		return "buddy-down"
+	}
+	eta, ok := m.fabric.EstimateTransfer(a.node, a.buddy, size, a.cfg.RateCap)
+	if !ok {
+		return "link-down"
+	}
+	if eta > a.cfg.ShipTimeout {
+		return "ship-timeout"
+	}
+	return ""
+}
+
+// shipWithRetry wraps ship with the degraded-mode protocol: blocked attempts
+// back off exponentially (bounded), then the helper fails over to a live
+// buddy if its own is dead, or gives this pass up — the chunk stays
+// unshipped and the next scan retries, so a transient outage self-heals
+// while a permanent one degrades to the bottom tier.
+func (a *Agent) shipWithRetry(p *sim.Proc, st core.ChunkState, store *core.Store) {
+	attempt := 0
+	for {
+		reason := a.shipBlocked(st.Size)
+		if reason == "" {
+			a.ship(p, st, store)
+			return
+		}
+		if attempt < a.cfg.MaxShipRetries {
+			a.count("ship_retries", 1)
+			a.cfg.Rec.Emit(obs.EvShipRetry, fmt.Sprintf("%s/%d", store.Proc().Name(), st.ID),
+				st.Size, map[string]string{"reason": reason, "attempt": fmt.Sprintf("%d", attempt)})
+			backoff := a.cfg.RetryBackoff << uint(attempt)
+			if backoff > maxRetryBackoff {
+				backoff = maxRetryBackoff
+			}
+			p.Sleep(backoff)
+			attempt++
+			continue
+		}
+		if a.mesh.down[a.buddy] && a.failover() {
+			attempt = 0
+			continue
+		}
+		a.count("ships_dropped", 1)
+		return
+	}
+}
+
+// failover re-buddies the helper to the nearest live node, invalidating its
+// shipped ledger so every chunk re-ships to the new holder. Returns false
+// when no live candidate exists.
+func (a *Agent) failover() bool {
+	m := a.mesh
+	n := len(m.data)
+	for k := 1; k < n; k++ {
+		cand := (a.buddy + k) % n
+		if cand == a.node || m.down[cand] {
+			continue
+		}
+		old := a.buddy
+		a.buddy = cand
+		a.shipped = make(map[chunkKey]uint64)
+		a.count("buddy_failovers", 1)
+		a.cfg.Rec.Emit(obs.EvBuddyFailover, "", 0, map[string]string{
+			"from": fmt.Sprintf("%d", old), "to": fmt.Sprintf("%d", cand),
+		})
+		return true
+	}
+	return false
 }
 
 // nextToShip scans registered stores for a chunk whose staged data is newer

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"nvmcp/internal/fault"
 	"nvmcp/internal/mem"
 	"nvmcp/internal/policy"
 	"nvmcp/internal/workload"
@@ -140,8 +141,30 @@ type BottomSpec struct {
 // FailureSpec schedules one injected failure.
 type FailureSpec struct {
 	AtSecs float64 `json:"at_secs"`
-	Node   int     `json:"node"`
-	Hard   bool    `json:"hard,omitempty"`
+	// Node is the failing node (for buddy-loss: the node whose remote
+	// copies are lost — the fault strikes whichever node holds them).
+	Node int  `json:"node"`
+	Hard bool `json:"hard,omitempty"`
+	// Kind selects the failure class: soft, hard, nvm-corrupt, link-flap,
+	// buddy-loss. Empty falls back to Hard's soft/hard split.
+	Kind string `json:"kind,omitempty"`
+	// Chunks bounds how many committed chunks an nvm-corrupt fault damages
+	// (0 means 1); Torn switches from bit-flips to torn writes.
+	Chunks int  `json:"chunks,omitempty"`
+	Torn   bool `json:"torn,omitempty"`
+	// DurationSecs and Factor shape a link-flap: outage length and residual
+	// bandwidth fraction (0 = fully down, must be < 1).
+	DurationSecs float64 `json:"duration_secs,omitempty"`
+	Factor       float64 `json:"factor,omitempty"`
+}
+
+// FaultModelSpec adds stochastic failures on top of the explicit schedule:
+// exponential inter-arrival per class, deterministic for a given seed.
+type FaultModelSpec struct {
+	MTBFSoftSecs float64 `json:"mtbf_soft_secs,omitempty"`
+	MTBFHardSecs float64 `json:"mtbf_hard_secs,omitempty"`
+	HorizonSecs  float64 `json:"horizon_secs"`
+	Seed         int64   `json:"seed,omitempty"`
 }
 
 // ObsSpec names observability artifact outputs a runner should write.
@@ -170,7 +193,10 @@ type Scenario struct {
 	Remote RemoteSpec `json:"remote,omitempty"`
 	Bottom BottomSpec `json:"bottom,omitempty"`
 
-	Failures []FailureSpec `json:"failures,omitempty"`
+	Failures   []FailureSpec   `json:"failures,omitempty"`
+	FaultModel *FaultModelSpec `json:"fault_model,omitempty"`
+	// FaultSeed seeds nvm-corrupt victim selection.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
 
 	NoCheckpoint  bool `json:"no_checkpoint,omitempty"`
 	PayloadCap    int  `json:"payload_cap,omitempty"`
@@ -269,6 +295,34 @@ func (sc *Scenario) Validate() error {
 		}
 		if f.AtSecs <= 0 {
 			return fmt.Errorf("scenario %s: failure %d at %gs; must be after t=0", sc.label(), i, f.AtSecs)
+		}
+		kind, err := fault.ParseKind(f.Kind)
+		if err != nil {
+			return fmt.Errorf("scenario %s: failure %d: %w", sc.label(), i, err)
+		}
+		if f.Hard && f.Kind != "" && kind != fault.Hard {
+			return fmt.Errorf("scenario %s: failure %d sets hard but kind %q", sc.label(), i, f.Kind)
+		}
+		if f.Chunks < 0 {
+			return fmt.Errorf("scenario %s: failure %d: chunks must be >= 0, got %d", sc.label(), i, f.Chunks)
+		}
+		if f.Factor < 0 || f.Factor >= 1 {
+			return fmt.Errorf("scenario %s: failure %d: factor must be in [0,1), got %g", sc.label(), i, f.Factor)
+		}
+		if kind == fault.LinkFlap && f.DurationSecs <= 0 {
+			return fmt.Errorf("scenario %s: failure %d: link-flap needs duration_secs > 0", sc.label(), i)
+		}
+	}
+	if m := sc.FaultModel; m != nil {
+		if m.HorizonSecs <= 0 {
+			return fmt.Errorf("scenario %s: fault_model.horizon_secs must be > 0, got %g", sc.label(), m.HorizonSecs)
+		}
+		if m.MTBFSoftSecs < 0 || m.MTBFHardSecs < 0 {
+			return fmt.Errorf("scenario %s: fault_model MTBFs must be >= 0 (soft %g, hard %g)",
+				sc.label(), m.MTBFSoftSecs, m.MTBFHardSecs)
+		}
+		if m.MTBFSoftSecs == 0 && m.MTBFHardSecs == 0 {
+			return fmt.Errorf("scenario %s: fault_model needs at least one positive MTBF", sc.label())
 		}
 	}
 	return nil

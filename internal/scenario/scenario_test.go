@@ -112,6 +112,24 @@ func TestValidateErrors(t *testing.T) {
 		{"failure off-cluster", mod(func(sc *scenario.Scenario) { sc.Failures[0].Node = 4 }), "cluster has nodes 0..3"},
 		{"failure at t=0", mod(func(sc *scenario.Scenario) { sc.Failures[0].AtSecs = 0 }), "must be after t=0"},
 		{"negative rate cap", mod(func(sc *scenario.Scenario) { sc.Local.RateCap = -5 }), "rate caps must be >= 0"},
+		{"bad failure kind", mod(func(sc *scenario.Scenario) { sc.Failures[0].Kind = "meteor" }), "unknown kind"},
+		{"hard vs kind conflict", mod(func(sc *scenario.Scenario) { sc.Failures[0].Kind = "soft" }), "sets hard but kind"},
+		{"negative chunks", mod(func(sc *scenario.Scenario) { sc.Failures[0].Chunks = -1 }), "chunks must be >= 0"},
+		{"factor out of range", mod(func(sc *scenario.Scenario) {
+			sc.Failures[0] = scenario.FailureSpec{AtSecs: 10, Node: 1, Kind: "link-flap", DurationSecs: 1, Factor: 1}
+		}), "factor must be in [0,1)"},
+		{"flap without duration", mod(func(sc *scenario.Scenario) {
+			sc.Failures[0] = scenario.FailureSpec{AtSecs: 10, Node: 1, Kind: "link-flap"}
+		}), "link-flap needs duration_secs > 0"},
+		{"model without horizon", mod(func(sc *scenario.Scenario) {
+			sc.FaultModel = &scenario.FaultModelSpec{MTBFSoftSecs: 30}
+		}), "horizon_secs must be > 0"},
+		{"model negative mtbf", mod(func(sc *scenario.Scenario) {
+			sc.FaultModel = &scenario.FaultModelSpec{MTBFSoftSecs: -1, HorizonSecs: 60}
+		}), "MTBFs must be >= 0"},
+		{"model all classes off", mod(func(sc *scenario.Scenario) {
+			sc.FaultModel = &scenario.FaultModelSpec{HorizonSecs: 60}
+		}), "at least one positive MTBF"},
 	}
 	for _, tc := range cases {
 		err := tc.sc.Validate()
@@ -125,6 +143,20 @@ func TestValidateErrors(t *testing.T) {
 	}
 	if err := fullScenario().Validate(); err != nil {
 		t.Errorf("valid scenario rejected: %v", err)
+	}
+	// Every kind plus a stochastic model, together, validates.
+	sc := fullScenario()
+	sc.Failures = []scenario.FailureSpec{
+		{AtSecs: 5, Node: 0, Kind: "soft"},
+		{AtSecs: 6, Node: 1, Kind: "hard"},
+		{AtSecs: 7, Node: 2, Kind: "nvm-corrupt", Chunks: 3, Torn: true},
+		{AtSecs: 8, Node: 3, Kind: "link-flap", DurationSecs: 2, Factor: 0.1},
+		{AtSecs: 9, Node: 0, Kind: "buddy-loss"},
+	}
+	sc.FaultModel = &scenario.FaultModelSpec{MTBFSoftSecs: 120, MTBFHardSecs: 600, HorizonSecs: 300, Seed: 1}
+	sc.FaultSeed = 7
+	if err := sc.Validate(); err != nil {
+		t.Errorf("full fault taxonomy rejected: %v", err)
 	}
 }
 

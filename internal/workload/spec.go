@@ -259,6 +259,15 @@ type App struct {
 	Iterations int64
 }
 
+// writeSeedStride spaces the per-iteration write-seed bands far apart so an
+// iteration's seeds never collide with another's (or with the Setup writes,
+// which use the chunk's own small auto-incremented sequence).
+const writeSeedStride = 1 << 16
+
+// SyncIteration aligns the iteration counter after a restart, so Iterate's
+// seeded writes replay exactly the sequence the original iteration produced.
+func (a *App) SyncIteration(iter int64) { a.Iterations = iter }
+
 // Setup allocates every chunk of the spec through the Table III interface
 // and performs the initialization writes (including init-only chunks).
 func Setup(p *sim.Proc, store *core.Store, spec AppSpec) (*App, error) {
@@ -315,12 +324,18 @@ func (a *App) Iterate(p *sim.Proc) error {
 	sort.SliceStable(events, func(i, j int) bool { return events[i].phase < events[j].phase })
 
 	now := 0.0
+	writes := 0
 	for _, ev := range events {
 		if ev.phase > now {
 			p.Sleep(time.Duration((ev.phase - now) * float64(a.Spec.IterTime)))
 			now = ev.phase
 		}
 		if ev.chunk >= 0 {
+			// Seed each write from (iteration, write index) so a replayed
+			// iteration after a restart regenerates byte-identical chunk
+			// contents regardless of which tier recovered the chunk.
+			a.Chunks[ev.chunk].SeedWrites(uint64(a.Iterations)*writeSeedStride + uint64(writes))
+			writes++
 			if err := a.Chunks[ev.chunk].WriteAll(p); err != nil {
 				return err
 			}
