@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check ci presets faults clean
+.PHONY: all build test race vet fmt lint check ci presets faults clean bench bench-check
 
 all: build
 
@@ -23,7 +23,17 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet test
+# lint is fmt + vet plus grep-enforced idioms the toolchain doesn't check:
+# the module is go 1.22, where loop variables are per-iteration, so `x := x`
+# shadow copies are dead weight and must not come back.
+lint: fmt vet
+	@out="$$(grep -rn --include='*.go' -E '^[[:space:]]*([a-zA-Z_][a-zA-Z0-9_]*) := \1$$' . || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "redundant loop-variable copies (go 1.22 scopes per iteration):"; \
+		echo "$$out"; exit 1; \
+	fi
+
+check: lint test
 
 # presets smoke-runs every cluster-shaped preset at tiny scale under the
 # race detector — the fast end-to-end gate that the scenario layer, policy
@@ -43,10 +53,24 @@ faults:
 	$(GO) run -race ./cmd/nvmcp-sim -scenario docs/scenarios/faults-cascade.json
 	$(GO) run -race ./cmd/nvmcp-bench availability
 
-# ci is the gate the workflow runs: formatting, vet, the full test suite
-# under the race detector (obs publication crosses host goroutines), and the
-# preset and fault-cascade smoke sweeps.
-ci: fmt vet race presets faults
+# ci is the gate the workflow runs: lint (fmt + vet + grep idioms), the full
+# test suite under the race detector (obs publication crosses host
+# goroutines), the preset and fault-cascade smoke sweeps, and the perf
+# regression check against the checked-in baseline.
+ci: lint race presets faults bench-check
+
+# bench refreshes the perf records: the testing.B suites (sim kernel,
+# resource layer, paper end-to-end) plus the nvmcp-perf probes, which write
+# BENCH_<id>.json into bench/. Promote a run to the regression baseline with
+#   cp bench/BENCH_*.json bench/baseline/
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/sim/ ./internal/resource/
+	$(GO) run ./cmd/nvmcp-perf -out bench
+
+# bench-check re-runs the probes and fails on a >20% wall-time regression
+# against the checked-in baseline.
+bench-check:
+	$(GO) run ./cmd/nvmcp-perf -check bench/baseline
 
 clean:
 	$(GO) clean ./...

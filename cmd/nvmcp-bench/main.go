@@ -194,7 +194,7 @@ func main() {
 		expanded = append(expanded, t)
 	}
 
-	jsonOut := make(map[string]any, len(expanded))
+	jsonOut := make(map[string]benchRecord, len(expanded))
 	records := make([]benchRecord, 0, len(expanded))
 	for _, name := range expanded {
 		// Experiment ids resolve through the preset table, so bench and sim
@@ -219,8 +219,13 @@ func main() {
 		}
 		records = append(records, rec)
 		if *asJSON {
-			jsonOut[name] = result
-			writeJSONFile(filepath.Join(*jsonDir, "BENCH_"+name+".json"), rec)
+			// The combined stdout object and the per-file artifacts share
+			// the benchRecord envelope, so consumers parse one schema.
+			jsonOut[name] = rec
+			if err := writeJSONFile(filepath.Join(*jsonDir, "BENCH_"+name+".json"), rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			continue
 		}
 		def.print(os.Stdout, result)
@@ -235,28 +240,34 @@ func main() {
 		}
 	}
 	if *reportOut != "" {
-		writeJSONFile(*reportOut, benchReport{
+		err := writeJSONFile(*reportOut, benchReport{
 			Tool:      "nvmcp-bench",
 			Scale:     *scaleFlag,
 			Scenarios: records,
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
-// writeJSONFile renders v as indented JSON at path, exiting loudly on error.
-func writeJSONFile(path string, v any) {
+// writeJSONFile renders v as indented JSON at path. The file is closed (and
+// its Close error surfaced — that is where a full disk shows up) before the
+// caller decides how loudly to fail; no os.Exit here, so no defer is skipped.
+func writeJSONFile(path string, v any) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	return enc.Encode(v)
 }
 
 func usage() {

@@ -137,6 +137,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
 		os.Exit(2)
 	}
+	if *traceOut != "" && cfg.Tracer == nil {
+		// Only runs that render a timeline pay for span recording.
+		cfg.Tracer = trace.NewSpanRecorder()
+	}
 	res, c, err := cluster.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)

@@ -22,6 +22,7 @@ import (
 	"nvmcp/internal/mem"
 	"nvmcp/internal/policy"
 	"nvmcp/internal/scenario"
+	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
 
@@ -50,10 +51,11 @@ func main() {
 	spec = spec.ScaledTo(*ckptMB * mem.MB)
 	spec.IterTime = time.Duration(*iterSecs * float64(time.Second))
 
-	// Spans are auto-wired through the cluster's Observer; no external
-	// recorder needed. Policy names resolve through the registry — no
-	// scheme-specific branches here.
+	// Attaching a recorder keeps span recording on (traceless runs disable
+	// it). Policy names resolve through the registry — no scheme-specific
+	// branches here.
 	cfg := cluster.Config{
+		Tracer:        trace.NewSpanRecorder(),
 		Nodes:         *nodes,
 		CoresPerNode:  *cores,
 		App:           spec,

@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"nvmcp/internal/core"
@@ -403,6 +404,11 @@ func New(cfg Config) (*Cluster, error) {
 		nvms[n] = mem.NewPCM(env, cfg.NVMPerNode)
 	}
 	o := obs.New(env)
+	if cfg.Tracer == nil {
+		// No trace sink will read spans from this run; turning recording
+		// off also lets hot sites skip per-span name formatting.
+		o.SetSpansEnabled(false)
+	}
 	o.UseSpanRecorder(cfg.Tracer)
 	fabric.SetRecorder(o.Recorder(0, "fabric"))
 
@@ -583,7 +589,6 @@ func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 	start := c.committedIter
 	procs := make([]*sim.Proc, 0, ranks)
 	for r := 0; r < ranks; r++ {
-		r := r
 		procs = append(procs, c.Env.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
 			c.rankBody(p, r, start)
 		}))
@@ -602,7 +607,7 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 	kernel := c.kernels[node]
 	name := fmt.Sprintf("rank%d", rank)
 	rec := c.Obs.Recorder(node, name)
-	if leader {
+	if leader && rec.SpansActive() {
 		rec.NameProcess(fmt.Sprintf("node%d", node))
 	}
 
@@ -717,10 +722,12 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		if err := app.Iterate(p); err != nil {
 			panic(err)
 		}
-		rec.Span(fmt.Sprintf("iter %d", iter), "compute", lane,
-			iterStart, p.Now()-iterStart, nil)
+		if rec.SpansActive() {
+			rec.Span(fmt.Sprintf("iter %d", iter), "compute", lane,
+				iterStart, p.Now()-iterStart, nil)
+		}
 		rec.Emit(obs.EvIteration, "", 0,
-			map[string]string{"iter": fmt.Sprintf("%d", iter)})
+			map[string]string{"iter": strconv.Itoa(iter)})
 		if cfg.NoCheckpoint {
 			c.barrier.Await(p)
 			if rank == 0 {
@@ -748,9 +755,11 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		}
 		engine.OnCheckpoint(ckStart)
 		c.ckptTime[rank] += st.Duration
-		rec.Span("local ckpt", "ckpt", lane, ckStart, st.Duration,
-			map[string]string{"copied": fmt.Sprintf("%d", st.ChunksCopied),
-				"skipped": fmt.Sprintf("%d", st.ChunksSkipped)})
+		if rec.SpansActive() {
+			rec.Span("local ckpt", "ckpt", lane, ckStart, st.Duration,
+				map[string]string{"copied": fmt.Sprintf("%d", st.ChunksCopied),
+					"skipped": fmt.Sprintf("%d", st.ChunksSkipped)})
+		}
 		c.barrier.Await(p) // checkpoint exit
 		if rank == 0 {
 			c.committedIter = iter + 1

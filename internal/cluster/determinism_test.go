@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"nvmcp/internal/scenario"
+)
+
+// presetReport runs a preset scenario and serializes its full RunReport —
+// config echo, per-round checkpoint aggregation, every metric, event count
+// and virtual end time.
+func presetReport(t *testing.T, presetID string, scale scenario.Scale) []byte {
+	t.Helper()
+	p, ok := scenario.PresetByID(presetID)
+	if !ok || p.Build == nil {
+		t.Fatalf("preset %q missing or bench-only", presetID)
+	}
+	cfg, err := FromScenario(p.Build(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Obs.BuildReport("determinism-test", cfg, res)
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRunReportDeterministic asserts the simulation is bit-reproducible:
+// two identical runs — one clean, one driving the failure-injection and
+// multi-level recovery paths — must produce byte-identical RunReports.
+// This is the contract the hot-path optimizations are held to; a float
+// summed in map order or a goroutine racing the virtual clock shows up
+// here as a diff.
+func TestRunReportDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		preset string
+		scale  scenario.Scale
+	}{
+		{"fig8", scenario.ScaleQuick}, // clean run, dcpcp local checkpoints
+		{"faults", scenario.ScaleQuick},
+	} {
+		first := presetReport(t, tc.preset, tc.scale)
+		for run := 2; run <= 3; run++ {
+			if again := presetReport(t, tc.preset, tc.scale); !bytes.Equal(first, again) {
+				t.Errorf("preset %s: run %d report differs from run 1\nrun 1: %d bytes\nrun %d: %d bytes",
+					tc.preset, run, len(first), run, len(again))
+			}
+		}
+	}
+}

@@ -21,7 +21,6 @@ import (
 //  4. a clean chunk is never re-copied by a checkpoint.
 func TestRandomOperationSequences(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
-		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			runRandomOps(t, seed)
 		})

@@ -12,7 +12,9 @@
 package experiments
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nvmcp/internal/cluster"
@@ -80,19 +82,39 @@ func overhead(actual, ideal time.Duration) float64 {
 	return float64(actual-ideal) / float64(ideal)
 }
 
-// sweep evaluates fn(i) for i in [0, n) concurrently, one host goroutine per
-// point. Every point is an independent simulation with its own virtual
-// clock, so parallel evaluation changes nothing about the (deterministic)
-// results — it only uses the host's cores for the parameter sweep, the way
-// an HPC parameter study would.
+// sweepWorkers bounds sweep's host-goroutine fan-out. One worker per host
+// core: each point is a whole simulation (its own Env spawns a goroutine per
+// simulated process), so oversubscribing beyond the core count only adds
+// scheduler pressure and memory for stacks. Variable so tests can exercise
+// the bound.
+var sweepWorkers = runtime.GOMAXPROCS(0)
+
+// sweep evaluates fn(i) for i in [0, n) on a bounded worker pool. Every
+// point is an independent simulation with its own virtual clock, so parallel
+// evaluation changes nothing about the (deterministic) results — it only
+// uses the host's cores for the parameter sweep, the way an HPC parameter
+// study would.
 func sweep(n int, fn func(i int)) {
+	workers := sweepWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		i := i
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			fn(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
 		}()
 	}
 	wg.Wait()

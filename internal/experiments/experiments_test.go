@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -236,5 +239,35 @@ func TestPrintersProduceOutput(t *testing.T) {
 	}
 	if len(out) < 1000 {
 		t.Fatalf("printer output suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestSweepBoundsConcurrency(t *testing.T) {
+	old := sweepWorkers
+	defer func() { sweepWorkers = old }()
+	sweepWorkers = 4
+
+	var active, peak atomic.Int64
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	sweep(1000, func(i int) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched() // give other workers a chance to overlap
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		active.Add(-1)
+	})
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("sweep ran %d points at once, bound is 4", p)
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("sweep visited %d distinct points, want 1000", len(seen))
 	}
 }

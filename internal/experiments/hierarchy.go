@@ -86,7 +86,6 @@ func pfsDirect(cfg cluster.Config) time.Duration {
 	ckptSize := cfg.App.CheckpointSize()
 	var done time.Duration
 	for r := 0; r < ranks; r++ {
-		r := r
 		env.Go(fmt.Sprintf("pfs-rank%d", r), func(p *sim.Proc) {
 			for iter := 0; iter < cfg.Iterations; iter++ {
 				p.Sleep(cfg.App.IterTime)

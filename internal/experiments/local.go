@@ -102,7 +102,6 @@ func ramdiskLocal(cfg cluster.Config, ideal time.Duration) time.Duration {
 	}
 	var done time.Duration
 	for r := 0; r < ranks; r++ {
-		r := r
 		env.Go(fmt.Sprintf("rd-rank%d", r), func(p *sim.Proc) {
 			node := r / cfg.CoresPerNode
 			f := fss[node].Open(p, fmt.Sprintf("ckpt.%d", r))

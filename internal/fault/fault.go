@@ -187,7 +187,6 @@ func NewInjector(env *sim.Env, seed int64, s Surfaces) *Injector {
 // order; ties resolve in slice order (the scheduler is FIFO per instant).
 func (in *Injector) ScheduleAll(events []Event) {
 	for _, ev := range events {
-		ev := ev
 		in.env.At(ev.At, func() { in.dispatch(ev) })
 	}
 }

@@ -63,6 +63,9 @@ type Fabric struct {
 
 	cumBytes [numClasses]float64
 	series   [numClasses]*trace.Timeline
+	// obsSeries are pre-resolved registry timeline handles (per class), so
+	// per-segment accounting skips label canonicalization.
+	obsSeries [numClasses]*obs.TimelineRef
 
 	// linkFactor is each node's residual link-bandwidth fraction: 1 is
 	// healthy, (0,1) degraded, 0 fully down. Fault injection flips it;
@@ -80,7 +83,12 @@ type Fabric struct {
 // SetRecorder attaches the fabric to the run's observability bus: byte
 // counters are mirrored and the per-class cumulative series is published as
 // the "fabric_bytes" timeline, labeled by class (nil-safe).
-func (f *Fabric) SetRecorder(r *obs.Recorder) { f.rec = r }
+func (f *Fabric) SetRecorder(r *obs.Recorder) {
+	f.rec = r
+	for c := Class(0); c < numClasses; c++ {
+		f.obsSeries[c] = r.TimelineHandle("fabric_bytes", obs.Labels{"class": c.String()})
+	}
+}
 
 // New builds a fabric for n nodes with the given per-node link bandwidth in
 // bytes/sec (LinkBW if 0).
@@ -310,7 +318,7 @@ func (f *Fabric) Send(p *sim.Proc, from, to int, size int64) {
 func (f *Fabric) account(class Class, n int64) {
 	f.cumBytes[class] += float64(n)
 	f.series[class].Set(f.env.Now(), f.cumBytes[class])
-	f.rec.TimelineSet("fabric_bytes", obs.Labels{"class": class.String()}, f.cumBytes[class])
+	f.obsSeries[class].Set(f.cumBytes[class])
 	if class == ClassApp {
 		f.Counters.Add("bytes_app", n)
 		f.rec.Add("fabric_bytes_app", n)

@@ -136,7 +136,6 @@ func TestConcurrentNVMWritesShareBandwidth(t *testing.T) {
 	const n = 4
 	var finish [n]time.Duration
 	for i := 0; i < n; i++ {
-		i := i
 		e.Go("w", func(p *sim.Proc) {
 			pcm.WriteBytes(p, 500*1000*1000)
 			finish[i] = p.Now()

@@ -221,7 +221,7 @@ func TestPageLevelHandlerFaultsPerPage(t *testing.T) {
 		r, _ := pr.DRAMAlloc("chunk", 10*mem.PageSize, 64)
 		// Page-level ablation: the handler unprotects only the faulting page.
 		r.SetFaultHandler(func(p *sim.Proc, fr *Region, page int) {
-			fr.prot[page] = false
+			fr.prot.clear(page)
 		})
 		r.Protect(p)
 		if _, err := r.TouchWrite(p, 0, 10*mem.PageSize); err != nil {

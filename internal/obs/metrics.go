@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -19,7 +20,9 @@ import (
 type Labels map[string]string
 
 // canon renders labels in canonical (sorted) Prometheus form, which also
-// serves as the identity key inside the registry.
+// serves as the identity key inside the registry. Hot publication paths
+// avoid calling this repeatedly: Recorders precompute their scope's canon
+// string once and hand it to the registry's *Canon accessors.
 func (l Labels) canon() string {
 	if len(l) == 0 {
 		return ""
@@ -29,11 +32,18 @@ func (l Labels) canon() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	parts := make([]string, len(keys))
+	var b strings.Builder
+	b.WriteByte('{')
 	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s=%q", k, l[k])
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l[k]))
 	}
-	return "{" + strings.Join(parts, ",") + "}"
+	b.WriteByte('}')
+	return b.String()
 }
 
 func (l Labels) clone() Labels {
@@ -195,7 +205,13 @@ func NewRegistry() *Registry {
 
 // Counter returns the named counter, creating it if needed.
 func (r *Registry) Counter(name string, labels Labels) *Counter {
-	key := metricKey{name, labels.canon()}
+	return r.counterCanon(name, labels.canon(), labels)
+}
+
+// counterCanon is Counter with the labels' canonical form precomputed —
+// the allocation-free path Recorders use on every Add.
+func (r *Registry) counterCanon(name, canon string, labels Labels) *Counter {
+	key := metricKey{name, canon}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[key]
@@ -209,7 +225,11 @@ func (r *Registry) Counter(name string, labels Labels) *Counter {
 
 // Gauge returns the named gauge, creating it if needed.
 func (r *Registry) Gauge(name string, labels Labels) *Gauge {
-	key := metricKey{name, labels.canon()}
+	return r.gaugeCanon(name, labels.canon(), labels)
+}
+
+func (r *Registry) gaugeCanon(name, canon string, labels Labels) *Gauge {
+	key := metricKey{name, canon}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[key]
@@ -224,7 +244,11 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 // Histogram returns the named histogram, creating it over the given edges if
 // needed. Edges are fixed at creation; later calls may pass nil.
 func (r *Registry) Histogram(name string, labels Labels, edges []float64) *Histogram {
-	key := metricKey{name, labels.canon()}
+	return r.histogramCanon(name, labels.canon(), labels, edges)
+}
+
+func (r *Registry) histogramCanon(name, canon string, labels Labels, edges []float64) *Histogram {
+	key := metricKey{name, canon}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[key]
@@ -239,7 +263,9 @@ func (r *Registry) Histogram(name string, labels Labels, edges []float64) *Histo
 	return h
 }
 
-// Timeline returns the named timeline, creating it if needed.
+// Timeline returns the named timeline, creating it if needed. Hot callers
+// should hold on to the returned handle rather than re-resolving it per
+// step — resolving canonicalizes the labels every time.
 func (r *Registry) Timeline(name string, labels Labels) *Timeline {
 	key := metricKey{name, labels.canon()}
 	r.mu.Lock()

@@ -18,18 +18,29 @@ type Observer struct {
 	env *sim.Env
 	reg *Registry
 
-	mu     sync.Mutex
-	events []Event
-	spans  *trace.SpanRecorder
+	mu      sync.Mutex
+	events  []Event
+	spans   *trace.SpanRecorder
+	spansOn bool
 }
 
 // New builds an Observer over a simulation environment.
 func New(env *sim.Env) *Observer {
 	return &Observer{
-		env:   env,
-		reg:   NewRegistry(),
-		spans: trace.NewSpanRecorder(),
+		env:     env,
+		reg:     NewRegistry(),
+		spans:   trace.NewSpanRecorder(),
+		spansOn: true,
 	}
+}
+
+// SetSpansEnabled turns span/instant recording on or off. Runs that never
+// render a Chrome trace disable it so the hot path skips both the recording
+// and the per-span label formatting (see Recorder.SpansActive).
+func (o *Observer) SetSpansEnabled(on bool) {
+	o.mu.Lock()
+	o.spansOn = on
+	o.mu.Unlock()
 }
 
 // Registry returns the metrics registry.
@@ -45,12 +56,15 @@ func (o *Observer) Spans() *trace.SpanRecorder {
 
 // UseSpanRecorder redirects span emission into an externally owned recorder
 // (cmd/nvmcp-trace passes its own so pre-existing callers keep working).
+// Attaching a recorder implies the caller wants spans, so it re-enables
+// recording if a prior SetSpansEnabled(false) turned it off.
 func (o *Observer) UseSpanRecorder(r *trace.SpanRecorder) {
 	if r == nil {
 		return
 	}
 	o.mu.Lock()
 	o.spans = r
+	o.spansOn = true
 	o.mu.Unlock()
 }
 
@@ -94,7 +108,13 @@ func (o *Observer) WriteEventsJSONL(w io.Writer) error {
 // Recorder returns a publication handle scoped to (node, actor). Recorders
 // are cheap; make one per rank, helper, or device.
 func (o *Observer) Recorder(node int, actor string) *Recorder {
-	return &Recorder{o: o, node: node, actor: actor}
+	r := &Recorder{o: o, node: node, actor: actor}
+	// Precompute the scope's canonical label form once: metric publication
+	// is the instrumentation hot path, and canonicalizing two labels per
+	// counter bump (sort + quote + join) dwarfs the map lookup it keys.
+	r.scopeLabels = Labels{"node": itoa(node), "actor": actor}
+	r.scopeCanon = r.scopeLabels.canon()
+	return r
 }
 
 // Recorder is a nil-safe, scoped publication handle. Every method on a nil
@@ -103,6 +123,9 @@ type Recorder struct {
 	o     *Observer
 	node  int
 	actor string
+
+	scopeLabels Labels
+	scopeCanon  string
 }
 
 // Observer returns the backing observer (nil for a nil recorder).
@@ -136,8 +159,8 @@ func (r *Recorder) Add(name string, delta int64) {
 	if r == nil {
 		return
 	}
-	r.o.reg.Counter(name, r.scope()).Add(delta)
-	r.o.reg.Counter(name, nil).Add(delta)
+	r.o.reg.counterCanon(name, r.scopeCanon, r.scopeLabels).Add(delta)
+	r.o.reg.counterCanon(name, "", nil).Add(delta)
 }
 
 // SetGauge sets the named gauge in the recorder's scope.
@@ -145,7 +168,7 @@ func (r *Recorder) SetGauge(name string, v float64) {
 	if r == nil {
 		return
 	}
-	r.o.reg.Gauge(name, r.scope()).Set(v)
+	r.o.reg.gaugeCanon(name, r.scopeCanon, r.scopeLabels).Set(v)
 }
 
 // Observe counts one observation into the named histogram (edges fix the
@@ -154,17 +177,53 @@ func (r *Recorder) Observe(name string, edges []float64, v float64) {
 	if r == nil {
 		return
 	}
-	r.o.reg.Histogram(name, r.scope(), edges).Observe(v)
+	r.o.reg.histogramCanon(name, r.scopeCanon, r.scopeLabels, edges).Observe(v)
 }
 
 // TimelineSet appends a step to a labeled cluster-scope timeline (e.g. the
 // fabric's cumulative checkpoint bytes; labeled by class, not node, so the
-// figure code reads one series).
+// figure code reads one series). Hot callers should prefer TimelineHandle.
 func (r *Recorder) TimelineSet(name string, labels Labels, v float64) {
 	if r == nil {
 		return
 	}
 	r.o.reg.Timeline(name, labels).Set(r.o.env.Now(), v)
+}
+
+// TimelineHandle resolves a labeled timeline once so per-step publication
+// skips label canonicalization; SetAt stamps with the observer's clock.
+// Returns nil on a nil recorder — TimelineRef is nil-safe in turn.
+func (r *Recorder) TimelineHandle(name string, labels Labels) *TimelineRef {
+	if r == nil {
+		return nil
+	}
+	return &TimelineRef{o: r.o, tl: r.o.reg.Timeline(name, labels)}
+}
+
+// TimelineRef is a pre-resolved, nil-safe timeline publication handle.
+type TimelineRef struct {
+	o  *Observer
+	tl *Timeline
+}
+
+// Set appends a step at the current virtual time.
+func (t *TimelineRef) Set(v float64) {
+	if t == nil {
+		return
+	}
+	t.tl.Set(t.o.env.Now(), v)
+}
+
+// SpansActive reports whether span recording is on — callers formatting
+// span names (Sprintf per iteration) should guard on it so a traceless run
+// pays nothing.
+func (r *Recorder) SpansActive() bool {
+	if r == nil {
+		return false
+	}
+	r.o.mu.Lock()
+	defer r.o.mu.Unlock()
+	return r.o.spansOn
 }
 
 // Span records a completed interval on the recorder's node, in lane tid —
@@ -175,7 +234,9 @@ func (r *Recorder) Span(name, cat string, lane int, start, dur time.Duration, ar
 		return
 	}
 	r.o.mu.Lock()
-	r.o.spans.Span(name, cat, r.node, lane, start, dur, args)
+	if r.o.spansOn {
+		r.o.spans.Span(name, cat, r.node, lane, start, dur, args)
+	}
 	r.o.mu.Unlock()
 }
 
@@ -185,7 +246,9 @@ func (r *Recorder) Instant(name, cat string, lane int, at time.Duration, args ma
 		return
 	}
 	r.o.mu.Lock()
-	r.o.spans.Instant(name, cat, r.node, lane, at, args)
+	if r.o.spansOn {
+		r.o.spans.Instant(name, cat, r.node, lane, at, args)
+	}
 	r.o.mu.Unlock()
 }
 
@@ -195,12 +258,10 @@ func (r *Recorder) NameProcess(name string) {
 		return
 	}
 	r.o.mu.Lock()
-	r.o.spans.NameProcess(r.node, name)
+	if r.o.spansOn {
+		r.o.spans.NameProcess(r.node, name)
+	}
 	r.o.mu.Unlock()
-}
-
-func (r *Recorder) scope() Labels {
-	return Labels{"node": itoa(r.node), "actor": r.actor}
 }
 
 // itoa avoids strconv for the tiny node numbers in scope labels.

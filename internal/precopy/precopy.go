@@ -21,7 +21,7 @@
 package precopy
 
 import (
-	"fmt"
+	"strconv"
 	"time"
 
 	"nvmcp/internal/core"
@@ -263,9 +263,11 @@ func (e *Engine) run(p *sim.Proc) {
 				e.count("raced_copies", 1)
 			}
 			e.cfg.Rec.Emit(obs.EvPrecopyCopy, c.Name, n,
-				map[string]string{"raced": fmt.Sprintf("%v", raced)})
-			e.cfg.Rec.Span("precopy "+c.Name, "precopy", e.cfg.TraceLane,
-				start, p.Now()-start, nil)
+				map[string]string{"raced": strconv.FormatBool(raced)})
+			if e.cfg.Rec.SpansActive() {
+				e.cfg.Rec.Span("precopy "+c.Name, "precopy", e.cfg.TraceLane,
+					start, p.Now()-start, nil)
+			}
 		}
 	}
 }

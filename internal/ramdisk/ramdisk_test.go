@@ -89,7 +89,6 @@ func TestConcurrentWritersContendOnKernelLocks(t *testing.T) {
 	fs, _ := newFS(e)
 	const writers = 12
 	for i := 0; i < writers; i++ {
-		i := i
 		e.Go("w", func(p *sim.Proc) {
 			f := fs.Open(p, "ckpt."+string(rune('a'+i)))
 			for j := 0; j < 4; j++ {
@@ -117,7 +116,6 @@ func TestRamdiskSlowerThanPlainMemcpy(t *testing.T) {
 		fs, dram := newFS(e)
 		const n = 12
 		for i := 0; i < n; i++ {
-			i := i
 			e.Go("w", func(p *sim.Proc) {
 				size := 100 * mem.MB
 				if useFS {

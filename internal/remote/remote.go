@@ -17,6 +17,7 @@ package remote
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"nvmcp/internal/core"
@@ -510,11 +511,13 @@ func (a *Agent) ship(p *sim.Proc, st core.ChunkState, store *core.Store) {
 	}
 	shipStart := p.Now()
 	defer func() {
-		a.cfg.Rec.Span(fmt.Sprintf("ship %s/%d", key.proc, key.id), "remote",
-			helperLane, shipStart, p.Now()-shipStart,
-			map[string]string{"bytes": fmt.Sprintf("%d", st.Size)})
+		if a.cfg.Rec.SpansActive() {
+			a.cfg.Rec.Span(fmt.Sprintf("ship %s/%d", key.proc, key.id), "remote",
+				helperLane, shipStart, p.Now()-shipStart,
+				map[string]string{"bytes": fmt.Sprintf("%d", st.Size)})
+		}
 		a.cfg.Rec.Emit(obs.EvChunkShipped, fmt.Sprintf("%s/%d", key.proc, key.id),
-			st.Size, map[string]string{"buddy": fmt.Sprintf("%d", a.buddy)})
+			st.Size, map[string]string{"buddy": strconv.Itoa(a.buddy)})
 	}()
 	a.Meter.Start(p.Now())
 	cpuStart := p.Now()

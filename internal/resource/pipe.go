@@ -73,10 +73,15 @@ type Pipe struct {
 	name       string
 	singleRate float64 // bytes/sec achieved by a lone flow
 	scale      ScalingFunc
-	flows      map[*flow]struct{}
-	lastT      time.Duration
-	doneEv     *sim.Event
-	listeners  []RateListener
+	// flows is kept sorted by (cap, id) at all times: water-filling must
+	// visit the tightest caps first, and keeping the order incrementally
+	// (binary-search insert on join, memmove delete on leave) means
+	// recompute never allocates or sorts on the transfer hot path. The
+	// fixed order also makes every float accumulation deterministic.
+	flows     []*flow
+	lastT     time.Duration
+	doneEv    *sim.Event
+	listeners []RateListener
 
 	// Bytes is the cumulative volume moved through the pipe.
 	Bytes float64
@@ -112,7 +117,6 @@ func NewPipe(env *sim.Env, name string, singleRate float64, scale ScalingFunc) *
 		name:       name,
 		singleRate: singleRate,
 		scale:      scale,
-		flows:      make(map[*flow]struct{}),
 		lastT:      env.Now(),
 	}
 }
@@ -145,10 +149,29 @@ func (pp *Pipe) ActiveFlows() int { return len(pp.flows) }
 // CurrentRate returns the present aggregate transfer rate in bytes/sec.
 func (pp *Pipe) CurrentRate() float64 {
 	total := 0.0
-	for f := range pp.flows {
+	for _, f := range pp.flows {
 		total += f.rate
 	}
 	return total
+}
+
+// addFlow inserts f keeping flows sorted by (cap, id). New flows carry the
+// largest id, so inserting after every flow with cap <= f.cap is stable.
+func (pp *Pipe) addFlow(f *flow) {
+	i := sort.Search(len(pp.flows), func(i int) bool { return pp.flows[i].cap > f.cap })
+	pp.flows = append(pp.flows, nil)
+	copy(pp.flows[i+1:], pp.flows[i:])
+	pp.flows[i] = f
+}
+
+// removeFlow deletes f from the sorted flow set.
+func (pp *Pipe) removeFlow(f *flow) {
+	for i, g := range pp.flows {
+		if g == f {
+			pp.flows = append(pp.flows[:i], pp.flows[i+1:]...)
+			return
+		}
+	}
 }
 
 // OnRateChange registers a listener for aggregate-rate changes. The listener
@@ -176,14 +199,14 @@ func (pp *Pipe) TransferCapped(p *sim.Proc, size int64, maxRate float64) {
 	pp.nextFlowID++
 	f := &flow{id: pp.nextFlowID, remaining: float64(size), cap: maxRate, done: sim.NewCompletion(pp.env)}
 	pp.advance()
-	pp.flows[f] = struct{}{}
+	pp.addFlow(f)
 	pp.recompute()
 	defer func() {
 		if !f.done.Completed() {
 			// Kill unwind mid-transfer: account for what moved and
 			// free the flow's share.
 			pp.advance()
-			delete(pp.flows, f)
+			pp.removeFlow(f)
 			pp.recompute()
 		}
 	}()
@@ -209,7 +232,10 @@ func (pp *Pipe) advance() {
 	if len(pp.flows) > 0 {
 		pp.BusyTime += now - pp.lastT
 		moved := 0.0
-		for f := range pp.flows {
+		// The slice's fixed (cap, id) order makes this float accumulation
+		// reproducible run to run; iterating a map here would make Bytes
+		// depend on Go's randomized map order.
+		for _, f := range pp.flows {
 			prog := f.rate * dt
 			if prog > f.remaining {
 				prog = f.remaining
@@ -235,21 +261,12 @@ func (pp *Pipe) recompute() {
 		return
 	}
 	// Water-filling: satisfy capped flows whose cap is below the equal
-	// share, then split the rest equally.
+	// share, then split the rest equally. The flow set is already sorted
+	// by (cap, id), so this is a single allocation-free pass.
 	capacity := pp.Capacity(n)
-	fs := make([]*flow, 0, n)
-	for f := range pp.flows {
-		fs = append(fs, f)
-	}
-	sort.Slice(fs, func(i, j int) bool {
-		if fs[i].cap != fs[j].cap {
-			return fs[i].cap < fs[j].cap
-		}
-		return fs[i].id < fs[j].id
-	})
 	remainingCap := capacity
 	remainingFlows := n
-	for _, f := range fs {
+	for _, f := range pp.flows {
 		share := remainingCap / float64(remainingFlows)
 		if f.cap < share {
 			f.rate = f.cap
@@ -261,7 +278,7 @@ func (pp *Pipe) recompute() {
 	}
 	// Schedule the earliest completion.
 	earliest := math.Inf(1)
-	for _, f := range fs {
+	for _, f := range pp.flows {
 		if f.rate <= 0 {
 			continue
 		}
@@ -271,7 +288,7 @@ func (pp *Pipe) recompute() {
 		}
 	}
 	total := 0.0
-	for _, f := range fs {
+	for _, f := range pp.flows {
 		total += f.rate
 	}
 	pp.notify(total)
@@ -292,16 +309,17 @@ func (pp *Pipe) onDeadline() {
 	pp.advance()
 	const eps = 1e-3 // bytes; transfers are whole bytes, rates are floats
 	var finished []*flow
-	for f := range pp.flows {
+	for _, f := range pp.flows {
 		if f.remaining <= eps {
 			finished = append(finished, f)
 		}
 	}
 	// Complete in creation order so the wake sequence (and therefore the
-	// whole simulation) is reproducible regardless of map iteration order.
+	// whole simulation) is reproducible; the flow set is sorted by cap
+	// first, so re-sort the (usually tiny) finished batch by id.
 	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
 	for _, f := range finished {
-		delete(pp.flows, f)
+		pp.removeFlow(f)
 		f.done.Complete()
 	}
 	pp.recompute()

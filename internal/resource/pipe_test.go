@@ -355,3 +355,55 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestBytesDeterministicAcrossRuns pins the advance() accumulation order:
+// with many concurrently staggered capped flows, the cumulative Bytes float
+// must be bit-identical across repeated runs. Before flows were kept in a
+// sorted slice, advance iterated a map and the float sum depended on Go's
+// randomized map order.
+func TestBytesDeterministicAcrossRuns(t *testing.T) {
+	run := func() (float64, time.Duration) {
+		e := sim.NewEnv()
+		pp := NewPipe(e, "nvm", 97*mb, SaturatingScaling(0.17))
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 32; i++ {
+			size := int64(rng.Intn(20*mb) + 1)
+			cap := float64(rng.Intn(50*mb) + 1*mb)
+			delay := time.Duration(rng.Intn(100)) * time.Millisecond
+			e.Go("w", func(p *sim.Proc) {
+				p.Sleep(delay)
+				pp.TransferCapped(p, size, cap)
+			})
+		}
+		e.Run()
+		return pp.Bytes, e.Now()
+	}
+	firstBytes, firstEnd := run()
+	for i := 0; i < 10; i++ {
+		b, end := run()
+		if b != firstBytes || end != firstEnd {
+			t.Fatalf("run %d: Bytes=%v end=%v, first Bytes=%v end=%v",
+				i, b, end, firstBytes, firstEnd)
+		}
+	}
+}
+
+// BenchmarkPipeChurn measures the incremental flow-set maintenance under a
+// churning population: staggered concurrent transfers join and leave, each
+// arrival/departure triggering a max-min recompute over the live set.
+func BenchmarkPipeChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEnv()
+		pp := NewPipe(e, "nvm", 400*mb, FlatScaling())
+		for w := 0; w < 64; w++ {
+			w := w % 8
+			e.Go("w", func(p *sim.Proc) {
+				p.Sleep(time.Duration(w) * 5 * time.Millisecond)
+				for j := 0; j < 16; j++ {
+					pp.TransferCapped(p, 2*mb, float64(50+w*10)*mb)
+				}
+			})
+		}
+		e.Run()
+	}
+}

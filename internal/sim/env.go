@@ -23,6 +23,15 @@ import (
 // queue. Create one with NewEnv, populate it with Go and Schedule, then call
 // Run or RunUntil. An Env must not be shared across host goroutines except
 // through the Proc mechanism itself.
+//
+// Events due at the current instant live in a FIFO ring (nowq) instead of
+// the time-ordered heap: the dominant scheduling pattern is an immediate
+// wake (Sleep(0), wakeLater, handoffs), and a ring append/pop is O(1) where
+// the heap costs O(log n). Dispatch order is still strictly (time, seq) —
+// the ring only ever holds events stamped at the current time with
+// monotonically increasing sequence numbers, so comparing the ring head
+// against the heap top reproduces the exact total order a single heap would
+// produce.
 type Env struct {
 	now    time.Duration
 	queue  eventHeap
@@ -31,6 +40,11 @@ type Env struct {
 	cur    *Proc // process currently executing, nil in scheduler context
 	fatal  any   // panic value captured from a process, re-raised by Run
 	nprocs int   // live (started, not yet finished) processes
+
+	nowq     []*Event // FIFO of events due at the current instant
+	nowqHead int
+	free     []*Event // recycled internal (direct-wake) events
+	nfired   uint64   // events dispatched over the Env's lifetime
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -40,6 +54,10 @@ func NewEnv() *Env {
 
 // Now returns the current virtual time.
 func (e *Env) Now() time.Duration { return e.now }
+
+// EventsFired returns the number of events dispatched so far — the
+// denominator of the perf harness's events/sec throughput figure.
+func (e *Env) EventsFired() uint64 { return e.nfired }
 
 // Schedule registers fn to run at Now()+delay in scheduler context and
 // returns a handle that may be used to cancel it. A negative delay is
@@ -54,13 +72,71 @@ func (e *Env) Schedule(delay time.Duration, fn func()) *Event {
 // At registers fn to run at absolute virtual time t. If t is in the past it
 // fires at the current time (but never before events already due).
 func (e *Env) At(t time.Duration, fn func()) *Event {
+	ev := &Event{fn: fn}
+	e.enqueue(ev, t)
+	return ev
+}
+
+// enqueue stamps ev with (t, next seq) and routes it to the now-ring or the
+// heap. Events created through the public API are heap-allocated and never
+// recycled (callers may hold Cancel handles indefinitely); internal
+// direct-wake events come from the free list.
+func (e *Env) enqueue(ev *Event, t time.Duration) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{t: t, seq: e.seq, fn: fn}
+	ev.t = t
+	ev.seq = e.seq
+	if t == e.now {
+		e.nowq = append(e.nowq, ev)
+		return
+	}
 	heap.Push(&e.queue, ev)
-	return ev
+}
+
+// scheduleWake schedules a direct wake of p's wait seq with kind k at
+// Now()+delay, using a recycled event when one is free. The returned
+// generation pairs with cancelWake: once the event fires or is collected,
+// its generation advances and stale cancels become no-ops, which is what
+// makes recycling safe.
+func (e *Env) scheduleWake(delay time.Duration, p *Proc, seq uint64, k wakeKind) (*Event, uint64) {
+	if delay < 0 {
+		delay = 0
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.cancelled = false
+	} else {
+		ev = &Event{pooled: true}
+	}
+	ev.wakeP = p
+	ev.wakeSeq = seq
+	ev.wakeK = k
+	e.enqueue(ev, e.now+delay)
+	return ev, ev.gen
+}
+
+// cancelWake cancels a scheduleWake event if it has not already fired.
+func (e *Env) cancelWake(ev *Event, gen uint64) {
+	if ev.gen == gen {
+		ev.cancelled = true
+	}
+}
+
+// release returns a fired or cancelled internal event to the free list,
+// advancing its generation so outstanding cancelWake handles expire.
+func (e *Env) release(ev *Event) {
+	if !ev.pooled {
+		return
+	}
+	ev.gen++
+	ev.wakeP = nil
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Run executes events until the queue is empty, advancing the virtual clock.
@@ -70,24 +146,62 @@ func (e *Env) Run() {
 	e.RunUntil(1<<62 - 1)
 }
 
+// pending returns the total number of queued events.
+func (e *Env) pending() int {
+	return e.queue.Len() + len(e.nowq) - e.nowqHead
+}
+
 // RunUntil executes events with timestamps <= horizon, then sets the clock to
 // horizon if it advanced that far. Events beyond the horizon stay queued and
 // a later RunUntil or Run picks them up.
 func (e *Env) RunUntil(horizon time.Duration) {
-	for e.queue.Len() > 0 {
-		next := e.queue[0]
+	for {
+		var next *Event
+		fromRing := false
+		if e.nowqHead < len(e.nowq) {
+			next = e.nowq[e.nowqHead]
+			fromRing = true
+		}
+		if top := e.queue; len(top) > 0 {
+			if next == nil || top[0].t < next.t || (top[0].t == next.t && top[0].seq < next.seq) {
+				next = top[0]
+				fromRing = false
+			}
+		}
+		if next == nil {
+			break
+		}
 		if next.t > horizon {
 			if e.now < horizon {
 				e.now = horizon
 			}
 			return
 		}
-		heap.Pop(&e.queue)
+		if fromRing {
+			e.nowq[e.nowqHead] = nil
+			e.nowqHead++
+			if e.nowqHead == len(e.nowq) {
+				e.nowq = e.nowq[:0]
+				e.nowqHead = 0
+			}
+		} else {
+			heap.Pop(&e.queue)
+		}
 		if next.cancelled {
+			e.release(next)
 			continue
 		}
 		e.now = next.t
-		next.fn()
+		e.nfired++
+		if next.wakeP != nil {
+			p, seq, k := next.wakeP, next.wakeSeq, next.wakeK
+			e.release(next)
+			e.wake(p, seq, k)
+		} else {
+			fn := next.fn
+			e.release(next)
+			fn()
+		}
 		if e.fatal != nil {
 			f := e.fatal
 			e.fatal = nil
@@ -100,7 +214,7 @@ func (e *Env) RunUntil(horizon time.Duration) {
 }
 
 // Idle reports whether no events remain queued.
-func (e *Env) Idle() bool { return e.queue.Len() == 0 }
+func (e *Env) Idle() bool { return e.pending() == 0 }
 
 // LiveProcs returns the number of processes that have been started and have
 // not yet finished or been killed.
@@ -135,7 +249,7 @@ func (e *Env) wake(p *Proc, seq uint64, k wakeKind) {
 // this from process context, where a direct switchTo would deadlock the
 // scheduler handoff.
 func (e *Env) wakeLater(p *Proc, seq uint64, k wakeKind) {
-	e.Schedule(0, func() { e.wake(p, seq, k) })
+	e.scheduleWake(0, p, seq, k)
 }
 
 // Event is a cancellable scheduled callback.
@@ -145,6 +259,15 @@ type Event struct {
 	fn        func()
 	cancelled bool
 	index     int
+
+	// Direct-wake payload: internal events (Sleep timers, deferred wakes)
+	// dispatch a wake without allocating a closure, and recycle through the
+	// Env's free list guarded by the generation counter.
+	wakeP   *Proc
+	wakeSeq uint64
+	wakeK   wakeKind
+	pooled  bool
+	gen     uint64
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
@@ -184,5 +307,5 @@ func (h *eventHeap) Pop() any {
 
 // String implements fmt.Stringer for debugging.
 func (e *Env) String() string {
-	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d}", e.now, e.queue.Len(), e.nprocs)
+	return fmt.Sprintf("sim.Env{now=%v queued=%d procs=%d}", e.now, e.pending(), e.nprocs)
 }

@@ -63,7 +63,6 @@ func TestRunUntilHorizon(t *testing.T) {
 	e := NewEnv()
 	var fired []time.Duration
 	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
-		d := d
 		e.Schedule(d, func() { fired = append(fired, d) })
 	}
 	e.RunUntil(2 * time.Second)
@@ -106,7 +105,6 @@ func TestProcsInterleaveDeterministically(t *testing.T) {
 		e := NewEnv()
 		out := ""
 		for i := 0; i < 4; i++ {
-			i := i
 			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
 				for j := 0; j < 3; j++ {
 					p.Sleep(time.Duration(i+1) * time.Millisecond)
@@ -291,7 +289,6 @@ func TestKillDuringBarrierReleaseWave(t *testing.T) {
 	released := 0
 	var victim *Proc
 	for i := 0; i < 3; i++ {
-		i := i
 		p := e.Go("party", func(p *Proc) {
 			p.Sleep(time.Duration(i) * time.Millisecond)
 			b.Await(p)

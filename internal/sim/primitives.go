@@ -30,7 +30,6 @@ func (c *Completion) Complete() {
 	ws := c.ws
 	c.ws = nil
 	for _, w := range ws {
-		w := w
 		c.env.wakeLater(w.p, w.seq, wakeSignal)
 	}
 }
@@ -58,8 +57,8 @@ func (c *Completion) AwaitTimeout(p *Proc, d time.Duration) bool {
 	seq := p.prepark()
 	c.ws = append(c.ws, waiter{p, seq})
 	defer c.removeWaiter(p, seq)
-	timer := c.env.Schedule(d, func() { c.env.wake(p, seq, wakeTimer) })
-	defer timer.Cancel()
+	timer, gen := c.env.scheduleWake(d, p, seq, wakeTimer)
+	defer c.env.cancelWake(timer, gen)
 	return p.park() == wakeSignal || c.done
 }
 
@@ -94,7 +93,6 @@ func (s *Signal) Broadcast() {
 	ws := s.ws
 	s.ws = nil
 	for _, w := range ws {
-		w := w
 		s.env.wakeLater(w.p, w.seq, wakeSignal)
 	}
 }
@@ -116,8 +114,8 @@ func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
 	seq := p.prepark()
 	s.ws = append(s.ws, waiter{p, seq})
 	defer s.removeWaiter(p, seq)
-	timer := s.env.Schedule(d, func() { s.env.wake(p, seq, wakeTimer) })
-	defer timer.Cancel()
+	timer, gen := s.env.scheduleWake(d, p, seq, wakeTimer)
+	defer s.env.cancelWake(timer, gen)
 	return p.park() == wakeSignal
 }
 
@@ -317,7 +315,6 @@ func (b *Barrier) Await(p *Proc) {
 		ws := b.ws
 		b.ws = nil
 		for _, w := range ws {
-			w := w
 			b.env.wakeLater(w.p, w.seq, wakeSignal)
 		}
 		return
@@ -413,8 +410,8 @@ func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
 		var kind wakeKind
 		func() {
 			defer q.removeWaiter(p, seq)
-			timer := q.env.Schedule(remain, func() { q.env.wake(p, seq, wakeTimer) })
-			defer timer.Cancel()
+			timer, gen := q.env.scheduleWake(remain, p, seq, wakeTimer)
+			defer q.env.cancelWake(timer, gen)
 			kind = p.park()
 		}()
 		if kind == wakeTimer {

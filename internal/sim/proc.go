@@ -98,7 +98,6 @@ func (p *Proc) finish() {
 	ws := p.exitWs
 	p.exitWs = nil
 	for _, w := range ws {
-		w := w
 		p.env.wakeLater(w.p, w.seq, wakeSignal)
 	}
 }
@@ -147,8 +146,8 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	seq := p.prepark()
-	ev := p.env.At(p.env.now+d, func() { p.env.wake(p, seq, wakeTimer) })
-	defer ev.Cancel() // drop the stale timer if a kill unwinds the sleep
+	ev, gen := p.env.scheduleWake(d, p, seq, wakeTimer)
+	defer p.env.cancelWake(ev, gen) // drop the stale timer if a kill unwinds the sleep
 	p.park()
 }
 

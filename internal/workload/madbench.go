@@ -31,7 +31,6 @@ const MADBenchIOSize = 8 * mem.MB
 func MADBenchRamdisk(env *sim.Env, dram *mem.Device, cores int, sizePerCore int64) MADBenchResult {
 	fs := ramdisk.New(env, dram)
 	for i := 0; i < cores; i++ {
-		i := i
 		env.Go(fmt.Sprintf("madbench-fs-%d", i), func(p *sim.Proc) {
 			f := fs.Open(p, fmt.Sprintf("ckpt.%d", i))
 			for off := int64(0); off < sizePerCore; off += MADBenchIOSize {
