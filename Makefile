@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check ci presets faults clean bench bench-check
+.PHONY: all build test race vet fmt lint check ci presets faults invariants clean bench bench-check
 
 all: build
 
@@ -53,11 +53,20 @@ faults:
 	$(GO) run -race ./cmd/nvmcp-sim -scenario docs/scenarios/faults-cascade.json
 	$(GO) run -race ./cmd/nvmcp-bench availability
 
+# invariants runs the online lineage checker end to end: the invariant test
+# suite (every preset must trace clean, corrupted streams must be flagged)
+# and the introspection handlers under the race detector, then an explicit
+# strict run of the fault cascade — a violation fails the command.
+invariants:
+	$(GO) test -race ./internal/lineage/ ./internal/introspect/
+	$(GO) run ./cmd/nvmcp-sim -preset faults -scale tiny -invariants
+
 # ci is the gate the workflow runs: lint (fmt + vet + grep idioms), the full
 # test suite under the race detector (obs publication crosses host
-# goroutines), the preset and fault-cascade smoke sweeps, and the perf
-# regression check against the checked-in baseline.
-ci: lint race presets faults bench-check
+# goroutines), the preset and fault-cascade smoke sweeps, the lineage
+# invariant gate, and the perf regression check against the checked-in
+# baseline.
+ci: lint race presets faults invariants bench-check
 
 # bench refreshes the perf records: the testing.B suites (sim kernel,
 # resource layer, paper end-to-end) plus the nvmcp-perf probes, which write

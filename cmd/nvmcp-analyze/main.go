@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -26,6 +27,7 @@ func main() {
 	bw := flag.Float64("bw", 400e6, "effective NVM bandwidth per core, bytes/sec")
 	interval := flag.Duration("interval", 40*time.Second, "local checkpoint interval")
 	asJSON := flag.Bool("json", false, "emit the analysis as JSON instead of tables")
+	out := flag.String("o", "", "write the analysis to this file instead of stdout")
 	flag.Parse()
 
 	apps := flag.Args()
@@ -43,28 +45,54 @@ func main() {
 		}
 	}
 
-	if *asJSON {
-		out := make([]appAnalysis, len(specs))
-		for i, spec := range specs {
-			out[i] = analyzeJSON(spec, *bw, *interval)
+	render := func(w io.Writer) error {
+		if *asJSON {
+			rows := make([]appAnalysis, len(specs))
+			for i, spec := range specs {
+				rows[i] = analyzeJSON(spec, *bw, *interval)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if len(apps) == 0 {
+			experiments.PrintTable4(w, experiments.RunTable4())
+			fmt.Fprintln(w)
+		}
+		for _, spec := range specs {
+			analyze(w, spec, *bw, *interval)
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+
+	if *out == "" {
+		if err := render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
+	if err := writeFile(*out, render); err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-analyze: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote analysis -> %s\n", *out)
+}
 
-	if len(apps) == 0 {
-		experiments.PrintTable4(os.Stdout, experiments.RunTable4())
-		fmt.Println()
+// writeFile streams render into path, surfacing the Close error (a full disk
+// shows up there). No os.Exit here, so the deferred Close always runs.
+func writeFile(path string, render func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	for _, spec := range specs {
-		analyze(spec, *bw, *interval)
-		fmt.Println()
-	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return render(f)
 }
 
 // appAnalysis is the machine-readable form of one workload's analysis.
@@ -106,8 +134,8 @@ func hotChunks(spec workload.AppSpec, interval, tp time.Duration) int {
 	return hot
 }
 
-func analyze(spec workload.AppSpec, bw float64, interval time.Duration) {
-	fmt.Printf("== %s: %d chunks, %s checkpoint data per rank ==\n",
+func analyze(w io.Writer, spec workload.AppSpec, bw float64, interval time.Duration) {
+	fmt.Fprintf(w, "== %s: %d chunks, %s checkpoint data per rank ==\n",
 		spec.Name, len(spec.Chunks), trace.FmtBytes(float64(spec.CheckpointSize())))
 	tb := &trace.Table{Header: []string{"chunk", "size", "modifications per iteration"}}
 	for _, c := range spec.Chunks {
@@ -121,13 +149,13 @@ func analyze(spec workload.AppSpec, bw float64, interval time.Duration) {
 		}
 		tb.AddRow(c.Name, trace.FmtBytes(float64(c.Size)), sched)
 	}
-	tb.Write(os.Stdout)
+	tb.Write(w)
 
 	tp := model.PreCopyThreshold(interval, spec.CheckpointSize(), bw)
-	fmt.Printf("pre-copy parameters at %s/core, I=%v: T_c=%v, threshold T_p=%v (%.0f%% of interval)\n",
+	fmt.Fprintf(w, "pre-copy parameters at %s/core, I=%v: T_c=%v, threshold T_p=%v (%.0f%% of interval)\n",
 		trace.FmtRate(bw), interval,
 		(interval - tp).Round(time.Millisecond), tp.Round(time.Millisecond),
 		float64(tp)/float64(interval)*100)
-	fmt.Printf("chunks modified after the threshold (hot, DCPCP holds them): %d\n",
+	fmt.Fprintf(w, "chunks modified after the threshold (hot, DCPCP holds them): %d\n",
 		hotChunks(spec, interval, tp))
 }

@@ -16,9 +16,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"nvmcp/internal/experiments"
+	"nvmcp/internal/introspect"
 	"nvmcp/internal/scenario"
 	"nvmcp/internal/workload"
 )
@@ -157,8 +159,27 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit results as JSON (combined on stdout, plus one BENCH_<scenario>.json per experiment)")
 	jsonDir := flag.String("json-dir", ".", "directory for BENCH_<scenario>.json files")
 	reportOut := flag.String("report-out", "", "write an aggregate report JSON of every scenario run to this file")
+	httpAddr := flag.String("http", "", "serve live introspection (/healthz /progress, pprof) on this address, e.g. :8080")
 	flag.Usage = usage
 	flag.Parse()
+
+	// The bench drives many short-lived simulations, so the introspection
+	// server carries no single observer — it reports which experiment is
+	// running and serves pprof for profiling long paper-scale passes.
+	var status atomic.Value
+	status.Store("starting")
+	if *httpAddr != "" {
+		srv, err := introspect.Serve(*httpAddr, introspect.Source{
+			Tool:   "nvmcp-bench",
+			Status: func() string { return status.Load().(string) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmcp-bench: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("introspection listening on http://%s\n", srv.Addr())
+	}
 
 	if *list {
 		for _, p := range scenario.Presets() {
@@ -208,9 +229,11 @@ func main() {
 				name, scenario.PresetIDs())
 			os.Exit(2)
 		}
+		status.Store(name)
 		start := time.Now()
 		result := def.run(scale)
 		wall := time.Since(start)
+		status.Store("idle")
 		rec := benchRecord{
 			Scenario: name,
 			Scale:    *scaleFlag,

@@ -19,10 +19,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/experiments"
+	"nvmcp/internal/introspect"
+	"nvmcp/internal/lineage"
 	"nvmcp/internal/scenario"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/workload"
@@ -38,16 +41,22 @@ type perfRecord struct {
 	AllocMB      float64 `json:"alloc_mb"`
 	Reps         int     `json:"reps"`
 	GoMaxProcs   int     `json:"gomaxprocs"`
+	// OverheadFrac is the extra wall-time fraction an optional subsystem
+	// costs when switched on (only the lineage-overhead probe sets it);
+	// check mode gates it at lineageOverheadLimit.
+	OverheadFrac float64 `json:"overhead_frac,omitempty"`
 }
 
 // probe is one timed workload. run returns the number of simulation events
 // dispatched (0 when the probe spans many environments). reps > 1 re-runs
 // the probe and keeps the fastest repetition, damping host-scheduler noise
-// on the short microbenchmarks.
+// on the short microbenchmarks. extra, when set, runs after the timed reps
+// to derive additional record fields.
 type probe struct {
-	id   string
-	reps int
-	run  func() uint64
+	id    string
+	reps  int
+	run   func() uint64
+	extra func(rec *perfRecord)
 }
 
 var probes = []probe{
@@ -92,17 +101,33 @@ var probes = []probe{
 		// the single-simulation end-to-end cost, with an events/sec rate.
 		id: "cluster-paper", reps: 1,
 		run: func() uint64 {
-			cfg, err := cluster.FromScenario(
-				scenario.Base("gtc", experiments.Paper.Scenario(), 800e6))
-			if err != nil {
-				panic(err)
-			}
-			cfg.Local = "dcpcp"
-			cfg.Remote = "buddy-precopy"
-			cfg.RemoteEvery = 2
-			cfg.LinkBW = 1e9
-			_, c := cluster.MustRun(cfg)
+			_, c := cluster.MustRun(paperClusterCfg())
 			return c.Env.EventsFired()
+		},
+	},
+	{
+		// The same paper-scale run with lineage tracing off (the record's
+		// headline wall time, held to the usual baseline threshold) and on
+		// (the overhead fraction, gated at lineageOverheadLimit): tracing
+		// must be free when disabled and cheap when enabled.
+		id: "lineage-overhead", reps: 2,
+		run: func() uint64 {
+			_, c := cluster.MustRun(paperClusterCfg())
+			return c.Env.EventsFired()
+		},
+		extra: func(rec *perfRecord) {
+			onMS := 0.0
+			for r := 0; r < 2; r++ {
+				cfg := paperClusterCfg()
+				cfg.Lineage = &lineage.Config{Enabled: true, Strict: true}
+				start := time.Now()
+				cluster.MustRun(cfg)
+				ms := float64(time.Since(start).Microseconds()) / 1e3
+				if r == 0 || ms < onMS {
+					onMS = ms
+				}
+			}
+			rec.OverheadFrac = onMS/rec.WallMS - 1
 		},
 	},
 	{
@@ -115,6 +140,26 @@ var probes = []probe{
 		},
 	},
 }
+
+// paperClusterCfg is the paper-scale GTC configuration the cluster probes
+// share: the full dcpcp + buddy-precopy policy stack at evaluation size.
+func paperClusterCfg() cluster.Config {
+	cfg, err := cluster.FromScenario(
+		scenario.Base("gtc", experiments.Paper.Scenario(), 800e6))
+	if err != nil {
+		panic(err)
+	}
+	cfg.Local = "dcpcp"
+	cfg.Remote = "buddy-precopy"
+	cfg.RemoteEvery = 2
+	cfg.LinkBW = 1e9
+	return cfg
+}
+
+// lineageOverheadLimit is the maximum tolerated wall-time cost of enabling
+// lineage tracing plus the strict invariant checker, as a fraction of the
+// untraced run.
+const lineageOverheadLimit = 0.10
 
 // measure runs one probe, keeping the fastest repetition's wall time and
 // that repetition's allocation counts.
@@ -139,6 +184,9 @@ func measure(pb probe) perfRecord {
 			}
 		}
 	}
+	if pb.extra != nil {
+		pb.extra(&rec)
+	}
 	return rec
 }
 
@@ -146,10 +194,27 @@ func main() {
 	outDir := flag.String("out", "bench", "directory for BENCH_<id>.json records")
 	checkDir := flag.String("check", "", "baseline directory to compare against (enables check mode)")
 	threshold := flag.Float64("threshold", 0.20, "max tolerated wall-time regression vs baseline (fraction)")
+	httpAddr := flag.String("http", "", "serve live introspection (/healthz /progress, pprof) on this address, e.g. :8080")
 	flag.Parse()
+
+	var status atomic.Value
+	status.Store("starting")
+	if *httpAddr != "" {
+		srv, err := introspect.Serve(*httpAddr, introspect.Source{
+			Tool:   "nvmcp-perf",
+			Status: func() string { return status.Load().(string) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmcp-perf: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("introspection listening on http://%s\n", srv.Addr())
+	}
 
 	regressed := false
 	for _, pb := range probes {
+		status.Store(pb.id)
 		rec := measure(pb)
 		if rec.EventsPerSec > 0 {
 			fmt.Printf("%-16s %10.1f ms  %12.0f events/s  %9d mallocs\n",
@@ -158,6 +223,15 @@ func main() {
 			fmt.Printf("%-16s %10.1f ms  %9d mallocs\n", rec.ID, rec.WallMS, rec.Mallocs)
 		}
 		if *checkDir != "" {
+			// The overhead gate is absolute, not baseline-relative: lineage
+			// on must stay within lineageOverheadLimit of the same run with
+			// it off, whatever this host's speed.
+			if rec.OverheadFrac > lineageOverheadLimit {
+				fmt.Fprintf(os.Stderr,
+					"nvmcp-perf: REGRESSION %s: lineage overhead %.1f%% exceeds %.0f%% limit\n",
+					rec.ID, 100*rec.OverheadFrac, 100*lineageOverheadLimit)
+				regressed = true
+			}
 			base, err := readRecord(filepath.Join(*checkDir, "BENCH_"+rec.ID+".json"))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "nvmcp-perf: no baseline for %s: %v\n", rec.ID, err)

@@ -21,11 +21,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/interconnect"
+	"nvmcp/internal/introspect"
+	"nvmcp/internal/lineage"
 	"nvmcp/internal/obs"
 	"nvmcp/internal/policy"
 	"nvmcp/internal/scenario"
@@ -64,6 +68,10 @@ func main() {
 		failTorn     = flag.Bool("fail-torn", false, "nvm-corrupt: torn writes instead of bit-flips")
 		failDuration = flag.Duration("fail-duration", 0, "link-flap: outage length")
 		failFactor   = flag.Float64("fail-factor", 0, "link-flap: residual bandwidth fraction in [0,1)")
+		lineageOn    = flag.Bool("lineage", false, "trace per-chunk causal lineage (report summary + /lineage endpoints)")
+		invariants   = flag.Bool("invariants", false, "run the online lineage invariant checker; violations fail the run (implies -lineage)")
+		httpAddr     = flag.String("http", "", "serve live introspection (/healthz /metrics /progress /lineage, pprof) on this address, e.g. :8080")
+		httpHold     = flag.Bool("http-hold", false, "keep the introspection server up after the run until interrupted")
 		eventsOut    = flag.String("events-out", "", "write the typed event log as JSONL to this file")
 		metricsOut   = flag.String("metrics-out", "", "write metrics in Prometheus text format to this file")
 		traceOut     = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event timeline to this file")
@@ -141,7 +149,34 @@ func main() {
 		// Only runs that render a timeline pay for span recording.
 		cfg.Tracer = trace.NewSpanRecorder()
 	}
-	res, c, err := cluster.Run(cfg)
+	if *lineageOn || *invariants {
+		cfg.Lineage = &lineage.Config{Enabled: true, Strict: *invariants}
+	}
+
+	c, err := cluster.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		os.Exit(2)
+	}
+	var status atomic.Value
+	status.Store("running")
+	if *httpAddr != "" {
+		srv, err := introspect.Serve(*httpAddr, introspect.Source{
+			Obs:     c.Obs,
+			Lineage: c.Lineage,
+			Tool:    "nvmcp-sim",
+			Status:  func() string { return status.Load().(string) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("introspection listening on http://%s (try /progress, /metrics, /lineage)\n", srv.Addr())
+	}
+
+	res, err := c.Execute()
+	status.Store("done")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
 		os.Exit(1)
@@ -205,6 +240,16 @@ func main() {
 	if res.DegradedTime > 0 {
 		tb.AddRow("time degraded", res.DegradedTime.Round(time.Millisecond).String())
 	}
+	if c.Lineage != nil {
+		sum := c.Lineage.Summary()
+		tb.AddRow("lineage records", fmt.Sprintf("%d live + %d compacted (%d chunks)",
+			sum.Records-sum.CompactedRecords, sum.CompactedRecords, sum.Chunks))
+		if sum.DeepestRecoveryChunk != "" {
+			tb.AddRow("deepest recovery", fmt.Sprintf("%s via %s tier",
+				sum.DeepestRecoveryChunk, sum.DeepestRecoveryTier))
+		}
+		tb.AddRow("lineage violations", fmt.Sprintf("%d", res.LineageViolations))
+	}
 	tb.AddRow("workload checksum", fmt.Sprintf("%016x", res.WorkloadChecksum))
 	tb.Write(os.Stdout)
 
@@ -212,8 +257,21 @@ func main() {
 	writeArtifact(*metricsOut, "metrics", c.Obs.Registry().WriteProm)
 	writeArtifact(*traceOut, "trace", c.Obs.Spans().WriteChrome)
 	writeArtifact(*reportOut, "report", func(w io.Writer) error {
-		return obs.WriteReport(w, c.Obs.BuildReport("nvmcp-sim", cfg, res))
+		rep := c.Obs.BuildReport("nvmcp-sim", cfg, res)
+		if c.Lineage != nil {
+			rep.Lineage = c.Lineage.Summary()
+		}
+		return obs.WriteReport(w, rep)
 	})
+
+	if *httpAddr != "" && *httpHold {
+		// The finished run stays inspectable (curl /lineage, grab a pprof
+		// profile) until the user interrupts.
+		fmt.Printf("run done; holding http://%s until interrupt (ctrl-c)\n", *httpAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
 }
 
 // resolveScenario picks the run's scenario: an explicit file, a named preset,
@@ -260,20 +318,30 @@ func policyName(name string) string {
 }
 
 // writeArtifact renders one observability sink to a file; an empty path skips
-// the sink.
+// the sink. Create, write, and Close errors (a full disk surfaces at Close)
+// all exit non-zero.
 func writeArtifact(path, what string, write func(io.Writer) error) {
 	if path == "" {
 		return
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nvmcp-sim: %s: %v\n", what, err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	if err := write(f); err != nil {
+	if err := writeFile(path, write); err != nil {
 		fmt.Fprintf(os.Stderr, "nvmcp-sim: write %s: %v\n", what, err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s -> %s\n", what, path)
+}
+
+// writeFile streams write into path, surfacing the Close error. No os.Exit
+// here, so the deferred Close always runs.
+func writeFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return write(f)
 }

@@ -5,20 +5,30 @@
 // failures — the executable version of the paper's Figures 1 and 5 timing
 // diagrams.
 //
-// Example:
+// Lineage tracing is always on, so the same run answers causal queries:
+// which tiers a chunk moved through (-chunk), everything a tier touched
+// (-tier), any invariant violations (-violations), and the full causal chain
+// behind a recovery (-why).
+//
+// Examples:
 //
 //	nvmcp-trace -app lammps-rhodo -local dcpcp -remote buddy-precopy -o trace.json
 //	# then open trace.json in https://ui.perfetto.dev
+//	nvmcp-trace -preset faults -scale tiny -o "" -why rank2/scalar-5@1
+//	nvmcp-trace -preset faults -scale tiny -o "" -chunk rank0/field3d-0 -violations
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"nvmcp/internal/cluster"
+	"nvmcp/internal/lineage"
 	"nvmcp/internal/mem"
 	"nvmcp/internal/policy"
 	"nvmcp/internal/scenario"
@@ -28,66 +38,179 @@ import (
 
 func main() {
 	var (
-		appName    = flag.String("app", "lammps-rhodo", "workload: gtc, lammps-rhodo, or cm1")
-		nodes      = flag.Int("nodes", 2, "cluster nodes")
-		cores      = flag.Int("cores", 4, "cores (ranks) per node")
-		iters      = flag.Int("iters", 4, "iterations")
-		ckptMB     = flag.Int64("ckpt-mb", 120, "checkpoint data per rank in MB")
-		iterSecs   = flag.Float64("iter-secs", 10, "compute seconds per iteration")
-		nvmBW      = flag.Float64("nvm-bw", 400e6, "NVM write bandwidth per core, bytes/sec")
-		local      = flag.String("local", "dcpcp", "local pre-copy policy: "+strings.Join(policy.Names(policy.KindLocal), ", "))
-		remoteName = flag.String("remote", "buddy-precopy", "remote tier policy: "+strings.Join(policy.Names(policy.KindRemote), ", "))
-		failAt     = flag.Duration("fail-at", 0, "inject a soft failure at this virtual time")
-		out        = flag.String("o", "trace.json", "output file")
-		remEveryN  = flag.Int("remote-every", 2, "remote checkpoint every K-th local")
+		presetName   = flag.String("preset", "", "run a named preset (see nvmcp-sim -list-presets) instead of composing from flags")
+		scenarioPath = flag.String("scenario", "", "run a declarative scenario JSON file")
+		scaleName    = flag.String("scale", "quick", "preset scale: tiny, quick, or paper")
+		appName      = flag.String("app", "lammps-rhodo", "workload: gtc, lammps-rhodo, or cm1")
+		nodes        = flag.Int("nodes", 2, "cluster nodes")
+		cores        = flag.Int("cores", 4, "cores (ranks) per node")
+		iters        = flag.Int("iters", 4, "iterations")
+		ckptMB       = flag.Int64("ckpt-mb", 120, "checkpoint data per rank in MB")
+		iterSecs     = flag.Float64("iter-secs", 10, "compute seconds per iteration")
+		nvmBW        = flag.Float64("nvm-bw", 400e6, "NVM write bandwidth per core, bytes/sec")
+		local        = flag.String("local", "dcpcp", "local pre-copy policy: "+strings.Join(policy.Names(policy.KindLocal), ", "))
+		remoteName   = flag.String("remote", "buddy-precopy", "remote tier policy: "+strings.Join(policy.Names(policy.KindRemote), ", "))
+		failAt       = flag.Duration("fail-at", 0, "inject a soft failure at this virtual time")
+		out          = flag.String("o", "trace.json", "timeline output file (empty = skip the timeline)")
+		remEveryN    = flag.Int("remote-every", 2, "remote checkpoint every K-th local")
+		chunkKey     = flag.String("chunk", "", "print this chunk's lineage history (key like rank2/scalar-5)")
+		tierName     = flag.String("tier", "", "print the lineage of every chunk that touched this tier: dram, local, remote, bottom")
+		violations   = flag.Bool("violations", false, "print lineage invariant violations found during the run")
+		whyQuery     = flag.String("why", "", "explain a recovery causally: <chunk>@<epoch> (bare <chunk> = newest epoch)")
 	)
 	flag.Parse()
 
-	spec, ok := workload.SpecByName(*appName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+	cfg, err := resolveConfig(*presetName, *scenarioPath, *scaleName, func() (cluster.Config, error) {
+		spec, ok := workload.SpecByName(*appName)
+		if !ok {
+			return cluster.Config{}, fmt.Errorf("unknown app %q", *appName)
+		}
+		spec = spec.ScaledTo(*ckptMB * mem.MB)
+		spec.IterTime = time.Duration(*iterSecs * float64(time.Second))
+		// Policy names resolve through the registry — no scheme-specific
+		// branches here.
+		cfg := cluster.Config{
+			Nodes:         *nodes,
+			CoresPerNode:  *cores,
+			App:           spec,
+			Iterations:    *iters,
+			NVMPerCoreBW:  *nvmBW,
+			Local:         *local,
+			Remote:        *remoteName,
+			RemoteEvery:   *remEveryN,
+			RemoteRateCap: scenario.AutoRemoteRateCap(spec.CheckpointSize(), *cores, spec.IterTime, *remEveryN),
+		}
+		if *failAt > 0 {
+			cfg.Failures = []cluster.FailureEvent{{After: *failAt, Node: 0}}
+		}
+		return cfg, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvmcp-trace:", err)
 		os.Exit(2)
 	}
-	spec = spec.ScaledTo(*ckptMB * mem.MB)
-	spec.IterTime = time.Duration(*iterSecs * float64(time.Second))
-
-	// Attaching a recorder keeps span recording on (traceless runs disable
-	// it). Policy names resolve through the registry — no scheme-specific
-	// branches here.
-	cfg := cluster.Config{
-		Tracer:        trace.NewSpanRecorder(),
-		Nodes:         *nodes,
-		CoresPerNode:  *cores,
-		App:           spec,
-		Iterations:    *iters,
-		NVMPerCoreBW:  *nvmBW,
-		Local:         *local,
-		Remote:        *remoteName,
-		RemoteEvery:   *remEveryN,
-		RemoteRateCap: scenario.AutoRemoteRateCap(spec.CheckpointSize(), *cores, spec.IterTime, *remEveryN),
+	if *out != "" && cfg.Tracer == nil {
+		// Attaching a recorder keeps span recording on (traceless runs
+		// disable it).
+		cfg.Tracer = trace.NewSpanRecorder()
 	}
-	if *failAt > 0 {
-		cfg.Failures = []cluster.FailureEvent{{After: *failAt, Node: 0}}
+	// Lineage tracing is this tool's reason to exist; keep it on even when
+	// only the timeline was asked for, so every run is queryable.
+	if cfg.Lineage == nil {
+		cfg.Lineage = &lineage.Config{Enabled: true}
 	}
 
 	res, c, err := cluster.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "nvmcp-trace:", err)
 		os.Exit(2)
 	}
-	rec := c.Obs.Spans()
 
-	f, err := os.Create(*out)
+	if *out != "" {
+		rec := c.Obs.Spans()
+		if err := writeFile(*out, rec.WriteChrome); err != nil {
+			fmt.Fprintln(os.Stderr, "nvmcp-trace: write timeline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ran %s on %d ranks for %v of virtual time; %d trace events -> %s\n",
+			cfg.App.Name, res.Ranks, res.ExecTime.Round(time.Millisecond), rec.Len(), *out)
+		fmt.Println("open in https://ui.perfetto.dev or chrome://tracing")
+	} else {
+		fmt.Printf("ran %s on %d ranks for %v of virtual time\n",
+			cfg.App.Name, res.Ranks, res.ExecTime.Round(time.Millisecond))
+	}
+
+	if err := runQueries(c.Lineage, *chunkKey, *tierName, *violations, *whyQuery); err != nil {
+		fmt.Fprintln(os.Stderr, "nvmcp-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// resolveConfig picks the run's cluster config: a named preset, a scenario
+// file, or the flag-composed fallback.
+func resolveConfig(preset, path, scaleName string, fromFlags func() (cluster.Config, error)) (cluster.Config, error) {
+	switch {
+	case preset != "" && path != "":
+		return cluster.Config{}, fmt.Errorf("-preset and -scenario are mutually exclusive")
+	case preset != "":
+		scale, err := scenario.ParseScale(scaleName)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		sc, err := scenario.BuildPreset(preset, scale)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		return cluster.FromScenario(sc)
+	case path != "":
+		sc, err := scenario.LoadFile(path)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		return cluster.FromScenario(sc)
+	}
+	return fromFlags()
+}
+
+// runQueries answers the lineage questions asked on the command line against
+// the finished run's tracer.
+func runQueries(tr *lineage.Tracer, chunkKey, tierName string, violations bool, whyQuery string) error {
+	if chunkKey != "" {
+		h, ok := tr.History(chunkKey)
+		if !ok {
+			return fmt.Errorf("unknown chunk %q (traced keys look like rank0/field3d-0)", chunkKey)
+		}
+		fmt.Print(lineage.FormatHistory(h))
+	}
+	if tierName != "" {
+		hs := tr.TierRecords(tierName)
+		if len(hs) == 0 {
+			fmt.Printf("no lineage records touched the %s tier\n", tierName)
+		}
+		for _, h := range hs {
+			fmt.Print(lineage.FormatHistory(h))
+		}
+	}
+	if violations {
+		vs := tr.Violations()
+		if n := tr.ViolationCount(); n == 0 {
+			fmt.Println("no lineage invariant violations")
+		} else {
+			fmt.Printf("%d lineage invariant violations (%d retained):\n", n, len(vs))
+			for _, v := range vs {
+				fmt.Println(" ", v.String())
+			}
+		}
+	}
+	if whyQuery != "" {
+		chunk, epoch := whyQuery, -1
+		if i := strings.LastIndex(whyQuery, "@"); i >= 0 {
+			n, err := strconv.Atoi(whyQuery[i+1:])
+			if err != nil {
+				return fmt.Errorf("bad -why epoch in %q (want <chunk>@<epoch>)", whyQuery)
+			}
+			chunk, epoch = whyQuery[:i], n
+		}
+		story, err := tr.Why(chunk, epoch)
+		if err != nil {
+			return err
+		}
+		fmt.Print(story)
+	}
+	return nil
+}
+
+// writeFile streams write into path, surfacing the Close error (a full disk
+// shows up there). No os.Exit here, so the deferred Close always runs.
+func writeFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	defer f.Close()
-	if err := rec.WriteChrome(f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("ran %s on %d ranks for %v of virtual time; %d trace events -> %s\n",
-		spec.Name, res.Ranks, res.ExecTime.Round(time.Millisecond), rec.Len(), *out)
-	fmt.Println("open in https://ui.perfetto.dev or chrome://tracing")
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return write(f)
 }

@@ -23,6 +23,7 @@ import (
 	"nvmcp/internal/core"
 	"nvmcp/internal/fault"
 	"nvmcp/internal/interconnect"
+	"nvmcp/internal/lineage"
 	"nvmcp/internal/mem"
 	"nvmcp/internal/nvmkernel"
 	"nvmcp/internal/obs"
@@ -148,6 +149,11 @@ type Config struct {
 	// externally owned recorder. Without it the same spans accumulate in the
 	// cluster's Observer, whose sinks render them on demand.
 	Tracer *trace.SpanRecorder
+
+	// Lineage, when set and enabled, attaches the per-chunk causal tracer
+	// and online invariant checker to the run's event bus. Strict mode makes
+	// Run fail loudly on the first invariant violation.
+	Lineage *lineage.Config
 }
 
 func (cfg *Config) setDefaults() {
@@ -311,6 +317,9 @@ type Result struct {
 	// sums repair windows and link-flap outages.
 	MTTR         time.Duration
 	DegradedTime time.Duration
+	// LineageViolations counts online invariant-checker breaches (zero when
+	// the lineage tracer is disabled).
+	LineageViolations int
 	// WorkloadChecksum fingerprints the final epoch's application memory; a
 	// faulted run must match its fault-free twin.
 	WorkloadChecksum uint64
@@ -325,6 +334,9 @@ type Cluster struct {
 	Fabric *interconnect.Fabric
 	// Obs is the run's observability hub: typed events, metrics, spans.
 	Obs *obs.Observer
+	// Lineage is the run's causal chunk tracer (nil unless Cfg.Lineage
+	// enables it).
+	Lineage *lineage.Tracer
 
 	kernels []*nvmkernel.Kernel
 	barrier *sim.Barrier
@@ -436,12 +448,22 @@ func New(cfg Config) (*Cluster, error) {
 	if bottomTier != nil && remoteTier == nil {
 		return nil, fmt.Errorf("cluster: bottom policy %q needs a remote tier to drain from", bottomEntry.Name)
 	}
+	// The PFS mirrors its drain writes onto the event bus so the lineage
+	// tracer (and trace sinks) see bottom-tier copies land.
+	if fs := policy.PFSOf(bottomTier); fs != nil {
+		fs.SetRecorder(o.Recorder(0, "pfs"))
+	}
+	var tracer *lineage.Tracer
+	if cfg.Lineage != nil && cfg.Lineage.Enabled {
+		tracer = lineage.Attach(o, *cfg.Lineage)
+	}
 
 	return &Cluster{
 		Cfg:        cfg,
 		Env:        env,
 		Fabric:     fabric,
 		Obs:        o,
+		Lineage:    tracer,
 		kernels:    kernels,
 		localPol:   localEntry.Local(),
 		remoteTier: remoteTier,
@@ -469,6 +491,15 @@ func Run(cfg Config) (Result, *Cluster, error) {
 	if err != nil {
 		return Result{}, nil, err
 	}
+	res, err := c.Execute()
+	return res, c, err
+}
+
+// Execute runs an already-built cluster to completion. Callers that need the
+// cluster's surfaces before the run starts (e.g. to mount a live
+// introspection server over Obs and Lineage) use New + Execute instead of
+// Run.
+func (c *Cluster) Execute() (Result, error) {
 	events := make([]fault.Event, 0, len(c.Cfg.Failures))
 	for _, f := range c.Cfg.Failures {
 		events = append(events, f.toFault())
@@ -489,7 +520,13 @@ func Run(cfg Config) (Result, *Cluster, error) {
 	}
 	c.Env.Go("driver", c.drive)
 	c.Env.Run()
-	return c.collect(), c, nil
+	res := c.collect()
+	if c.Lineage != nil && c.Cfg.Lineage.Strict {
+		if err := c.Lineage.Err(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 // RelaunchDelay is the job relaunch latency charged on every restart
@@ -662,26 +699,31 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 			tier := "local"
 			if !ch.Restored {
 				tier = "lost"
+				var fetchSeq uint64
 				if c.remoteTier != nil {
-					if data, _, ok := c.remoteTier.Fetch(p, node, lane, name, ch.ID); ok {
+					if data, _, seq, ok := c.remoteTier.Fetch(p, node, lane, name, ch.ID); ok {
 						if err := store.AdoptRemote(p, ch, data, 0); err != nil {
 							panic(err)
 						}
-						tier = "remote"
+						tier, fetchSeq = "remote", seq
 					}
 				}
 				if tier == "lost" && c.bottomTier != nil {
-					if data, _, ok := c.bottomTier.Fetch(p, fmt.Sprintf("%s/%d", name, ch.ID)); ok {
+					if data, _, seq, ok := c.bottomTier.Fetch(p, name+"/"+ch.Name); ok {
 						if err := store.AdoptBottom(p, ch, data, 0); err != nil {
 							panic(err)
 						}
-						tier = "bottom"
+						tier, fetchSeq = "bottom", seq
 					}
 				}
-				rec.Emit(obs.EvChunkRecovered, fmt.Sprintf("%s/%d", name, ch.ID),
-					ch.Size, map[string]string{"tier": tier})
+				rec.Emit(obs.EvChunkRecovered, name+"/"+ch.Name,
+					ch.Size, map[string]string{
+						"tier": tier,
+						"seq":  strconv.FormatUint(fetchSeq, 10),
+					})
 			}
 			reg.Counter("recovery_path", obs.Labels{"tier": tier}).Add(1)
+			rec.Child(tier).Add("recovery_chunks", 1)
 		}
 		// The last rank through the cascade closes the repair window.
 		c.recoverWait--
@@ -813,7 +855,10 @@ func (c *Cluster) injectFailure(ev fault.Event) {
 	}
 	frec := c.Obs.Recorder(ev.Node, "cluster")
 	frec.Instant(string(ev.Kind)+" failure", "failure", 0, c.Env.Now(), nil)
-	frec.Emit(obs.EvFailure, "", 0, map[string]string{"kind": string(ev.Kind)})
+	frec.Emit(obs.EvFailure, "", 0, map[string]string{
+		"kind":  string(ev.Kind),
+		"cause": ev.Label(),
+	})
 	for _, rp := range c.rankProcs {
 		if !rp.Done() {
 			rp.Kill()
@@ -834,6 +879,14 @@ func (c *Cluster) corruptNVM(rng *rand.Rand, ev fault.Event) int {
 	rec.Add("nvm_corruptions", int64(len(victims)))
 	rec.Emit(obs.EvNVMCorrupt, fmt.Sprintf("%d chunks", len(victims)), 0,
 		map[string]string{"torn": fmt.Sprintf("%t", ev.Torn)})
+	for _, v := range victims {
+		rec.Emit(obs.EvChunkCorrupt, v.Key(), v.Size, map[string]string{
+			"seq":     strconv.FormatUint(v.Seq, 10),
+			"version": strconv.FormatUint(v.Version, 10),
+			"torn":    fmt.Sprintf("%t", ev.Torn),
+			"cause":   ev.Label(),
+		})
+	}
 	return len(victims)
 }
 
@@ -849,6 +902,7 @@ func (c *Cluster) flapLink(ev fault.Event) {
 		map[string]string{
 			"factor": fmt.Sprintf("%g", ev.Factor),
 			"secs":   fmt.Sprintf("%g", ev.Duration.Seconds()),
+			"cause":  ev.Label(),
 		})
 	node := ev.Node
 	c.Env.Schedule(ev.Duration, func() {
@@ -928,6 +982,7 @@ func (c *Cluster) recover(p *sim.Proc, f fault.Event) {
 		map[string]string{
 			"resume_iter": fmt.Sprintf("%d", c.committedIter),
 			"kind":        string(f.Kind),
+			"cause":       f.Label(),
 		})
 }
 
@@ -1004,6 +1059,9 @@ func (c *Cluster) collect() Result {
 		res.MTTR = c.mttrTotal / time.Duration(c.mttrN)
 	}
 	res.DegradedTime = c.degradedTotal
+	if c.Lineage != nil {
+		res.LineageViolations = c.Lineage.ViolationCount()
+	}
 	res.WorkloadChecksum = c.workSum
 	reg.Gauge("mttr_seconds", nil).Set(res.MTTR.Seconds())
 	reg.Gauge("degraded_seconds_total", nil).Set(res.DegradedTime.Seconds())

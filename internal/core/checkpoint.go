@@ -19,6 +19,13 @@ type commitRecord struct {
 	Version  uint64
 	Checksum uint64
 	Size     int64
+	// Seq is the modification-sequence generation the committed payload
+	// captured (the chunk's cleanSeq at commit) — the causal identity lineage
+	// tracing follows across tiers.
+	Seq uint64
+	// Name is the chunk's variable name, carried so post-mortem inspection
+	// (corruption injection, lineage) can name victims without a live Store.
+	Name string
 }
 
 // CkptStats summarizes one checkpoint operation.
@@ -51,6 +58,7 @@ func (s *Store) stageChunk(p *sim.Proc, c *Chunk, rateCap float64) int64 {
 	// Without arming first, a mid-copy store would be silently absorbed or
 	// lost depending on timing.
 	seqAtStart := c.modSeq
+	invalidated := false
 	if c.pending != nil {
 		// Staging a lazily-restored chunk (forced checkpoints do this):
 		// its committed bytes must be in DRAM before they can be re-staged.
@@ -67,6 +75,7 @@ func (s *Store) stageChunk(p *sim.Proc, c *Chunk, rateCap float64) int64 {
 		s.kproc.SetMeta(p, c.metaKey(), nil)
 		k.MetaLock.Unlock(p)
 		c.committed = -1
+		invalidated = true
 	}
 	if rateCap > 0 {
 		mem.CopyCapped(p, s.dramDevice(), s.nvmDevice(), c.Size, rateCap)
@@ -82,7 +91,13 @@ func (s *Store) stageChunk(p *sim.Proc, c *Chunk, rateCap float64) int64 {
 	c.stagedSum = checksum(data, c.Size)
 	c.cleanSeq = seqAtStart
 	c.stagePending = true
-	s.rec.Emit(obs.EvChunkStaged, c.Name, c.Size, nil)
+	attrs := map[string]string{"seq": u64str(seqAtStart)}
+	if invalidated {
+		// Single-version overwrite: the previously committed local copy is
+		// gone until the next commit flip (lineage marks the tier invalid).
+		attrs["inval"] = "1"
+	}
+	s.rec.Emit(obs.EvChunkStaged, c.Name, c.Size, attrs)
 	s.count("staged_bytes", c.Size)
 	s.count("staged_chunks", 1)
 	// Protection stays armed from the start of the stage; if a mid-copy
@@ -193,10 +208,16 @@ func (s *Store) commitChunk(p *sim.Proc, c *Chunk) int {
 		Version:  c.Version,
 		Checksum: c.stagedSum,
 		Size:     c.Size,
+		Seq:      c.cleanSeq,
+		Name:     c.Name,
 	})
 	k.MetaLock.Unlock(p)
 	c.committed = target
 	c.stagePending = false
+	s.rec.Emit(obs.EvChunkCommit, c.Name, c.Size, map[string]string{
+		"seq":     u64str(c.cleanSeq),
+		"version": u64str(c.Version),
+	})
 	return 1
 }
 
@@ -241,7 +262,7 @@ func (s *Store) tryRestore(p *sim.Proc, c *Chunk) error {
 				k.MetaLock.Unlock(p)
 				s.count("restore_checksum_errors", 1)
 				s.rec.Emit(obs.EvChecksumError, c.Name, c.Size,
-					map[string]string{"action": "salvage"})
+					map[string]string{"action": "salvage", "seq": u64str(rec.Seq)})
 				return nil
 			}
 			return fmt.Errorf("%w: %s", ErrChecksum, c.Name)
@@ -257,7 +278,16 @@ func (s *Store) tryRestore(p *sim.Proc, c *Chunk) error {
 	if s.opts.LazyRestore {
 		source = "lazy"
 	}
-	s.rec.Emit(obs.EvRestore, c.Name, c.Size, map[string]string{"source": source})
+	// "seq" is the restored payload's generation in the previous
+	// incarnation's sequence domain; "reseq" is the chunk's clean sequence in
+	// THIS incarnation's domain (sequence numbering restarts per process
+	// lifetime), which is what later ship events will reference.
+	s.rec.Emit(obs.EvRestore, c.Name, c.Size, map[string]string{
+		"source":  source,
+		"seq":     u64str(rec.Seq),
+		"version": u64str(rec.Version),
+		"reseq":   u64str(c.cleanSeq),
+	})
 	return nil
 }
 

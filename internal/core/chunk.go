@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 
 	"nvmcp/internal/nvmalloc"
 	"nvmcp/internal/nvmkernel"
@@ -97,9 +98,19 @@ func (c *Chunk) installFaultHandler() {
 // re-dirty: the pre-copy work just done is wasted and the chunk must move
 // again at checkpoint time — the quantity Figure 9's re-dirty rate measures.
 func (c *Chunk) markDirty(p *sim.Proc) {
-	if c.modSeq == c.cleanSeq && c.stagePending {
-		c.store.rec.Emit(obs.EvChunkReDirtied, c.Name, c.Size, nil)
-		c.store.count("redirtied_chunks", 1)
+	// One lineage event per clean→dirty edge, carrying the new generation's
+	// sequence: a redirty when the staged copy was current (pre-copy work
+	// wasted), a plain dirty otherwise. Already-dirty chunks advance modSeq
+	// silently — the next stage captures the latest sequence anyway.
+	if c.modSeq == c.cleanSeq {
+		if c.stagePending {
+			c.store.rec.Emit(obs.EvChunkReDirtied, c.Name, c.Size,
+				map[string]string{"seq": u64str(c.modSeq + 1)})
+			c.store.count("redirtied_chunks", 1)
+		} else {
+			c.store.rec.Emit(obs.EvChunkDirty, c.Name, c.Size,
+				map[string]string{"seq": u64str(c.modSeq + 1)})
+		}
 	}
 	c.modSeq++
 	c.ModCount++
@@ -217,6 +228,9 @@ func checksum(data []byte, size int64) uint64 {
 	h.Write(data)
 	return h.Sum64()
 }
+
+// u64str renders a sequence/version number for event attributes.
+func u64str(v uint64) string { return strconv.FormatUint(v, 10) }
 
 // String implements fmt.Stringer.
 func (c *Chunk) String() string {

@@ -9,6 +9,22 @@ import (
 	"nvmcp/internal/nvmkernel"
 )
 
+// CorruptVictim identifies one committed chunk payload damaged by
+// CorruptCommitted: which process held it, the chunk's variable name (falling
+// back to the numeric metadata id for records that predate names), and the
+// committed generation's sequence and version — enough for lineage tracing
+// to mark exactly which copy went bad.
+type CorruptVictim struct {
+	Proc    string
+	Chunk   string
+	Size    int64
+	Seq     uint64
+	Version uint64
+}
+
+// Key returns the victim's cluster-wide lineage key, "proc/chunk".
+func (v CorruptVictim) Key() string { return v.Proc + "/" + v.Chunk }
+
 // CorruptCommitted damages up to max committed chunk payloads across every
 // process with persistent state on k, leaving commit records untouched so
 // the damage surfaces as ErrChecksum at the next restore. With torn=false a
@@ -16,8 +32,8 @@ import (
 // torn=true the payload's tail half is zeroed (a write torn by power loss).
 // Victims are chosen with rng over a sorted enumeration of processes and
 // metadata keys, so placement is reproducible under a fixed seed. Returns
-// the damaged chunks as "proc/id" names, in enumeration order.
-func CorruptCommitted(k *nvmkernel.Kernel, rng *rand.Rand, max int, torn bool) []string {
+// the damaged chunks sorted by Key.
+func CorruptCommitted(k *nvmkernel.Kernel, rng *rand.Rand, max int, torn bool) []CorruptVictim {
 	if max <= 0 {
 		max = 1
 	}
@@ -60,7 +76,7 @@ func CorruptCommitted(k *nvmkernel.Kernel, rng *rand.Rand, max int, torn bool) [
 	if len(victims) > max {
 		victims = victims[:max]
 	}
-	names := make([]string, 0, len(victims))
+	out := make([]CorruptVictim, 0, len(victims))
 	for _, v := range victims {
 		if torn {
 			for i := len(v.data) / 2; i < len(v.data); i++ {
@@ -75,8 +91,18 @@ func CorruptCommitted(k *nvmkernel.Kernel, rng *rand.Rand, max int, torn bool) [
 		if checksum(v.data, v.rec.Size) == v.rec.Checksum {
 			v.data[0] ^= 0xFF
 		}
-		names = append(names, v.proc+"/"+v.id)
+		name := v.rec.Name
+		if name == "" {
+			name = v.id
+		}
+		out = append(out, CorruptVictim{
+			Proc:    v.proc,
+			Chunk:   name,
+			Size:    v.rec.Size,
+			Seq:     v.rec.Seq,
+			Version: v.rec.Version,
+		})
 	}
-	sort.Strings(names)
-	return names
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
 }

@@ -26,12 +26,15 @@ func ckptOneChunk(r *rig) {
 func TestCorruptCommittedNamesVictimsDeterministically(t *testing.T) {
 	r := newRig()
 	ckptOneChunk(r)
-	names := CorruptCommitted(r.k, rand.New(rand.NewSource(1)), 1, false)
-	if len(names) != 1 {
-		t.Fatalf("corrupted %d chunks, want 1", len(names))
+	victims := CorruptCommitted(r.k, rand.New(rand.NewSource(1)), 1, false)
+	if len(victims) != 1 {
+		t.Fatalf("corrupted %d chunks, want 1", len(victims))
 	}
-	if !strings.HasPrefix(names[0], "rank0/") {
-		t.Fatalf("victim name = %q, want rank0/<id>", names[0])
+	if victims[0].Proc != "rank0" || !strings.HasPrefix(victims[0].Key(), "rank0/") {
+		t.Fatalf("victim = %+v, want proc rank0", victims[0])
+	}
+	if victims[0].Seq == 0 {
+		t.Fatalf("victim %+v carries no staged generation", victims[0])
 	}
 	// Asking for more victims than exist corrupts only what is there.
 	if extra := CorruptCommitted(r.k, rand.New(rand.NewSource(2)), 99, true); len(extra) != 1 {

@@ -52,32 +52,55 @@ func availabilityBase(scale Scale) *scenario.Scenario {
 	return sc
 }
 
-// RunAvailability injects one fault class per run — soft (local restore),
-// hard (remote fetch), and NVM corruption compounded by buddy loss (PFS
-// fetch for the damaged chunks) — and compares each measured MTTR against
-// the Section III restart terms. The faults land mid-interval after the
-// second remote checkpoint commits, mirroring the "faults" preset timing.
-func RunAvailability(scale Scale) []AvailabilityRow {
-	runs := []struct {
-		path, kind string
-		failures   []scenario.FailureSpec
-	}{
-		{"local", "soft", []scenario.FailureSpec{
-			{AtSecs: 10.5, Node: 1, Kind: "soft"},
-		}},
-		{"remote", "hard", []scenario.FailureSpec{
-			{AtSecs: 10.5, Node: 1, Kind: "hard"},
-		}},
-		{"bottom", "nvm-corrupt + buddy-loss", []scenario.FailureSpec{
+// AvailabilityScenario is one availability run's declarative shape: a fully
+// built scenario plus the fault class injected and the recovery tier expected
+// to dominate it. Exported so invariant checks can replay the exact runs the
+// experiment reports on.
+type AvailabilityScenario struct {
+	// Path names the dominant recovery tier of the injected fault class.
+	Path string
+	// Kind is the injected fault schedule, in taxonomy terms.
+	Kind string
+	// Scenario is the runnable configuration (availabilityBase plus the
+	// fault schedule).
+	Scenario *scenario.Scenario
+}
+
+// AvailabilityScenarios builds the experiment's three faulted runs — soft
+// (local restore), hard (remote fetch), and NVM corruption compounded by
+// buddy loss (PFS fetch for the damaged chunks). The faults land
+// mid-interval after the second remote checkpoint commits, mirroring the
+// "faults" preset timing.
+func AvailabilityScenarios(scale Scale) []AvailabilityScenario {
+	runs := []AvailabilityScenario{
+		{Path: "local", Kind: "soft"},
+		{Path: "remote", Kind: "hard"},
+		{Path: "bottom", Kind: "nvm-corrupt + buddy-loss"},
+	}
+	failures := [][]scenario.FailureSpec{
+		{{AtSecs: 10.5, Node: 1, Kind: "soft"}},
+		{{AtSecs: 10.5, Node: 1, Kind: "hard"}},
+		{
 			{AtSecs: 10.5, Node: 1, Kind: "nvm-corrupt", Chunks: 4},
 			{AtSecs: 10.8, Node: 1, Kind: "buddy-loss"},
-		}},
+		},
 	}
+	for i := range runs {
+		sc := availabilityBase(scale)
+		sc.Failures = failures[i]
+		sc.FaultSeed = 7
+		runs[i].Scenario = sc
+	}
+	return runs
+}
+
+// RunAvailability executes the availability scenarios and compares each
+// measured MTTR against the Section III restart terms.
+func RunAvailability(scale Scale) []AvailabilityRow {
+	runs := AvailabilityScenarios(scale)
 	rows := make([]AvailabilityRow, len(runs))
 	sweep(len(runs), func(i int) {
-		sc := availabilityBase(scale)
-		sc.Failures = runs[i].failures
-		sc.FaultSeed = 7
+		sc := runs[i].Scenario
 		res, _, err := cluster.RunScenario(sc)
 		if err != nil {
 			panic(err)
@@ -96,12 +119,12 @@ func RunAvailability(scale Scale) []AvailabilityRow {
 		// node's ranks pulling their chunks across the shared link (the few
 		// PFS-recovered chunks ride inside that window).
 		predicted := cluster.RelaunchDelay + p.RestartLocal()
-		if runs[i].path != "local" {
+		if runs[i].Path != "local" {
 			predicted = cluster.RelaunchDelay + p.RestartRemote()
 		}
 		rows[i] = AvailabilityRow{
-			Path:            runs[i].path,
-			Kind:            runs[i].kind,
+			Path:            runs[i].Path,
+			Kind:            runs[i].Kind,
 			MTTR:            res.MTTR,
 			ModelMTTR:       predicted,
 			RecoveredLocal:  res.RecoveryLocal,

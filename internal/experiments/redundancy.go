@@ -82,7 +82,7 @@ func RunRedundancy() RedundancyResult {
 				if c.Restored {
 					continue
 				}
-				data, _, ok := mesh.Fetch(p, 0, "rank0", c.ID)
+				data, _, _, ok := mesh.Fetch(p, 0, "rank0", c.ID)
 				if !ok {
 					panic("buddy copy missing")
 				}

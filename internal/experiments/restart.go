@@ -130,7 +130,7 @@ func restartPoint(size int64) RestartRow {
 				if c.Restored {
 					continue
 				}
-				data, _, ok := mesh.Fetch(p, 0, "rank0", c.ID)
+				data, _, _, ok := mesh.Fetch(p, 0, "rank0", c.ID)
 				if !ok {
 					panic("remote copy missing for " + c.Name)
 				}

@@ -88,6 +88,13 @@ type Event struct {
 	Factor float64
 }
 
+// Label renders the event as a compact cause string for lineage records,
+// e.g. "nvm-corrupt@10.5s/node1" — which injection pushed a chunk off its
+// happy path.
+func (e Event) Label() string {
+	return fmt.Sprintf("%s@%s/node%d", e.Kind, e.At, e.Node)
+}
+
 // Validate checks the event's shape against nodes, the machine size.
 func (e Event) Validate(nodes int) error {
 	if _, err := ParseKind(string(e.Kind)); err != nil {

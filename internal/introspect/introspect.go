@@ -1,0 +1,195 @@
+// Package introspect is the live run-introspection server: a small HTTP
+// surface over a running (or finished) simulation exposing Prometheus
+// metrics, liveness, simulation progress, per-chunk lineage queries, and the
+// standard pprof handlers. The CLIs mount it behind a `-http :PORT` flag, so
+// a long paper-scale run can be watched — and profiled — while the virtual
+// clock is still advancing.
+//
+// Every read goes through race-safe snapshots (obs.Progress, the metrics
+// registry's own locking, and the lineage tracer's mutex); the server never
+// touches the simulation environment directly, so HTTP goroutines cannot
+// race the single-threaded virtual clock.
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"nvmcp/internal/lineage"
+	"nvmcp/internal/obs"
+)
+
+// Source is the set of run surfaces the server reads. Every field degrades
+// gracefully: nil Obs (tools that drive many short-lived simulations, like
+// nvmcp-bench) turns /metrics into a 404 and zeroes the progress counters,
+// nil Lineage turns lineage endpoints into 404s with a hint, and nil Status
+// reports "running".
+type Source struct {
+	// Obs is the run's observability hub (metrics + progress).
+	Obs *obs.Observer
+	// Lineage is the run's causal chunk tracer (nil when disabled).
+	Lineage *lineage.Tracer
+	// Tool names the binary serving (e.g. "nvmcp-sim").
+	Tool string
+	// Status, when set, reports the run phase ("running", "done", ...).
+	Status func() string
+}
+
+// Progress is the /progress response body.
+type Progress struct {
+	Tool   string `json:"tool"`
+	Status string `json:"status"`
+	// VirtualUS is the newest event's virtual timestamp in microseconds —
+	// how far the simulated clock has advanced.
+	VirtualUS int64 `json:"virtual_us"`
+	// Events is the total event count published so far.
+	Events int `json:"events"`
+	// EventsPerSec is the event rate between this poll and the previous
+	// one, measured in host wall time (0 on the first poll).
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Epoch is the current recovery epoch (lineage tracer; 0 without one).
+	Epoch int `json:"epoch"`
+	// Violations counts lineage invariant breaches so far.
+	Violations int `json:"violations"`
+}
+
+// Server wraps the HTTP listener for clean shutdown.
+type Server struct {
+	http *http.Server
+	addr net.Addr
+
+	mu         sync.Mutex
+	lastPoll   time.Time
+	lastEvents int
+}
+
+// NewMux builds the introspection routing table (exported separately so
+// tests drive handlers without a listener).
+func NewMux(src Source) *http.ServeMux {
+	s := &Server{}
+	return s.mux(src)
+}
+
+func (s *Server) mux(src Source) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if src.Obs == nil {
+			http.Error(w, "no metrics registry attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := src.Obs.Registry().WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.progress(src))
+	})
+	mux.HandleFunc("GET /lineage", func(w http.ResponseWriter, r *http.Request) {
+		if src.Lineage == nil {
+			http.Error(w, "lineage tracing disabled (run with -lineage)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"chunks":     src.Lineage.Chunks(),
+			"violations": src.Lineage.Violations(),
+			"summary":    src.Lineage.Summary(),
+		})
+	})
+	// Chunk keys contain slashes ("rank3/ions"), so the route needs the
+	// trailing-wildcard form.
+	mux.HandleFunc("GET /lineage/{chunk...}", func(w http.ResponseWriter, r *http.Request) {
+		if src.Lineage == nil {
+			http.Error(w, "lineage tracing disabled (run with -lineage)", http.StatusNotFound)
+			return
+		}
+		chunk := r.PathValue("chunk")
+		h, ok := src.Lineage.History(chunk)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown chunk %q (GET /lineage lists keys)", chunk),
+				http.StatusNotFound)
+			return
+		}
+		writeJSON(w, h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) progress(src Source) Progress {
+	p := Progress{Tool: src.Tool, Status: "running"}
+	if src.Obs != nil {
+		p.VirtualUS, p.Events = src.Obs.Progress()
+	}
+	if src.Status != nil {
+		p.Status = src.Status()
+	}
+	if src.Lineage != nil {
+		p.Epoch = src.Lineage.Epoch()
+		p.Violations = src.Lineage.ViolationCount()
+	}
+	// The rate is host-side: events accrued since the previous poll over the
+	// wall time between the polls.
+	now := time.Now()
+	s.mu.Lock()
+	if !s.lastPoll.IsZero() {
+		if dt := now.Sub(s.lastPoll).Seconds(); dt > 0 {
+			p.EventsPerSec = float64(p.Events-s.lastEvents) / dt
+		}
+	}
+	s.lastPoll, s.lastEvents = now, p.Events
+	s.mu.Unlock()
+	return p
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve starts the introspection server on addr (e.g. ":8080" or
+// "127.0.0.1:0") in a background goroutine and returns once the listener is
+// bound, so callers can print the resolved address before the run starts.
+func Serve(addr string, src Source) (*Server, error) {
+	s := &Server{}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("introspect: listen %s: %w", addr, err)
+	}
+	s.addr = ln.Addr()
+	s.http = &http.Server{Handler: s.mux(src)}
+	go func() {
+		// ErrServerClosed is the clean-shutdown path; anything else would
+		// have surfaced at Listen time.
+		_ = s.http.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}

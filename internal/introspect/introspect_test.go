@@ -1,0 +1,180 @@
+package introspect
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nvmcp/internal/lineage"
+	"nvmcp/internal/obs"
+	"nvmcp/internal/sim"
+)
+
+// rig builds an observer + attached tracer with a little traffic on the bus.
+func rig(t *testing.T) (*obs.Observer, *lineage.Tracer) {
+	t.Helper()
+	env := sim.NewEnv()
+	o := obs.New(env)
+	tr := lineage.Attach(o, lineage.Config{Enabled: true})
+	r := o.Recorder(0, "rank0")
+	env.Go("emitter", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		r.Emit(obs.EvChunkStaged, "field", 64, map[string]string{"seq": "1"})
+		r.Emit(obs.EvChunkCommit, "field", 64, map[string]string{"seq": "1"})
+	})
+	env.Run()
+	return o, tr
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	o, tr := rig(t)
+	mux := NewMux(Source{Obs: o, Lineage: tr, Tool: "test"})
+	if rec := get(t, mux, "/healthz"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	rec := get(t, mux, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "lineage_transitions_total") {
+		t.Fatalf("/metrics lacks lineage transition counters:\n%.400s", rec.Body.String())
+	}
+}
+
+func TestProgressReportsVirtualTimeAndRate(t *testing.T) {
+	o, tr := rig(t)
+	mux := NewMux(Source{Obs: o, Lineage: tr, Tool: "test", Status: func() string { return "done" }})
+	var p Progress
+	if rec := get(t, mux, "/progress"); json.Unmarshal(rec.Body.Bytes(), &p) != nil {
+		t.Fatalf("bad /progress body: %s", rec.Body.String())
+	}
+	if p.Tool != "test" || p.Status != "done" {
+		t.Fatalf("progress identity = %+v", p)
+	}
+	if p.VirtualUS != 2_000_000 || p.Events != 2 {
+		t.Fatalf("progress = %+v, want virtual_us=2000000 events=2", p)
+	}
+	// Second poll: no new events, so the host-side rate is zero.
+	if rec := get(t, mux, "/progress"); json.Unmarshal(rec.Body.Bytes(), &p) != nil {
+		t.Fatalf("bad second /progress body: %s", rec.Body.String())
+	}
+	if p.EventsPerSec != 0 {
+		t.Fatalf("idle rate = %g, want 0", p.EventsPerSec)
+	}
+}
+
+func TestLineageEndpointsServeSlashKeys(t *testing.T) {
+	o, tr := rig(t)
+	mux := NewMux(Source{Obs: o, Lineage: tr, Tool: "test"})
+	var index struct {
+		Chunks []string `json:"chunks"`
+	}
+	if rec := get(t, mux, "/lineage"); json.Unmarshal(rec.Body.Bytes(), &index) != nil {
+		t.Fatalf("bad /lineage body: %s", rec.Body.String())
+	}
+	if len(index.Chunks) != 1 || index.Chunks[0] != "rank0/field" {
+		t.Fatalf("chunk index = %v", index.Chunks)
+	}
+	// The chunk key contains a slash; the wildcard route must capture it.
+	rec := get(t, mux, "/lineage/rank0/field")
+	if rec.Code != 200 {
+		t.Fatalf("/lineage/rank0/field = %d %s", rec.Code, rec.Body.String())
+	}
+	var h lineage.History
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Chunk != "rank0/field" || len(h.Records) != 2 {
+		t.Fatalf("history = %+v", h)
+	}
+	if rec := get(t, mux, "/lineage/rank9/ghost"); rec.Code != 404 {
+		t.Fatalf("unknown chunk = %d, want 404", rec.Code)
+	}
+}
+
+func TestLineageDisabledIs404WithHint(t *testing.T) {
+	o, _ := rig(t)
+	mux := NewMux(Source{Obs: o, Tool: "test"})
+	rec := get(t, mux, "/lineage/rank0/field")
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), "-lineage") {
+		t.Fatalf("disabled lineage = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// Tools that drive many short-lived simulations (nvmcp-bench, nvmcp-perf)
+// mount the server with no observer: health, status, and pprof must still
+// work, and /metrics must 404 rather than panic.
+func TestNilObserverDegradesGracefully(t *testing.T) {
+	mux := NewMux(Source{Tool: "bench", Status: func() string { return "fig9" }})
+	if rec := get(t, mux, "/healthz"); rec.Code != 200 {
+		t.Fatalf("/healthz = %d", rec.Code)
+	}
+	if rec := get(t, mux, "/metrics"); rec.Code != 404 {
+		t.Fatalf("/metrics without observer = %d, want 404", rec.Code)
+	}
+	var p Progress
+	if rec := get(t, mux, "/progress"); json.Unmarshal(rec.Body.Bytes(), &p) != nil {
+		t.Fatalf("bad /progress body: %s", rec.Body.String())
+	}
+	if p.Tool != "bench" || p.Status != "fig9" || p.Events != 0 {
+		t.Fatalf("progress = %+v", p)
+	}
+}
+
+func TestPprofIndexIsMounted(t *testing.T) {
+	o, _ := rig(t)
+	mux := NewMux(Source{Obs: o, Tool: "test"})
+	if rec := get(t, mux, "/debug/pprof/"); rec.Code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", rec.Code)
+	}
+}
+
+// TestConcurrentPollsWhilePublishing drives handler reads from several
+// goroutines while the bus keeps publishing — the -race contract the live
+// server depends on.
+func TestConcurrentPollsWhilePublishing(t *testing.T) {
+	env := sim.NewEnv()
+	o := obs.New(env)
+	tr := lineage.Attach(o, lineage.Config{Enabled: true})
+	mux := NewMux(Source{Obs: o, Lineage: tr, Tool: "test"})
+	r := o.Recorder(0, "rank0")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				get(t, mux, "/progress")
+				get(t, mux, "/metrics")
+				get(t, mux, "/lineage")
+			}
+		}()
+	}
+	env.Go("emitter", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			r.Emit(obs.EvChunkStaged, "field", 64, map[string]string{"seq": "1"})
+			r.Emit(obs.EvChunkCommit, "field", 64, map[string]string{"seq": "1"})
+			p.Sleep(time.Millisecond)
+		}
+	})
+	env.Run()
+	close(stop)
+	wg.Wait()
+}

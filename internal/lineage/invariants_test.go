@@ -1,0 +1,116 @@
+package lineage_test
+
+import (
+	"strings"
+	"testing"
+
+	"nvmcp/internal/cluster"
+	"nvmcp/internal/experiments"
+	"nvmcp/internal/lineage"
+	"nvmcp/internal/scenario"
+)
+
+// runStrict executes a scenario with the lineage tracer in strict mode and
+// fails the test on any invariant violation (strict Run returns the error
+// with the offending chunk's full lineage attached).
+func runStrict(t *testing.T, sc *scenario.Scenario) (cluster.Result, *cluster.Cluster) {
+	t.Helper()
+	cfg, err := cluster.FromScenario(sc)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name, err)
+	}
+	cfg.Lineage = &lineage.Config{Enabled: true, Strict: true}
+	res, c, err := cluster.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name, err)
+	}
+	if res.LineageViolations != 0 {
+		t.Fatalf("%s: %d lineage violations", sc.Name, res.LineageViolations)
+	}
+	return res, c
+}
+
+// TestPresetsSatisfyInvariants replays every cluster-shaped preset at the
+// tiny scale under the strict checker: no causal invariant may break on a
+// healthy (or deliberately faulted) canonical run.
+func TestPresetsSatisfyInvariants(t *testing.T) {
+	for _, p := range scenario.Presets() {
+		if !p.ClusterShaped() {
+			continue
+		}
+		t.Run(p.ID, func(t *testing.T) {
+			t.Parallel()
+			sc, err := scenario.BuildPreset(p.ID, scenario.ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runStrict(t, sc)
+		})
+	}
+}
+
+// TestQuickScalePresetsSatisfyInvariants re-checks the multi-tier presets at
+// the quick scale, where more ranks and iterations widen the interleavings.
+func TestQuickScalePresetsSatisfyInvariants(t *testing.T) {
+	for _, id := range []string{"fig9", "faults", "hierarchy"} {
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			sc, err := scenario.BuildPreset(id, scenario.ScaleQuick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runStrict(t, sc)
+		})
+	}
+}
+
+// TestAvailabilityScenariosSatisfyInvariants replays the availability
+// experiment's three faulted runs (local / remote / bottom dominant
+// recovery) under the strict checker.
+func TestAvailabilityScenariosSatisfyInvariants(t *testing.T) {
+	for _, run := range experiments.AvailabilityScenarios(experiments.Quick) {
+		t.Run(run.Path, func(t *testing.T) {
+			t.Parallel()
+			res, _ := runStrict(t, run.Scenario)
+			if res.FailuresInjected == 0 {
+				t.Fatalf("availability %s run injected no failures", run.Kind)
+			}
+		})
+	}
+}
+
+// TestFaultsPresetWhyReconstructsPFSRecovery pins the acceptance scenario:
+// in the faults preset, the chunks corrupted on node 1 lose both their local
+// copy (salvaged at restore) and their remote copy (buddy loss), so the
+// cascade serves them from the PFS — and Why must reconstruct that chain.
+func TestFaultsPresetWhyReconstructsPFSRecovery(t *testing.T) {
+	sc, err := scenario.BuildPreset("faults", scenario.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := runStrict(t, sc)
+	tr := c.Lineage
+	if tr.Epoch() == 0 {
+		t.Fatal("faults preset completed without a recovery epoch")
+	}
+	sum := tr.Summary()
+	if sum.DeepestRecoveryTier != "bottom" {
+		t.Fatalf("deepest recovery tier = %q, want bottom (summary %+v)",
+			sum.DeepestRecoveryTier, sum)
+	}
+	why, err := tr.Why(sum.DeepestRecoveryChunk, tr.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"served by the bottom tier",
+		"local miss:",
+		"remote miss:",
+		"nvm-corrupt",
+		"buddy-loss",
+	} {
+		if !strings.Contains(why, want) {
+			t.Errorf("why output missing %q:\n%s", want, why)
+		}
+	}
+}

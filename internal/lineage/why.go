@@ -1,0 +1,175 @@
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// formatRecord renders one record as a stable, single-line human-readable
+// string ("t=12500000us epoch=1 [bottom] recovered node0 seq=5 (tier bottom)").
+func formatRecord(r Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%dus epoch=%d", r.TUS, r.Epoch)
+	if r.Tier != "" {
+		fmt.Fprintf(&b, " [%s]", r.Tier)
+	}
+	fmt.Fprintf(&b, " %s node%d", r.Op, r.Node)
+	if r.Seq > 0 {
+		fmt.Fprintf(&b, " seq=%d", r.Seq)
+	}
+	if r.Bytes > 0 {
+		fmt.Fprintf(&b, " %dB", r.Bytes)
+	}
+	if r.Cause != "" {
+		fmt.Fprintf(&b, " (%s)", r.Cause)
+	}
+	return b.String()
+}
+
+// FormatHistory renders a chunk's lineage as indented lines for terminal
+// output.
+func FormatHistory(h History) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d records", h.Chunk, len(h.Records))
+	if len(h.Compacted) > 0 {
+		var total uint64
+		ops := make([]string, 0, len(h.Compacted))
+		for op, n := range h.Compacted {
+			total += n
+			ops = append(ops, fmt.Sprintf("%s=%d", op, n))
+		}
+		sort.Strings(ops)
+		fmt.Fprintf(&b, ", %d compacted: %s", total, strings.Join(ops, " "))
+	}
+	b.WriteString(")\n")
+	for _, r := range h.Records {
+		b.WriteString("  " + formatRecord(r) + "\n")
+	}
+	return b.String()
+}
+
+// Why reconstructs the causal chain that brought a chunk into the given
+// recovery epoch (epoch < 0 means the newest epoch the chunk has records
+// for): the chunk's surviving lineage records interleaved with the
+// cluster-wide faults that drove them, closed by a verdict line explaining
+// which tier the recovery read and why the higher tiers could not serve.
+func (t *Tracer) Why(chunk string, epoch int) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.chunks[chunk]
+	if !ok {
+		return "", fmt.Errorf("lineage: unknown chunk %q (see -chunks for traced keys)", chunk)
+	}
+	h := t.decode(chunk, st)
+	if epoch < 0 {
+		for _, r := range h.Records {
+			if r.Epoch > epoch {
+				epoch = r.Epoch
+			}
+		}
+		if epoch < 0 {
+			epoch = 0
+		}
+	}
+
+	// The story: every surviving record of this chunk up to and including
+	// epoch `epoch`, with the fault log spliced in by virtual time.
+	var story []Record
+	for _, r := range h.Records {
+		if r.Epoch <= epoch {
+			story = append(story, r)
+		}
+	}
+	for _, f := range t.faultLog {
+		if f.Epoch <= epoch {
+			story = append(story, f)
+		}
+	}
+	sort.SliceStable(story, func(i, j int) bool { return story[i].TUS < story[j].TUS })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "why %s entered epoch %d:\n", chunk, epoch)
+	if len(h.Compacted) > 0 {
+		var total uint64
+		for _, n := range h.Compacted {
+			total += n
+		}
+		fmt.Fprintf(&b, "  (%d earlier records compacted)\n", total)
+	}
+	for _, r := range story {
+		b.WriteString("  " + formatRecord(r) + "\n")
+	}
+
+	// Verdict: how the epoch-entry read was served. Epoch 0 has no recovery
+	// by construction.
+	if epoch == 0 {
+		b.WriteString("verdict: initial epoch — no recovery, chunk materialized by workload setup\n")
+		return b.String(), nil
+	}
+	var entry *Record
+	for i := range story {
+		r := &story[i]
+		if r.Epoch != epoch {
+			continue
+		}
+		if r.Op == OpRecovered.String() || (r.Op == OpRestore.String() && entry == nil) {
+			entry = r
+			if r.Op == OpRecovered.String() {
+				break
+			}
+		}
+	}
+	if entry == nil {
+		fmt.Fprintf(&b, "verdict: no recovery read recorded for epoch %d (chunk untouched by the cascade)\n", epoch)
+		return b.String(), nil
+	}
+	fmt.Fprintf(&b, "verdict: served by the %s tier (seq %d)\n", entry.Tier, entry.Seq)
+	if entry.Tier != TierLocal.String() {
+		t.explainLocalMiss(&b, st, story, epoch)
+	}
+	if entry.Tier == TierBottom.String() || entry.Cause == "tier lost" {
+		t.explainRemoteMiss(&b, st, story, epoch)
+	}
+	return b.String(), nil
+}
+
+// explainLocalMiss appends why the local NVM copy could not serve the
+// recovery: corruption, salvage, or the owning node's hard loss.
+func (t *Tracer) explainLocalMiss(b *strings.Builder, st *chunkState, story []Record, epoch int) {
+	for _, r := range story {
+		if r.Epoch > epoch {
+			continue
+		}
+		switch r.Op {
+		case OpCorrupt.String():
+			fmt.Fprintf(b, "  local miss: committed payload damaged by %s\n", r.Cause)
+		case OpSalvage.String():
+			fmt.Fprintf(b, "  local miss: checksum mismatch at restore — damaged version salvaged (%s)\n", r.Cause)
+		}
+	}
+	for _, f := range story {
+		if f.Op == opFault.String() && f.Epoch < epoch && f.Node == st.node &&
+			(strings.Contains(f.Cause, "hard") || strings.Contains(f.Cause, "buddy-loss")) {
+			fmt.Fprintf(b, "  local miss: node%d NVM lost to %s\n", f.Node, f.Cause)
+		}
+	}
+}
+
+// explainRemoteMiss appends why the remote tier could not serve: the holder
+// of this chunk's buddy copy went down with the failure.
+func (t *Tracer) explainRemoteMiss(b *strings.Builder, st *chunkState, story []Record, epoch int) {
+	holder := st.remoteHolder
+	if holder < 0 {
+		b.WriteString("  remote miss: no remote copy was ever committed for this chunk\n")
+		return
+	}
+	for _, f := range story {
+		if f.Op == opFault.String() && f.Epoch < epoch && f.Node == holder &&
+			(strings.Contains(f.Cause, "hard") || strings.Contains(f.Cause, "buddy-loss")) {
+			fmt.Fprintf(b, "  remote miss: buddy copy held on node%d, lost to %s\n", holder, f.Cause)
+			return
+		}
+	}
+	fmt.Fprintf(b, "  remote miss: holder node%d had no committed copy at recovery time\n", holder)
+}

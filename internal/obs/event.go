@@ -88,6 +88,24 @@ const (
 	EvRecovery Type = "recovery"
 	// EvIteration marks one rank finishing a compute iteration.
 	EvIteration Type = "iteration"
+	// EvChunkDirty records the first modification of a new chunk generation
+	// (a clean chunk going dirty); Attrs carry the generation seq. Redirties
+	// of an already-staged generation stay EvChunkReDirtied.
+	EvChunkDirty Type = "chunk_dirty"
+	// EvChunkCommit records one chunk's local commit flip; Attrs carry the
+	// committed generation seq and the chunk's version counter.
+	EvChunkCommit Type = "chunk_commit"
+	// EvRemoteChunkCommit records the helper flipping one chunk's buddy-side
+	// committed slot; Attrs carry the committed generation seq.
+	EvRemoteChunkCommit Type = "remote_chunk_commit"
+	// EvChunkCorrupt records latent media damage to one committed chunk
+	// payload (the per-victim companion to the aggregated EvNVMCorrupt);
+	// Attrs carry the damaged generation seq, version, mode, and cause.
+	EvChunkCorrupt Type = "chunk_corrupt"
+	// EvPFSDrain records one object actually written to the parallel file
+	// system by a drain pass (version-gated rewrites are skipped, so the
+	// stream mirrors PFS contents); Attrs carry the object version/seq.
+	EvPFSDrain Type = "pfs_drain"
 )
 
 // Event is one structured occurrence on the bus. Times are virtual

@@ -22,6 +22,8 @@ type Observer struct {
 	events  []Event
 	spans   *trace.SpanRecorder
 	spansOn bool
+	tap     func(Event)
+	lastTUS int64
 }
 
 // New builds an Observer over a simulation environment.
@@ -68,12 +70,37 @@ func (o *Observer) UseSpanRecorder(r *trace.SpanRecorder) {
 	o.mu.Unlock()
 }
 
+// SetEventTap installs a callback invoked synchronously for every event, in
+// publication order, after the virtual timestamp is stamped. The tap runs
+// under the observer's mutex — it must be fast and must never publish back
+// into this observer (Registry updates are fine; the registry has its own
+// lock). One consumer at a time; pass nil to detach.
+func (o *Observer) SetEventTap(tap func(Event)) {
+	o.mu.Lock()
+	o.tap = tap
+	o.mu.Unlock()
+}
+
 // Emit publishes one event, stamping it with the current virtual time.
 func (o *Observer) Emit(ev Event) {
 	o.mu.Lock()
 	ev.TUS = o.env.Now().Microseconds()
 	o.events = append(o.events, ev)
+	o.lastTUS = ev.TUS
+	if o.tap != nil {
+		o.tap(ev)
+	}
 	o.mu.Unlock()
+}
+
+// Progress returns the virtual timestamp of the most recent event and the
+// bus length. Safe to call from host goroutines that run truly concurrently
+// with the simulation (the live introspection server): it reads only
+// mutex-guarded observer state, never the simulation clock.
+func (o *Observer) Progress() (virtualUS int64, events int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lastTUS, len(o.events)
 }
 
 // Events returns a copy of every event published so far, in publication
@@ -126,6 +153,33 @@ type Recorder struct {
 
 	scopeLabels Labels
 	scopeCanon  string
+
+	childMu  sync.Mutex
+	children map[string]*Recorder
+}
+
+// Child returns a recorder scoped one level below this one: same node, same
+// actor, plus a "scope" label (a tier name, a queue, a phase). Children are
+// cached on the parent, so hot loops that resolve the same scope per chunk
+// pay one mutex-guarded map hit instead of re-canonicalizing three labels
+// per metric bump. Nil-safe: a nil recorder returns nil.
+func (r *Recorder) Child(scope string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	r.childMu.Lock()
+	defer r.childMu.Unlock()
+	if c, ok := r.children[scope]; ok {
+		return c
+	}
+	c := &Recorder{o: r.o, node: r.node, actor: r.actor}
+	c.scopeLabels = Labels{"node": itoa(r.node), "actor": r.actor, "scope": scope}
+	c.scopeCanon = c.scopeLabels.canon()
+	if r.children == nil {
+		r.children = make(map[string]*Recorder)
+	}
+	r.children[scope] = c
+	return c
 }
 
 // Observer returns the backing observer (nil for a nil recorder).

@@ -258,3 +258,54 @@ func TestHistogramCreationPanicsWithoutEdges(t *testing.T) {
 	}()
 	reg.Histogram("h", nil, nil)
 }
+
+func TestRecorderChildCachesAndScopes(t *testing.T) {
+	o := New(sim.NewEnv())
+	r := o.Recorder(2, "lineage")
+	a := r.Child("remote")
+	b := r.Child("remote")
+	if a != b {
+		t.Fatal("Child is not cached: two calls returned distinct recorders")
+	}
+	if c := r.Child("local"); c == a {
+		t.Fatal("distinct scopes share a child recorder")
+	}
+	a.Add("lineage_transitions", 3)
+	reg := o.Registry()
+	got := reg.Counter("lineage_transitions",
+		Labels{"node": "2", "actor": "lineage", "scope": "remote"}).Get()
+	if got != 3 {
+		t.Fatalf("scoped child counter = %d, want 3", got)
+	}
+	if got := reg.Counter("lineage_transitions", nil).Get(); got != 3 {
+		t.Fatalf("cluster rollup = %d, want 3", got)
+	}
+	var nilRec *Recorder
+	if nilRec.Child("x") != nil {
+		t.Fatal("nil recorder's Child is not nil")
+	}
+}
+
+func TestEventTapSeesPublicationOrderAndProgress(t *testing.T) {
+	env := sim.NewEnv()
+	o := New(env)
+	var tapped []Event
+	o.SetEventTap(func(ev Event) { tapped = append(tapped, ev) })
+	r := o.Recorder(0, "rank0")
+	env.Go("emitter", func(p *sim.Proc) {
+		r.Emit(EvChunkStaged, "a", 1, nil)
+		p.Sleep(2 * time.Second)
+		r.Emit(EvChunkCommit, "a", 1, nil)
+	})
+	env.Run()
+	if len(tapped) != 2 || tapped[0].Type != EvChunkStaged || tapped[1].Type != EvChunkCommit {
+		t.Fatalf("tap saw %+v", tapped)
+	}
+	if tapped[1].TUS != 2_000_000 {
+		t.Fatalf("tap event not stamped: TUS = %d", tapped[1].TUS)
+	}
+	us, events := o.Progress()
+	if us != 2_000_000 || events != 2 {
+		t.Fatalf("Progress() = (%d, %d), want (2000000, 2)", us, events)
+	}
+}

@@ -90,6 +90,10 @@ type RunReport struct {
 	Metrics map[string]float64 `json:"metrics"`
 	// Summaries holds stats.Summary rollups of interesting per-round series.
 	Summaries map[string]stats.Summary `json:"summaries"`
+	// Lineage is the lineage tracer's summary (per-tier transition counts,
+	// deepest recovery path, violation count) when tracing was on. Typed
+	// `any` so obs does not import the lineage package; the cmds set it.
+	Lineage any `json:"lineage,omitempty"`
 	// EventCount is the bus length (the JSONL sink has the full stream).
 	EventCount int `json:"event_count"`
 	// VirtualEndUS is the virtual clock at report time, microseconds.

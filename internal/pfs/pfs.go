@@ -11,8 +11,10 @@ package pfs
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
+	"nvmcp/internal/obs"
 	"nvmcp/internal/resource"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/trace"
@@ -50,7 +52,14 @@ type FS struct {
 
 	// Counters: "writes", "reads", "bytes_in", "bytes_out".
 	Counters trace.Counters
+
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches the file system to the run's observability bus: each
+// drain pass emits one EvPFSDrain per object actually written (version-gated
+// rewrites are skipped), so the event stream mirrors PFS contents.
+func (f *FS) SetRecorder(r *obs.Recorder) { f.rec = r }
 
 // New builds a PFS with the given aggregate ingest bandwidth (0 = default)
 // and per-client stripe cap (0 = default).
@@ -158,6 +167,8 @@ func (f *FS) Drain(p *sim.Proc, src Source) DrainStats {
 			continue
 		}
 		f.Write(p, obj.Name, obj.Size, obj.Version, data)
+		f.rec.Emit(obs.EvPFSDrain, obj.Name, obj.Size,
+			map[string]string{"seq": strconv.FormatUint(obj.Version, 10)})
 		st.Objects++
 		st.Bytes += obj.Size
 	}

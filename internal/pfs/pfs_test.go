@@ -127,8 +127,7 @@ func TestDrainFlushesCommittedRemoteCopies(t *testing.T) {
 	var want []byte
 	e.Go("verify", func(p *sim.Proc) {
 		want, _ = store.StagedData(p, core.GenID("field"))
-		name := "rank0/" + uitoa(core.GenID("field"))
-		data, _, _, err := fs.Read(p, name)
+		data, _, _, err := fs.Read(p, "rank0/field")
 		if err != nil {
 			t.Error(err)
 			return

@@ -125,7 +125,7 @@ func (t *buddyTier) Trigger(p *sim.Proc, node int) *sim.Completion {
 	return t.mesh.Agent(node).TriggerRemote(p)
 }
 
-func (t *buddyTier) Fetch(p *sim.Proc, node, slot int, procName string, id uint64) ([]byte, int64, bool) {
+func (t *buddyTier) Fetch(p *sim.Proc, node, slot int, procName string, id uint64) ([]byte, int64, uint64, bool) {
 	return t.mesh.Fetch(p, node, procName, id)
 }
 
@@ -264,13 +264,15 @@ func (t *erasureTier) Trigger(p *sim.Proc, node int) *sim.Completion {
 	return done
 }
 
-func (t *erasureTier) Fetch(p *sim.Proc, node, slot int, procName string, id uint64) ([]byte, int64, bool) {
+func (t *erasureTier) Fetch(p *sim.Proc, node, slot int, procName string, id uint64) ([]byte, int64, uint64, bool) {
 	data, size, err := t.g.FetchChunk(p, node, slot, id)
 	if err != nil {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	t.rec.Add("remote_fetches", 1)
-	return data, size, true
+	// Parity reconstruction rebuilds bytes, not metadata: the staged
+	// generation is unknown (seq 0), and the lineage checker treats it so.
+	return data, size, 0, true
 }
 
 func (t *erasureTier) Utilization(now time.Duration) []float64 {
@@ -305,12 +307,12 @@ func (t *pfsTier) Drain(p *sim.Proc, src pfs.Source) pfs.DrainStats {
 	return t.fs.Drain(p, src)
 }
 
-func (t *pfsTier) Fetch(p *sim.Proc, name string) ([]byte, int64, bool) {
-	data, size, _, err := t.fs.Read(p, name)
+func (t *pfsTier) Fetch(p *sim.Proc, name string) ([]byte, int64, uint64, bool) {
+	data, size, version, err := t.fs.Read(p, name)
 	if err != nil {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
-	return data, size, true
+	return data, size, version, true
 }
 
 // PFSOf unwraps a pfs tier's file system for result shaping; nil otherwise.

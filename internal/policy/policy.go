@@ -115,8 +115,10 @@ type RemoteTier interface {
 	// completion fires at remote commit. The application does not block on it.
 	Trigger(p *sim.Proc, node int) *sim.Completion
 	// Fetch recovers one chunk of a hard-failed node (slot is the rank's
-	// position within its node). ok is false when the tier cannot serve it.
-	Fetch(p *sim.Proc, node, slot int, procName string, id uint64) (data []byte, size int64, ok bool)
+	// position within its node). seq is the served copy's staged generation
+	// for lineage tracing — 0 when the tier cannot know it (erasure
+	// reconstruction). ok is false when the tier cannot serve the chunk.
+	Fetch(p *sim.Proc, node, slot int, procName string, id uint64) (data []byte, size int64, seq uint64, ok bool)
 	// Utilization reports the tier's helper busy fractions (Table V).
 	Utilization(now time.Duration) []float64
 	// DrainSource exposes a holder node's committed objects for the bottom
@@ -156,10 +158,11 @@ type BottomOptions struct {
 // and serves them back during recovery.
 type BottomTier interface {
 	Drain(p *sim.Proc, src pfs.Source) pfs.DrainStats
-	// Fetch reads a drained object ("<proc>/<chunkID>") back — the last
+	// Fetch reads a drained object ("<proc>/<chunkName>") back — the last
 	// rung of the per-chunk recovery cascade, used when both the local
-	// version and the remote copy are gone.
-	Fetch(p *sim.Proc, name string) (data []byte, size int64, ok bool)
+	// version and the remote copy are gone. seq is the object's stored
+	// version (the staged generation the drain captured).
+	Fetch(p *sim.Proc, name string) (data []byte, size int64, seq uint64, ok bool)
 }
 
 // BottomPolicy builds a bottom tier; a nil tier disables the level.

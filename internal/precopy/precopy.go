@@ -262,8 +262,10 @@ func (e *Engine) run(p *sim.Proc) {
 			if raced {
 				e.count("raced_copies", 1)
 			}
-			e.cfg.Rec.Emit(obs.EvPrecopyCopy, c.Name, n,
-				map[string]string{"raced": strconv.FormatBool(raced)})
+			e.cfg.Rec.Emit(obs.EvPrecopyCopy, c.Name, n, map[string]string{
+				"raced": strconv.FormatBool(raced),
+				"seq":   strconv.FormatUint(c.StagedSeq(), 10),
+			})
 			if e.cfg.Rec.SpansActive() {
 				e.cfg.Rec.Span("precopy "+c.Name, "precopy", e.cfg.TraceLane,
 					start, p.Now()-start, nil)

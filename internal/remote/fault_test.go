@@ -32,7 +32,7 @@ func TestHardLossMidShipLeavesNothingRemotelyCommitted(t *testing.T) {
 		// Even with the node back, the half shipment must not be fetchable.
 		agent2 := r.mesh.AddAgent(0, 1, Config{Scheme: AsyncBurst})
 		agent2.Register(r.store)
-		if _, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID); ok {
+		if _, _, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID); ok {
 			t.Error("half-shipped chunk fetchable as a committed remote copy")
 		}
 		agent2.Stop()
@@ -50,7 +50,7 @@ func TestHardLossMidShipPreservesPriorCommittedVersion(t *testing.T) {
 		c.WriteAll(p)
 		r.store.ChkptAll(p)
 		agent.TriggerRemote(p).Await(p) // v1 remotely committed
-		v1, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID)
+		v1, _, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID)
 		if !ok {
 			t.Fatal("v1 fetch failed")
 		}
@@ -64,7 +64,7 @@ func TestHardLossMidShipPreservesPriorCommittedVersion(t *testing.T) {
 
 		agent2 := r.mesh.AddAgent(0, 1, Config{Scheme: AsyncBurst})
 		agent2.Register(r.store)
-		got, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID)
+		got, _, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID)
 		if !ok {
 			t.Fatal("committed v1 unfetchable after mid-ship loss of v2")
 		}
@@ -111,7 +111,7 @@ func TestBuddyFailoverAfterRetriesExhausted(t *testing.T) {
 		if got := agent.Counters.Get("buddy_failovers"); got != 1 {
 			t.Errorf("buddy_failovers = %d, want 1", got)
 		}
-		if _, _, ok := mesh.Fetch(p, 0, "rank0", c.ID); !ok {
+		if _, _, _, ok := mesh.Fetch(p, 0, "rank0", c.ID); !ok {
 			t.Error("chunk not fetchable from the failover buddy")
 		}
 		agent.Stop()
@@ -146,7 +146,7 @@ func TestTransientBuddyOutageSelfHealsWithoutFailover(t *testing.T) {
 		if agent.Counters.Get("buddy_failovers") != 0 {
 			t.Error("failover triggered by a transient outage")
 		}
-		if _, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID); !ok {
+		if _, _, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID); !ok {
 			t.Error("chunk not fetchable after the outage healed")
 		}
 		agent.Stop()

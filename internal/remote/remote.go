@@ -95,12 +95,23 @@ type chunkKey struct {
 
 // remoteChunk is the buddy-side two-version container.
 type remoteChunk struct {
+	name      string // chunk variable name, set at first ship
 	size      int64
 	versions  [2][]byte
 	seqs      [2]uint64
 	sums      [2]uint64
 	committed int // -1 before first remote commit
 	inflight  bool
+}
+
+// objName renders the cluster-wide object name, "<proc>/<chunk>", preferring
+// the variable name and falling back to the numeric id for copies that
+// predate naming.
+func objName(key chunkKey, rc *remoteChunk) string {
+	if rc.name != "" {
+		return key.proc + "/" + rc.name
+	}
+	return fmt.Sprintf("%s/%d", key.proc, key.id)
 }
 
 // Mesh owns the buddy-side remote stores and the agents.
@@ -204,22 +215,23 @@ func (m *Mesh) DropNode(node int) {
 
 // Fetch retrieves the committed remote copy of a chunk belonging to procName
 // on srcNode, pulling it from the buddy across the fabric into srcNode's
-// NVM — the hard-failure recovery path. ok is false when the buddy holds no
-// committed version or is itself down.
-func (m *Mesh) Fetch(p *sim.Proc, srcNode int, procName string, id uint64) ([]byte, int64, bool) {
+// NVM — the hard-failure recovery path. seq is the committed copy's staged
+// generation (for lineage); ok is false when the buddy holds no committed
+// version or is itself down.
+func (m *Mesh) Fetch(p *sim.Proc, srcNode int, procName string, id uint64) ([]byte, int64, uint64, bool) {
 	a := m.agents[srcNode]
 	if a == nil || m.down[a.buddy] {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	rc, ok := m.data[a.buddy][chunkKey{procName, id}]
 	if !ok || rc.committed < 0 {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	m.Counters.Add("fetches", 1)
 	m.rec.Add("remote_fetches", 1)
 	m.fabric.RDMARead(p, a.buddy, srcNode, rc.size)
 	m.nvm[srcNode].WriteBytes(p, rc.size)
-	return rc.versions[rc.committed], rc.size, true
+	return rc.versions[rc.committed], rc.size, rc.seqs[rc.committed], true
 }
 
 // HolderOf returns which node holds srcNode's remote checkpoints, or -1
@@ -234,7 +246,7 @@ func (m *Mesh) HolderOf(srcNode int) int {
 // CommittedObject identifies one committed remote chunk copy for drains to
 // lower storage levels (the PFS).
 type CommittedObject struct {
-	Name    string // "<proc>/<chunkID>"
+	Name    string // "<proc>/<chunkName>" — the cluster-wide lineage key
 	Size    int64
 	Version uint64 // the committed slot's staged sequence
 }
@@ -248,7 +260,7 @@ func (m *Mesh) CommittedList(holder int) []CommittedObject {
 			continue
 		}
 		out = append(out, CommittedObject{
-			Name:    fmt.Sprintf("%s/%d", key.proc, key.id),
+			Name:    objName(key, rc),
 			Size:    rc.size,
 			Version: rc.seqs[rc.committed],
 		})
@@ -261,7 +273,7 @@ func (m *Mesh) CommittedList(holder int) []CommittedObject {
 // charging the holder's NVM read path.
 func (m *Mesh) CommittedData(p *sim.Proc, holder int, name string) ([]byte, bool) {
 	for key, rc := range m.data[holder] {
-		if rc.committed < 0 || fmt.Sprintf("%s/%d", key.proc, key.id) != name {
+		if rc.committed < 0 || objName(key, rc) != name {
 			continue
 		}
 		m.nvm[holder].ReadBytes(p, rc.size)
@@ -412,7 +424,7 @@ func (a *Agent) shipWithRetry(p *sim.Proc, st core.ChunkState, store *core.Store
 		}
 		if attempt < a.cfg.MaxShipRetries {
 			a.count("ship_retries", 1)
-			a.cfg.Rec.Emit(obs.EvShipRetry, fmt.Sprintf("%s/%d", store.Proc().Name(), st.ID),
+			a.cfg.Rec.Emit(obs.EvShipRetry, store.Proc().Name()+"/"+st.Name,
 				st.Size, map[string]string{"reason": reason, "attempt": fmt.Sprintf("%d", attempt)})
 			backoff := a.cfg.RetryBackoff << uint(attempt)
 			if backoff > maxRetryBackoff {
@@ -512,12 +524,15 @@ func (a *Agent) ship(p *sim.Proc, st core.ChunkState, store *core.Store) {
 	shipStart := p.Now()
 	defer func() {
 		if a.cfg.Rec.SpansActive() {
-			a.cfg.Rec.Span(fmt.Sprintf("ship %s/%d", key.proc, key.id), "remote",
+			a.cfg.Rec.Span("ship "+key.proc+"/"+st.Name, "remote",
 				helperLane, shipStart, p.Now()-shipStart,
 				map[string]string{"bytes": fmt.Sprintf("%d", st.Size)})
 		}
-		a.cfg.Rec.Emit(obs.EvChunkShipped, fmt.Sprintf("%s/%d", key.proc, key.id),
-			st.Size, map[string]string{"buddy": strconv.Itoa(a.buddy)})
+		a.cfg.Rec.Emit(obs.EvChunkShipped, key.proc+"/"+st.Name,
+			st.Size, map[string]string{
+				"buddy": strconv.Itoa(a.buddy),
+				"seq":   strconv.FormatUint(st.CleanSeq, 10),
+			})
 	}()
 	a.Meter.Start(p.Now())
 	cpuStart := p.Now()
@@ -530,7 +545,7 @@ func (a *Agent) ship(p *sim.Proc, st core.ChunkState, store *core.Store) {
 			panic(fmt.Sprintf("remote: buddy node %d NVM exhausted shipping %s/%d: %v",
 				a.buddy, key.proc, key.id, err))
 		}
-		rc = &remoteChunk{size: st.Size, committed: -1}
+		rc = &remoteChunk{name: st.Name, size: st.Size, committed: -1}
 		m.data[a.buddy][key] = rc
 	}
 
@@ -575,6 +590,12 @@ func (a *Agent) commitRemote(p *sim.Proc) {
 	for _, s := range a.stores {
 		mine[s.Proc().Name()] = true
 	}
+	type flipped struct {
+		name string
+		size int64
+		seq  uint64
+	}
+	var flips []flipped
 	for key, rc := range a.mesh.data[a.buddy] {
 		if !rc.inflight || !mine[key.proc] {
 			continue
@@ -585,6 +606,16 @@ func (a *Agent) commitRemote(p *sim.Proc) {
 			rc.committed = 0
 		}
 		rc.inflight = false
+		flips = append(flips, flipped{objName(key, rc), rc.size, rc.seqs[rc.committed]})
+	}
+	// Per-chunk commit events go out in name order: map iteration order must
+	// not leak into the (otherwise deterministic) event stream.
+	sort.Slice(flips, func(i, j int) bool { return flips[i].name < flips[j].name })
+	for _, f := range flips {
+		a.cfg.Rec.Emit(obs.EvRemoteChunkCommit, f.name, f.size, map[string]string{
+			"seq":   strconv.FormatUint(f.seq, 10),
+			"buddy": strconv.Itoa(a.buddy),
+		})
 	}
 	a.count("commits", 1)
 	a.mesh.Counters.Add("remote_commits", 1)

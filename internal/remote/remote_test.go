@@ -136,7 +136,7 @@ func TestFetchRecoversCommittedRemoteCopy(t *testing.T) {
 
 		// Hard failure of node 0: local NVM gone; fetch from buddy.
 		r.k0.HardFail()
-		data, size, ok := r.mesh.Fetch(p, 0, "rank0", c.ID)
+		data, size, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID)
 		if !ok {
 			t.Error("remote fetch failed")
 			return
@@ -166,7 +166,7 @@ func TestFetchWithoutRemoteCommitFails(t *testing.T) {
 		c.WriteAll(p)
 		r.store.ChkptAll(p)
 		// No TriggerRemote: buddy has nothing committed.
-		if _, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID); ok {
+		if _, _, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID); ok {
 			t.Error("fetch returned data that was never remotely committed")
 		}
 		agent.Stop()
@@ -182,7 +182,7 @@ func TestRemoteTwoVersionsSurviveNewShipment(t *testing.T) {
 		c.WriteAll(p)
 		r.store.ChkptAll(p)
 		agent.TriggerRemote(p).Await(p)
-		v1, _, _ := r.mesh.Fetch(p, 0, "rank0", c.ID)
+		v1, _, _, _ := r.mesh.Fetch(p, 0, "rank0", c.ID)
 		v1 = append([]byte(nil), v1...)
 
 		// Second round: new data shipped but NOT remotely committed —
@@ -190,7 +190,7 @@ func TestRemoteTwoVersionsSurviveNewShipment(t *testing.T) {
 		c.WriteAll(p)
 		r.store.ChkptAll(p)
 		p.Sleep(5 * time.Second) // helper idle: burst mode, no trigger
-		got, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID)
+		got, _, _, ok := r.mesh.Fetch(p, 0, "rank0", c.ID)
 		if !ok {
 			t.Error("fetch failed")
 			return
@@ -255,7 +255,7 @@ func TestAgentShipsMultipleRanksInRegistrationOrder(t *testing.T) {
 		// Each rank's copy is individually fetchable.
 		k0.HardFail()
 		for i := range stores {
-			if _, _, ok := mesh.Fetch(p, 0, fmt.Sprintf("rank%d", i), core.GenID("field")); !ok {
+			if _, _, _, ok := mesh.Fetch(p, 0, fmt.Sprintf("rank%d", i), core.GenID("field")); !ok {
 				t.Errorf("rank%d copy missing at buddy", i)
 			}
 		}
@@ -288,10 +288,10 @@ func TestTwoSourcesSharingOneBuddyStayIsolated(t *testing.T) {
 		// Only node 0 triggers; node 2's data was never shipped, let alone
 		// committed.
 		a0.TriggerRemote(p).Await(p)
-		if _, _, ok := mesh.Fetch(p, 0, "n0rank", core.GenID("field")); !ok {
+		if _, _, _, ok := mesh.Fetch(p, 0, "n0rank", core.GenID("field")); !ok {
 			t.Error("node 0's copy missing")
 		}
-		if _, _, ok := mesh.Fetch(p, 2, "n2rank", core.GenID("field")); ok {
+		if _, _, _, ok := mesh.Fetch(p, 2, "n2rank", core.GenID("field")); ok {
 			t.Error("node 2's data fetchable without its own remote commit")
 		}
 		a0.Stop()
