@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check ci presets faults invariants clean bench bench-check
+.PHONY: all build test race vet fmt lint check ci presets faults invariants slo clean bench bench-check
 
 all: build
 
@@ -61,12 +61,26 @@ invariants:
 	$(GO) test -race ./internal/lineage/ ./internal/introspect/
 	$(GO) run ./cmd/nvmcp-sim -preset faults -scale tiny -invariants
 
+# slo runs the SLO engine gate: the evaluator/report/diff test suite, both
+# SLO presets in strict mode (any objective breach fails the command), a
+# regression diff of a fresh slo-paper report against the checked-in
+# baseline (the simulation is deterministic, so the reports must agree),
+# and a must-fail check that a breaching scenario exits non-zero.
+slo:
+	$(GO) test -race ./internal/slo/
+	$(GO) run ./cmd/nvmcp-sim -preset slo-paper -scale tiny -slo-strict -slo-report-out bench/slo-check.html
+	$(GO) run ./cmd/nvmcp-sim -preset slo-faults -scale tiny -slo-strict
+	$(GO) run ./cmd/nvmcp-analyze -diff bench/baseline/slo-paper.json bench/slo-check.json
+	@if $(GO) run ./cmd/nvmcp-sim -scenario docs/scenarios/slo-breach.json -slo-strict >/dev/null 2>&1; then \
+		echo "slo-breach scenario passed strict mode — the gate is not gating"; exit 1; \
+	else echo "slo-breach correctly fails strict mode"; fi
+
 # ci is the gate the workflow runs: lint (fmt + vet + grep idioms), the full
 # test suite under the race detector (obs publication crosses host
 # goroutines), the preset and fault-cascade smoke sweeps, the lineage
-# invariant gate, and the perf regression check against the checked-in
-# baseline.
-ci: lint race presets faults invariants bench-check
+# invariant gate, the SLO gate, and the perf regression check against the
+# checked-in baseline.
+ci: lint race presets faults invariants slo bench-check
 
 # bench refreshes the perf records: the testing.B suites (sim kernel,
 # resource layer, paper end-to-end) plus the nvmcp-perf probes, which write

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	nvmcp-analyze [-bw 400e6] [-interval 40s] [-json] [app ...]
+//	nvmcp-analyze -diff baseline.json new.json [-tolerance 0.05]
+//
+// The -diff form compares two SLO run reports (written by nvmcp-sim
+// -slo-report-out) objective by objective and exits non-zero when the new
+// run regressed against the baseline.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"nvmcp/internal/experiments"
 	"nvmcp/internal/model"
+	"nvmcp/internal/slo"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -28,7 +34,14 @@ func main() {
 	interval := flag.Duration("interval", 40*time.Second, "local checkpoint interval")
 	asJSON := flag.Bool("json", false, "emit the analysis as JSON instead of tables")
 	out := flag.String("o", "", "write the analysis to this file instead of stdout")
+	diffMode := flag.Bool("diff", false, "compare two SLO run reports: -diff baseline.json new.json")
+	tolerance := flag.Float64("tolerance", 0.05,
+		"with -diff, relative headroom erosion allowed before a passing objective counts as regressed")
 	flag.Parse()
+
+	if *diffMode {
+		os.Exit(runDiff(flag.Args(), *tolerance, *asJSON))
+	}
 
 	apps := flag.Args()
 	var specs []workload.AppSpec
@@ -78,6 +91,54 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote analysis -> %s\n", *out)
+}
+
+// runDiff compares two SLO run reports and returns the process exit code:
+// 0 clean, 1 regression, 2 usage or I/O error.
+func runDiff(args []string, tolerance float64, asJSON bool) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: nvmcp-analyze -diff baseline.json new.json [-tolerance 0.05]")
+		return 2
+	}
+	a, err := slo.ReadReportFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-analyze: baseline: %v\n", err)
+		return 2
+	}
+	b, err := slo.ReadReportFile(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-analyze: new report: %v\n", err)
+		return 2
+	}
+	res := slo.Diff(a, b, tolerance)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		fmt.Printf("slo diff: %s (%s seed %d) -> %s (%s seed %d), tolerance %.0f%%\n",
+			args[0], a.Scenario, a.Seed, args[1], b.Scenario, b.Seed, tolerance*100)
+		tb := &trace.Table{Header: []string{"objective", "verdict", "baseline", "new", "detail"}}
+		for _, e := range res.Entries {
+			tb.AddRow(e.Objective, e.Verdict, fmtPtr(e.AValue), fmtPtr(e.BValue), e.Detail)
+		}
+		tb.Write(os.Stdout)
+	}
+	if res.Regressed {
+		fmt.Fprintln(os.Stderr, "nvmcp-analyze: SLO regression against baseline")
+		return 1
+	}
+	return 0
+}
+
+func fmtPtr(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%g", *v)
 }
 
 // writeFile streams render into path, surfacing the Close error (a full disk

@@ -28,6 +28,7 @@ import (
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/scenario"
 	"nvmcp/internal/sim"
+	"nvmcp/internal/slo"
 	"nvmcp/internal/workload"
 )
 
@@ -42,8 +43,8 @@ type perfRecord struct {
 	Reps         int     `json:"reps"`
 	GoMaxProcs   int     `json:"gomaxprocs"`
 	// OverheadFrac is the extra wall-time fraction an optional subsystem
-	// costs when switched on (only the lineage-overhead probe sets it);
-	// check mode gates it at lineageOverheadLimit.
+	// costs when switched on (the lineage-overhead and slo-overhead probes
+	// set it); check mode gates it at overheadLimit.
 	OverheadFrac float64 `json:"overhead_frac,omitempty"`
 }
 
@@ -108,8 +109,8 @@ var probes = []probe{
 	{
 		// The same paper-scale run with lineage tracing off (the record's
 		// headline wall time, held to the usual baseline threshold) and on
-		// (the overhead fraction, gated at lineageOverheadLimit): tracing
-		// must be free when disabled and cheap when enabled.
+		// (the overhead fraction, gated at overheadLimit): tracing must be
+		// free when disabled and cheap when enabled.
 		id: "lineage-overhead", reps: 2,
 		run: func() uint64 {
 			_, c := cluster.MustRun(paperClusterCfg())
@@ -120,6 +121,31 @@ var probes = []probe{
 			for r := 0; r < 2; r++ {
 				cfg := paperClusterCfg()
 				cfg.Lineage = &lineage.Config{Enabled: true, Strict: true}
+				start := time.Now()
+				cluster.MustRun(cfg)
+				ms := float64(time.Since(start).Microseconds()) / 1e3
+				if r == 0 || ms < onMS {
+					onMS = ms
+				}
+			}
+			rec.OverheadFrac = onMS/rec.WallMS - 1
+		},
+	},
+	{
+		// The same paper-scale run with the SLO flight recorder off (the
+		// headline wall time) and on (the overhead fraction, gated at
+		// overheadLimit): windowed aggregation plus online objective
+		// evaluation must cost no more than 10% of the plain run.
+		id: "slo-overhead", reps: 2,
+		run: func() uint64 {
+			_, c := cluster.MustRun(paperClusterCfg())
+			return c.Env.EventsFired()
+		},
+		extra: func(rec *perfRecord) {
+			onMS := 0.0
+			for r := 0; r < 2; r++ {
+				cfg := paperClusterCfg()
+				cfg.SLO = &slo.Config{Enabled: true, Spec: sloProbeSpec()}
 				start := time.Now()
 				cluster.MustRun(cfg)
 				ms := float64(time.Since(start).Microseconds()) / 1e3
@@ -156,10 +182,30 @@ func paperClusterCfg() cluster.Config {
 	return cfg
 }
 
-// lineageOverheadLimit is the maximum tolerated wall-time cost of enabling
-// lineage tracing plus the strict invariant checker, as a fraction of the
-// untraced run.
-const lineageOverheadLimit = 0.10
+// sloProbeSpec exercises the whole evaluation path — windowed and final
+// objectives across every aggregation kind — with thresholds generous enough
+// that the probe run stays violation-free (the probe times the recorder, it
+// doesn't gate the scenario).
+func sloProbeSpec() *slo.Spec {
+	return &slo.Spec{
+		Objectives: []slo.Objective{
+			{Name: "peak-ckpt-window", Series: "ckpt_window_bytes",
+				Direction: slo.AtMost, Threshold: 1e15, Final: true},
+			{Name: "precopy-hit-rate", Series: "precopy_hit_rate",
+				Direction: slo.AtLeast, Threshold: 0, Final: true},
+			{Name: "availability", Series: "availability",
+				Direction: slo.AtLeast, Threshold: 0, Over: 3, Tolerance: 0.5},
+			{Name: "mttr", Series: "mttr_seconds",
+				Direction: slo.AtMost, Threshold: 1e9, Final: true},
+		},
+	}
+}
+
+// overheadLimit is the maximum tolerated wall-time cost of enabling an
+// optional observability subsystem (lineage tracing with the strict
+// invariant checker, or the SLO flight recorder), as a fraction of the
+// plain run.
+const overheadLimit = 0.10
 
 // measure runs one probe, keeping the fastest repetition's wall time and
 // that repetition's allocation counts.
@@ -223,13 +269,13 @@ func main() {
 			fmt.Printf("%-16s %10.1f ms  %9d mallocs\n", rec.ID, rec.WallMS, rec.Mallocs)
 		}
 		if *checkDir != "" {
-			// The overhead gate is absolute, not baseline-relative: lineage
-			// on must stay within lineageOverheadLimit of the same run with
-			// it off, whatever this host's speed.
-			if rec.OverheadFrac > lineageOverheadLimit {
+			// The overhead gate is absolute, not baseline-relative: the
+			// subsystem switched on must stay within overheadLimit of the
+			// same run with it off, whatever this host's speed.
+			if rec.OverheadFrac > overheadLimit {
 				fmt.Fprintf(os.Stderr,
-					"nvmcp-perf: REGRESSION %s: lineage overhead %.1f%% exceeds %.0f%% limit\n",
-					rec.ID, 100*rec.OverheadFrac, 100*lineageOverheadLimit)
+					"nvmcp-perf: REGRESSION %s: subsystem overhead %.1f%% exceeds %.0f%% limit\n",
+					rec.ID, 100*rec.OverheadFrac, 100*overheadLimit)
 				regressed = true
 			}
 			base, err := readRecord(filepath.Join(*checkDir, "BENCH_"+rec.ID+".json"))

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"nvmcp/internal/obs"
 	"nvmcp/internal/policy"
 	"nvmcp/internal/scenario"
+	"nvmcp/internal/slo"
 	"nvmcp/internal/trace"
 )
 
@@ -70,6 +72,10 @@ func main() {
 		failFactor   = flag.Float64("fail-factor", 0, "link-flap: residual bandwidth fraction in [0,1)")
 		lineageOn    = flag.Bool("lineage", false, "trace per-chunk causal lineage (report summary + /lineage endpoints)")
 		invariants   = flag.Bool("invariants", false, "run the online lineage invariant checker; violations fail the run (implies -lineage)")
+		sloOn        = flag.Bool("slo", false, "record SLO flight-recorder time series (report summary + /slo endpoints)")
+		sloStrict    = flag.Bool("slo-strict", false, "fail the run on the first SLO objective breach (implies -slo)")
+		sloReportOut = flag.String("slo-report-out", "", "write the SLO run report to <path>.html and <path>.json (implies -slo)")
+		sweepPath    = flag.String("sweep", "", "run every cell of a sweep JSON file sequentially")
 		httpAddr     = flag.String("http", "", "serve live introspection (/healthz /metrics /progress /lineage, pprof) on this address, e.g. :8080")
 		httpHold     = flag.Bool("http-hold", false, "keep the introspection server up after the run until interrupted")
 		eventsOut    = flag.String("events-out", "", "write the typed event log as JSONL to this file")
@@ -82,6 +88,9 @@ func main() {
 	if *listPresets {
 		printPresets(os.Stdout)
 		return
+	}
+	if *sweepPath != "" {
+		os.Exit(runSweep(*sweepPath, *sloStrict, *sloReportOut))
 	}
 
 	sc, err := resolveScenario(*scenarioPath, *presetName, *scaleName, func() *scenario.Scenario {
@@ -152,6 +161,15 @@ func main() {
 	if *lineageOn || *invariants {
 		cfg.Lineage = &lineage.Config{Enabled: true, Strict: *invariants}
 	}
+	// A scenario with an slo block arrives here already enabled (via
+	// FromScenario); the flags turn recording on for bare runs and make
+	// breaches fatal.
+	if (*sloOn || *sloStrict || *sloReportOut != "") && cfg.SLO == nil {
+		cfg.SLO = &slo.Config{Enabled: true, Spec: sc.SLO}
+	}
+	if cfg.SLO != nil && *sloStrict {
+		cfg.SLO.Strict = true
+	}
 
 	c, err := cluster.New(cfg)
 	if err != nil {
@@ -164,6 +182,7 @@ func main() {
 		srv, err := introspect.Serve(*httpAddr, introspect.Source{
 			Obs:     c.Obs,
 			Lineage: c.Lineage,
+			SLO:     c.SLO,
 			Tool:    "nvmcp-sim",
 			Status:  func() string { return status.Load().(string) },
 		})
@@ -178,6 +197,9 @@ func main() {
 	res, err := c.Execute()
 	status.Store("done")
 	if err != nil {
+		// A strict breach still leaves a sealed recorder behind — write the
+		// report first so the failing run can be inspected, then fail.
+		writeSLOReport(*sloReportOut, c, sc)
 		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
 		os.Exit(1)
 	}
@@ -250,6 +272,22 @@ func main() {
 		}
 		tb.AddRow("lineage violations", fmt.Sprintf("%d", res.LineageViolations))
 	}
+	if c.SLO != nil {
+		sum := c.SLO.Summary()
+		tb.AddRow("slo windows", fmt.Sprintf("%d x %v", sum.Windows,
+			time.Duration(sum.WindowUS)*time.Microsecond))
+		if n := len(sum.Objectives); n > 0 {
+			pass := 0
+			for _, o := range sum.Objectives {
+				if o.Pass {
+					pass++
+				}
+			}
+			tb.AddRow("slo objectives", fmt.Sprintf("%d/%d pass", pass, n))
+		}
+		tb.AddRow("slo availability", trace.FmtPct(sum.Availability))
+		tb.AddRow("slo violations", fmt.Sprintf("%d", res.SLOViolations))
+	}
 	tb.AddRow("workload checksum", fmt.Sprintf("%016x", res.WorkloadChecksum))
 	tb.Write(os.Stdout)
 
@@ -261,8 +299,12 @@ func main() {
 		if c.Lineage != nil {
 			rep.Lineage = c.Lineage.Summary()
 		}
+		if c.SLO != nil {
+			rep.SLO = c.SLO.Summary()
+		}
 		return obs.WriteReport(w, rep)
 	})
+	writeSLOReport(*sloReportOut, c, sc)
 
 	if *httpAddr != "" && *httpHold {
 		// The finished run stays inspectable (curl /lineage, grab a pprof
@@ -329,6 +371,101 @@ func writeArtifact(path, what string, write func(io.Writer) error) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s -> %s\n", what, path)
+}
+
+// writeSLOReport renders the flight recorder as the report pair: the path's
+// extension is replaced, yielding <base>.html (self-contained charts) and
+// <base>.json (the stable schema nvmcp-analyze -diff consumes).
+func writeSLOReport(path string, c *cluster.Cluster, sc *scenario.Scenario) {
+	if path == "" || c.SLO == nil {
+		return
+	}
+	rep := slo.BuildReport(c.SLO, slo.Meta{
+		Tool:     "nvmcp-sim",
+		Scenario: sc.Name,
+		Seed:     sc.FaultSeed,
+	})
+	base := strings.TrimSuffix(path, filepath.Ext(path))
+	writeArtifact(base+".html", "slo report (html)", func(w io.Writer) error {
+		return slo.WriteHTML(w, rep)
+	})
+	writeArtifact(base+".json", "slo report (json)", func(w io.Writer) error {
+		return slo.WriteJSON(w, rep)
+	})
+}
+
+// runSweep expands a sweep file and runs every cell sequentially, printing a
+// one-line summary per cell. When -slo-report-out is set, each cell writes
+// its own report pair under a sanitized cell suffix. The exit code is
+// non-zero if any cell fails (including -slo-strict breaches).
+func runSweep(path string, sloStrict bool, sloReportOut string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		return 2
+	}
+	sw, err := scenario.LoadSweep(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		return 2
+	}
+	cells, err := sw.Expand()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		return 2
+	}
+	fmt.Printf("nvmcp-sim: sweep %s, %d cells\n", path, len(cells))
+	failed := 0
+	for _, sc := range cells {
+		cfg, err := cluster.FromScenario(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmcp-sim: cell %s: %v\n", sc.Name, err)
+			failed++
+			continue
+		}
+		if cfg.SLO != nil && sloStrict {
+			cfg.SLO.Strict = true
+		}
+		c, err := cluster.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmcp-sim: cell %s: %v\n", sc.Name, err)
+			failed++
+			continue
+		}
+		res, runErr := c.Execute()
+		verdict := "ok"
+		if runErr != nil {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-60s exec=%-10v slo_violations=%-3d %s\n",
+			sc.Name, res.ExecTime.Round(time.Millisecond), res.SLOViolations, verdict)
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "nvmcp-sim: cell %s: %v\n", sc.Name, runErr)
+		}
+		if sloReportOut != "" && c.SLO != nil {
+			base := strings.TrimSuffix(sloReportOut, filepath.Ext(sloReportOut))
+			writeSLOReport(base+"-"+cellSlug(sc.Name)+".json", c, sc)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %d/%d sweep cells failed\n", failed, len(cells))
+		return 1
+	}
+	return 0
+}
+
+// cellSlug makes a sweep cell name filesystem-safe.
+func cellSlug(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			return r
+		}
+		return '-'
+	}, name)
 }
 
 // writeFile streams write into path, surfacing the Close error. No os.Exit

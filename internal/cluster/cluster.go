@@ -31,6 +31,7 @@ import (
 	"nvmcp/internal/policy"
 	"nvmcp/internal/remote"
 	"nvmcp/internal/sim"
+	"nvmcp/internal/slo"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -154,6 +155,12 @@ type Config struct {
 	// and online invariant checker to the run's event bus. Strict mode makes
 	// Run fail loudly on the first invariant violation.
 	Lineage *lineage.Config
+
+	// SLO, when set and enabled, attaches the virtual-time flight recorder
+	// (windowed SLO time series + online objective evaluation) to the run's
+	// event bus. Strict mode makes Run fail loudly on the first objective
+	// breach.
+	SLO *slo.Config
 }
 
 func (cfg *Config) setDefaults() {
@@ -320,6 +327,9 @@ type Result struct {
 	// LineageViolations counts online invariant-checker breaches (zero when
 	// the lineage tracer is disabled).
 	LineageViolations int
+	// SLOViolations counts objective breach episodes from the SLO flight
+	// recorder (zero when SLO recording is disabled).
+	SLOViolations int
 	// WorkloadChecksum fingerprints the final epoch's application memory; a
 	// faulted run must match its fault-free twin.
 	WorkloadChecksum uint64
@@ -337,6 +347,8 @@ type Cluster struct {
 	// Lineage is the run's causal chunk tracer (nil unless Cfg.Lineage
 	// enables it).
 	Lineage *lineage.Tracer
+	// SLO is the run's flight recorder (nil unless Cfg.SLO enables it).
+	SLO *slo.Recorder
 
 	kernels []*nvmkernel.Kernel
 	barrier *sim.Barrier
@@ -457,6 +469,13 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Lineage != nil && cfg.Lineage.Enabled {
 		tracer = lineage.Attach(o, *cfg.Lineage)
 	}
+	var recorder *slo.Recorder
+	if cfg.SLO != nil && cfg.SLO.Enabled {
+		if err := cfg.SLO.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		recorder = slo.Attach(o, *cfg.SLO)
+	}
 
 	return &Cluster{
 		Cfg:        cfg,
@@ -464,6 +483,7 @@ func New(cfg Config) (*Cluster, error) {
 		Fabric:     fabric,
 		Obs:        o,
 		Lineage:    tracer,
+		SLO:        recorder,
 		kernels:    kernels,
 		localPol:   localEntry.Local(),
 		remoteTier: remoteTier,
@@ -523,6 +543,11 @@ func (c *Cluster) Execute() (Result, error) {
 	res := c.collect()
 	if c.Lineage != nil && c.Cfg.Lineage.Strict {
 		if err := c.Lineage.Err(); err != nil {
+			return res, err
+		}
+	}
+	if c.SLO != nil && c.SLO.Strict() {
+		if err := c.SLO.Err(); err != nil {
 			return res, err
 		}
 	}
@@ -732,6 +757,9 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 			c.mttrTotal += mttr
 			c.mttrN++
 			c.degradedTotal += mttr
+			rec.Emit(obs.EvRepairDone, "", 0, map[string]string{
+				"mttr_us": strconv.FormatInt(mttr.Microseconds(), 10),
+			})
 		}
 	}
 	app.SyncIteration(int64(startIter))
@@ -1061,6 +1089,13 @@ func (c *Cluster) collect() Result {
 	res.DegradedTime = c.degradedTotal
 	if c.Lineage != nil {
 		res.LineageViolations = c.Lineage.ViolationCount()
+	}
+	if c.SLO != nil {
+		// Seal the flight recorder at the run's end so the tail window and
+		// the final (whole-run) objectives are evaluated before strict-mode
+		// checks and report building read it.
+		c.SLO.Finalize(c.Env.Now())
+		res.SLOViolations = c.SLO.ViolationCount()
 	}
 	res.WorkloadChecksum = c.workSum
 	reg.Gauge("mttr_seconds", nil).Set(res.MTTR.Seconds())

@@ -5,6 +5,7 @@ import (
 
 	"nvmcp/internal/fault"
 	"nvmcp/internal/scenario"
+	"nvmcp/internal/slo"
 )
 
 // FromScenario lowers a declarative scenario into a runnable Config. The
@@ -75,6 +76,11 @@ func FromScenario(sc *scenario.Scenario) (Config, error) {
 		}
 	}
 	cfg.FaultSeed = sc.FaultSeed
+	if sc.SLO != nil {
+		// A scenario that declares objectives gets the flight recorder
+		// automatically; strict mode stays a caller decision (-slo-strict).
+		cfg.SLO = &slo.Config{Enabled: true, Spec: sc.SLO}
+	}
 	return cfg, nil
 }
 

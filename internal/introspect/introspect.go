@@ -22,6 +22,7 @@ import (
 
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/obs"
+	"nvmcp/internal/slo"
 )
 
 // Source is the set of run surfaces the server reads. Every field degrades
@@ -34,6 +35,8 @@ type Source struct {
 	Obs *obs.Observer
 	// Lineage is the run's causal chunk tracer (nil when disabled).
 	Lineage *lineage.Tracer
+	// SLO is the run's flight recorder (nil when disabled).
+	SLO *slo.Recorder
 	// Tool names the binary serving (e.g. "nvmcp-sim").
 	Tool string
 	// Status, when set, reports the run phase ("running", "done", ...).
@@ -120,6 +123,29 @@ func (s *Server) mux(src Source) *http.ServeMux {
 			return
 		}
 		writeJSON(w, h)
+	})
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		if src.SLO == nil {
+			http.Error(w, "SLO recording disabled (run with -slo)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, map[string]any{
+			"summary":    src.SLO.Summary(),
+			"objectives": src.SLO.Objectives(),
+			"violations": src.SLO.Violations(),
+		})
+	})
+	mux.HandleFunc("GET /slo/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		if src.SLO == nil {
+			http.Error(w, "SLO recording disabled (run with -slo)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, map[string]any{
+			"series":  slo.SeriesNames(),
+			"windows": src.SLO.Windows(),
+		})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -12,6 +12,7 @@ import (
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/obs"
 	"nvmcp/internal/sim"
+	"nvmcp/internal/slo"
 )
 
 // rig builds an observer + attached tracer with a little traffic on the bus.
@@ -177,4 +178,75 @@ func TestConcurrentPollsWhilePublishing(t *testing.T) {
 	env.Run()
 	close(stop)
 	wg.Wait()
+}
+
+func TestSLODisabledIs404WithHint(t *testing.T) {
+	o, _ := rig(t)
+	mux := NewMux(Source{Obs: o, Tool: "test"})
+	for _, path := range []string{"/slo", "/slo/timeseries"} {
+		rec := get(t, mux, path)
+		if rec.Code != 404 || !strings.Contains(rec.Body.String(), "-slo") {
+			t.Fatalf("%s without recorder = %d %q, want 404 with the -slo hint",
+				path, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestSLOEndpoints(t *testing.T) {
+	env := sim.NewEnv()
+	o := obs.New(env)
+	sr := slo.Attach(o, slo.Config{Enabled: true, Spec: &slo.Spec{Objectives: []slo.Objective{
+		{Name: "availability", Direction: slo.AtLeast, Threshold: 0.5},
+	}}})
+	r := o.Recorder(0, "rank0")
+	env.Go("emitter", func(p *sim.Proc) {
+		p.Sleep(7 * time.Second) // crosses one 5s window boundary
+		r.Emit(obs.EvChunkCommit, "field", 64, nil)
+	})
+	env.Run()
+	sr.Finalize(7 * time.Second)
+
+	mux := NewMux(Source{Obs: o, SLO: sr, Tool: "test"})
+	rec := get(t, mux, "/slo")
+	if rec.Code != 200 {
+		t.Fatalf("/slo = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/slo Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Summary    slo.Summary           `json:"summary"`
+		Objectives []slo.ObjectiveStatus `json:"objectives"`
+		Violations []slo.Violation       `json:"violations"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad /slo body: %v\n%s", err, rec.Body.String())
+	}
+	if body.Summary.Windows != 2 {
+		t.Fatalf("summary windows = %d, want 1 full + 1 tail", body.Summary.Windows)
+	}
+	if len(body.Objectives) != 1 || body.Objectives[0].Name != "availability" {
+		t.Fatalf("objectives = %+v", body.Objectives)
+	}
+
+	rec = get(t, mux, "/slo/timeseries")
+	if rec.Code != 200 {
+		t.Fatalf("/slo/timeseries = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/slo/timeseries Content-Type = %q, want application/json", ct)
+	}
+	var ts struct {
+		Series  []string     `json:"series"`
+		Windows []slo.Window `json:"windows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ts); err != nil {
+		t.Fatalf("bad timeseries body: %v", err)
+	}
+	if len(ts.Series) != len(slo.SeriesNames()) {
+		t.Fatalf("series catalog = %v", ts.Series)
+	}
+	if len(ts.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ts.Windows))
+	}
 }

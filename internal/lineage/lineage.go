@@ -295,13 +295,14 @@ type Tracer struct {
 	rec *obs.Recorder
 }
 
-// Attach builds a tracer over an observer and installs it as the event tap.
-// The returned tracer also publishes per-tier transition counters
+// Attach builds a tracer over an observer and installs it as an event tap
+// (additive, so the SLO flight recorder can listen on the same bus). The
+// returned tracer also publishes per-tier transition counters
 // ("lineage_transitions" scoped by tier) through the observer's registry.
 func Attach(o *obs.Observer, cfg Config) *Tracer {
 	t := New(cfg)
 	t.rec = o.Recorder(0, "lineage")
-	o.SetEventTap(t.Observe)
+	o.AddEventTap(t.Observe)
 	return t
 }
 

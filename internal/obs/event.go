@@ -86,6 +86,12 @@ const (
 	EvChunkRecovered Type = "chunk_recovered"
 	// EvRecovery marks the cluster relaunching after a failure.
 	EvRecovery Type = "recovery"
+	// EvRepairDone marks the last rank finishing its post-failure recovery
+	// cascade — the instant the repair window that opened at EvFailure
+	// closes. Attrs carry the window's length ("mttr_us"), so windowed
+	// consumers (the SLO flight recorder) can compute MTTR and degraded
+	// time from the bus alone.
+	EvRepairDone Type = "repair_done"
 	// EvIteration marks one rank finishing a compute iteration.
 	EvIteration Type = "iteration"
 	// EvChunkDirty records the first modification of a new chunk generation

@@ -167,6 +167,15 @@ func (t *Timeline) At(at time.Duration) float64 {
 	return t.tl.At(at)
 }
 
+// Window returns the step function restricted to [start, end): the value in
+// effect at start, then every step strictly inside the range (see
+// trace.Timeline.Window).
+func (t *Timeline) Window(start, end time.Duration) ([]time.Duration, []float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tl.Window(start, end)
+}
+
 // Len returns the number of recorded steps.
 func (t *Timeline) Len() int {
 	t.mu.Lock()
@@ -385,6 +394,31 @@ func mergeLabels(canon, extra string) string {
 		return "{" + extra + "}"
 	}
 	return strings.TrimSuffix(canon, "}") + "," + extra + "}"
+}
+
+// MetricPoint is one scalar metric sample from Snapshot: the metric name,
+// its labels in canonical (sorted, quoted) form, and the current value.
+type MetricPoint struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Snapshot appends every scalar metric (counters and gauges) to buf and
+// returns it. Unlike Flatten it builds no map and concatenates no strings —
+// callers that poll repeatedly (the SLO flight recorder's window-close path)
+// reuse the buffer across polls and pay only the value reads. Order is
+// unspecified; match points by (Name, Labels).
+func (r *Registry) Snapshot(buf []MetricPoint) []MetricPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key, c := range r.counters {
+		buf = append(buf, MetricPoint{Name: key.name, Labels: key.labels, Value: float64(c.Get())})
+	}
+	for key, g := range r.gauges {
+		buf = append(buf, MetricPoint{Name: key.name, Labels: key.labels, Value: g.Get()})
+	}
+	return buf
 }
 
 // Flatten returns every scalar metric (counters and gauges) as a map of

@@ -22,7 +22,7 @@ type Observer struct {
 	events  []Event
 	spans   *trace.SpanRecorder
 	spansOn bool
-	tap     func(Event)
+	taps    []func(Event)
 	lastTUS int64
 }
 
@@ -70,14 +70,32 @@ func (o *Observer) UseSpanRecorder(r *trace.SpanRecorder) {
 	o.mu.Unlock()
 }
 
-// SetEventTap installs a callback invoked synchronously for every event, in
-// publication order, after the virtual timestamp is stamped. The tap runs
-// under the observer's mutex — it must be fast and must never publish back
-// into this observer (Registry updates are fine; the registry has its own
-// lock). One consumer at a time; pass nil to detach.
+// SetEventTap replaces every installed tap with one callback invoked
+// synchronously for every event, in publication order, after the virtual
+// timestamp is stamped. The tap runs under the observer's mutex — it must be
+// fast and must never publish back into this observer (Registry updates are
+// fine; the registry has its own lock). Pass nil to detach everything.
+// Consumers that should coexist (the lineage tracer, the SLO flight
+// recorder) attach through AddEventTap instead.
 func (o *Observer) SetEventTap(tap func(Event)) {
 	o.mu.Lock()
-	o.tap = tap
+	o.taps = o.taps[:0]
+	if tap != nil {
+		o.taps = append(o.taps, tap)
+	}
+	o.mu.Unlock()
+}
+
+// AddEventTap installs an additional tap alongside any already attached,
+// invoked in attach order after the timestamp is stamped. The same contract
+// as SetEventTap applies: taps run under the observer's mutex, must be fast,
+// and must never publish events back. A nil tap is ignored.
+func (o *Observer) AddEventTap(tap func(Event)) {
+	if tap == nil {
+		return
+	}
+	o.mu.Lock()
+	o.taps = append(o.taps, tap)
 	o.mu.Unlock()
 }
 
@@ -87,8 +105,8 @@ func (o *Observer) Emit(ev Event) {
 	ev.TUS = o.env.Now().Microseconds()
 	o.events = append(o.events, ev)
 	o.lastTUS = ev.TUS
-	if o.tap != nil {
-		o.tap(ev)
+	for _, tap := range o.taps {
+		tap(ev)
 	}
 	o.mu.Unlock()
 }

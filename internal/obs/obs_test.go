@@ -309,3 +309,114 @@ func TestEventTapSeesPublicationOrderAndProgress(t *testing.T) {
 		t.Fatalf("Progress() = (%d, %d), want (2000000, 2)", us, events)
 	}
 }
+
+func TestAddEventTapCoexistsAndSetReplaces(t *testing.T) {
+	env := sim.NewEnv()
+	o := New(env)
+	var a, b int
+	o.AddEventTap(func(Event) { a++ })
+	o.AddEventTap(func(Event) { b++ })
+	r := o.Recorder(0, "rank0")
+	r.Emit(EvChunkStaged, "x", 1, nil)
+	if a != 1 || b != 1 {
+		t.Fatalf("additive taps saw (%d, %d) events, want (1, 1)", a, b)
+	}
+	// SetEventTap replaces everything previously attached.
+	var c int
+	o.SetEventTap(func(Event) { c++ })
+	r.Emit(EvChunkCommit, "x", 1, nil)
+	if a != 1 || b != 1 || c != 1 {
+		t.Fatalf("after SetEventTap: (%d, %d, %d), want (1, 1, 1)", a, b, c)
+	}
+	// And nil detaches everything.
+	o.SetEventTap(nil)
+	o.AddEventTap(nil) // ignored
+	r.Emit(EvChunkStaged, "y", 1, nil)
+	if c != 1 {
+		t.Fatalf("nil SetEventTap left a tap attached (c=%d)", c)
+	}
+}
+
+func TestRegistrySnapshotMatchesFlatten(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ckpt_bytes", nil).Add(100)
+	reg.Counter("recovery_path", Labels{"tier": "local"}).Add(2)
+	reg.Counter("recovery_path", Labels{"tier": "lost"}).Add(1)
+	reg.Gauge("inflight", Labels{"node": "3"}).Set(7)
+
+	flat := reg.Flatten()
+	buf := reg.Snapshot(nil)
+	got := make(map[string]float64, len(buf))
+	for _, p := range buf {
+		got[p.Name+p.Labels] = p.Value
+	}
+	if len(got) != len(flat) {
+		t.Fatalf("Snapshot has %d points, Flatten %d", len(got), len(flat))
+	}
+	for k, v := range flat {
+		if got[k] != v {
+			t.Fatalf("Snapshot[%s] = %g, Flatten = %g", k, got[k], v)
+		}
+	}
+
+	// The poll pattern: reuse the buffer, values update, no stale points.
+	reg.Counter("ckpt_bytes", nil).Add(50)
+	buf = reg.Snapshot(buf[:0])
+	for _, p := range buf {
+		if p.Name == "ckpt_bytes" && p.Value != 150 {
+			t.Fatalf("reused-buffer snapshot stale: ckpt_bytes = %g", p.Value)
+		}
+	}
+}
+
+func TestObsTimelineWindow(t *testing.T) {
+	reg := NewRegistry()
+	tl := reg.Timeline("fabric_bytes", Labels{"class": "ckpt"})
+	tl.Set(1*time.Second, 10)
+	tl.Set(3*time.Second, 30)
+	tl.Set(9*time.Second, 90)
+
+	times, values := tl.Window(2*time.Second, 5*time.Second)
+	if len(times) != 2 {
+		t.Fatalf("window steps = %d, want value-at-start + one interior step", len(times))
+	}
+	if times[0] != 2*time.Second || values[0] != 10 {
+		t.Fatalf("window start = (%v, %g), want the value in effect at start (2s, 10)", times[0], values[0])
+	}
+	if times[1] != 3*time.Second || values[1] != 30 {
+		t.Fatalf("interior step = (%v, %g), want (3s, 30)", times[1], values[1])
+	}
+	if ts, _ := tl.Window(5*time.Second, 5*time.Second); ts != nil {
+		t.Fatalf("empty range returned %v, want nil", ts)
+	}
+}
+
+// BenchmarkRegistrySnapshot vs BenchmarkRegistryFlatten: the Snapshot path
+// exists so pollers (the SLO flight recorder) avoid Flatten's per-call map
+// build and string concatenation.
+func benchRegistry() *Registry {
+	reg := NewRegistry()
+	for i := 0; i < 8; i++ {
+		reg.Counter("counter_"+itoa(i), nil).Add(int64(i))
+		reg.Counter("labeled", Labels{"node": itoa(i)}).Add(int64(i))
+		reg.Gauge("gauge_"+itoa(i), nil).Set(float64(i))
+	}
+	return reg
+}
+
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	reg := benchRegistry()
+	var buf []MetricPoint
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = reg.Snapshot(buf[:0])
+	}
+}
+
+func BenchmarkRegistryFlatten(b *testing.B) {
+	reg := benchRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Flatten()
+	}
+}

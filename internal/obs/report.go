@@ -94,6 +94,10 @@ type RunReport struct {
 	// deepest recovery path, violation count) when tracing was on. Typed
 	// `any` so obs does not import the lineage package; the cmds set it.
 	Lineage any `json:"lineage,omitempty"`
+	// SLO is the flight recorder's summary (windows closed, objective
+	// statuses, violation count) when SLO recording was on. Typed `any` so
+	// obs does not import the slo package; the cmds set it.
+	SLO any `json:"slo,omitempty"`
 	// EventCount is the bus length (the JSONL sink has the full stream).
 	EventCount int `json:"event_count"`
 	// VirtualEndUS is the virtual clock at report time, microseconds.

@@ -19,6 +19,7 @@ import (
 	"nvmcp/internal/fault"
 	"nvmcp/internal/mem"
 	"nvmcp/internal/policy"
+	"nvmcp/internal/slo"
 	"nvmcp/internal/workload"
 )
 
@@ -203,6 +204,10 @@ type Scenario struct {
 	SingleVersion bool `json:"single_version,omitempty"`
 
 	Obs ObsSpec `json:"obs,omitempty"`
+
+	// SLO declares the run's service-level objectives, evaluated online by
+	// the flight recorder over fixed virtual-time windows.
+	SLO *slo.Spec `json:"slo,omitempty"`
 }
 
 // Load parses a scenario from JSON, rejecting unknown fields so typos
@@ -323,6 +328,11 @@ func (sc *Scenario) Validate() error {
 		}
 		if m.MTBFSoftSecs == 0 && m.MTBFHardSecs == 0 {
 			return fmt.Errorf("scenario %s: fault_model needs at least one positive MTBF", sc.label())
+		}
+	}
+	if sc.SLO != nil {
+		if err := sc.SLO.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.label(), err)
 		}
 	}
 	return nil

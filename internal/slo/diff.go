@@ -1,0 +1,142 @@
+package slo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Diff verdicts, ordered worst first for display.
+const (
+	VerdictRegressed = "regressed"
+	VerdictFailing   = "failing" // failing in both runs — not a new regression
+	VerdictRemoved   = "removed" // objective vanished from the new report
+	VerdictAdded     = "added"
+	VerdictImproved  = "improved"
+	VerdictOK        = "ok"
+)
+
+// DiffEntry is one objective's cross-run comparison.
+type DiffEntry struct {
+	Objective string   `json:"objective"`
+	Verdict   string   `json:"verdict"`
+	Detail    string   `json:"detail"`
+	AValue    *float64 `json:"a_value,omitempty"`
+	BValue    *float64 `json:"b_value,omitempty"`
+	// Regression marks entries that should fail a gate.
+	Regression bool `json:"regression"`
+}
+
+// DiffResult is the full comparison of report B (new) against A (baseline).
+type DiffResult struct {
+	Entries []DiffEntry `json:"entries"`
+	// Regressed is true when any entry is a gate failure.
+	Regressed bool `json:"regressed"`
+}
+
+// Diff compares run B against baseline A objective by objective. tolerance
+// is the relative headroom-erosion allowance: a final value may move up to
+// that fraction in the bad direction before a pass→pass comparison counts
+// as a regression. Gate failures are: an objective newly failing in B, an
+// objective missing from B (a silently dropped objective would hide a
+// regression), more breach episodes in B while already failing, or a final
+// value worsened beyond tolerance.
+func Diff(a, b Report, tolerance float64) DiffResult {
+	var res DiffResult
+	aByName := make(map[string]ObjectiveStatus, len(a.Summary.Objectives))
+	for _, o := range a.Summary.Objectives {
+		aByName[o.Name] = o
+	}
+	seen := make(map[string]bool, len(b.Summary.Objectives))
+	for _, ob := range b.Summary.Objectives {
+		seen[ob.Name] = true
+		oa, inA := aByName[ob.Name]
+		e := DiffEntry{Objective: ob.Name}
+		e.AValue = comparableValue(oa)
+		e.BValue = comparableValue(ob)
+		switch {
+		case !inA:
+			e.Verdict = VerdictAdded
+			e.Detail = "objective not in baseline"
+			if !ob.Pass {
+				e.Verdict = VerdictRegressed
+				e.Regression = true
+				e.Detail = "new objective, failing"
+			}
+		case oa.Pass && !ob.Pass:
+			e.Verdict = VerdictRegressed
+			e.Regression = true
+			e.Detail = fmt.Sprintf("newly failing: %d breach episode(s), %d/%d windows breached",
+				ob.Episodes, ob.Breached, ob.Evaluated)
+		case !oa.Pass && !ob.Pass:
+			e.Verdict = VerdictFailing
+			e.Detail = fmt.Sprintf("failing in both runs (%d vs %d episodes)", oa.Episodes, ob.Episodes)
+			if ob.Episodes > oa.Episodes || ob.Breached > oa.Breached {
+				e.Verdict = VerdictRegressed
+				e.Regression = true
+				e.Detail = fmt.Sprintf("failing and worse: %d→%d episodes, %d→%d breached windows",
+					oa.Episodes, ob.Episodes, oa.Breached, ob.Breached)
+			}
+		case !oa.Pass && ob.Pass:
+			e.Verdict = VerdictImproved
+			e.Detail = "newly passing"
+		default: // both pass: watch headroom erosion on comparable values
+			e.Verdict = VerdictOK
+			e.Detail = "pass in both runs"
+			if e.AValue != nil && e.BValue != nil {
+				av, bv := *e.AValue, *e.BValue
+				move := relMove(av, bv, ob.Direction)
+				switch {
+				case move > tolerance:
+					e.Verdict = VerdictRegressed
+					e.Regression = true
+					e.Detail = fmt.Sprintf("still passing but worsened %.1f%% (%g → %g, tolerance %.0f%%)",
+						move*100, av, bv, tolerance*100)
+				case move < -tolerance:
+					e.Verdict = VerdictImproved
+					e.Detail = fmt.Sprintf("improved %.1f%% (%g → %g)", -move*100, av, bv)
+				}
+			}
+		}
+		res.Entries = append(res.Entries, e)
+		if e.Regression {
+			res.Regressed = true
+		}
+	}
+	for _, oa := range a.Summary.Objectives {
+		if seen[oa.Name] {
+			continue
+		}
+		res.Entries = append(res.Entries, DiffEntry{
+			Objective:  oa.Name,
+			Verdict:    VerdictRemoved,
+			Detail:     "objective missing from new report (dropped objectives hide regressions)",
+			AValue:     comparableValue(oa),
+			Regression: true,
+		})
+		res.Regressed = true
+	}
+	return res
+}
+
+// comparableValue picks the value a cross-run comparison uses: the whole-run
+// final aggregate when present, else the last windowed value.
+func comparableValue(o ObjectiveStatus) *float64 {
+	if o.FinalValue != nil {
+		return o.FinalValue
+	}
+	return o.LastValue
+}
+
+// relMove returns the relative movement of b vs a signed so that positive
+// means "worse" for the objective's direction.
+func relMove(a, b float64, direction string) float64 {
+	den := math.Abs(a)
+	if den < 1e-12 {
+		den = 1e-12
+	}
+	move := (b - a) / den
+	if direction == AtLeast {
+		move = -move
+	}
+	return move
+}

@@ -1,0 +1,125 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+// report builds a minimal report with the given objective statuses.
+func report(objs ...ObjectiveStatus) Report {
+	return Report{SchemaVersion: SchemaVersion, Summary: Summary{Objectives: objs}}
+}
+
+func passObj(name string, direction string, finalValue float64) ObjectiveStatus {
+	v := finalValue
+	return ObjectiveStatus{Name: name, Direction: direction, Pass: true, FinalValue: &v}
+}
+
+func failObj(name string, episodes, breached int) ObjectiveStatus {
+	return ObjectiveStatus{Name: name, Pass: false, Episodes: episodes, Breached: breached}
+}
+
+func entryFor(t *testing.T, res DiffResult, name string) DiffEntry {
+	t.Helper()
+	for _, e := range res.Entries {
+		if e.Objective == name {
+			return e
+		}
+	}
+	t.Fatalf("no diff entry for %q in %+v", name, res.Entries)
+	return DiffEntry{}
+}
+
+func TestDiffIdenticalPassesClean(t *testing.T) {
+	a := report(passObj("peak", AtMost, 100))
+	res := Diff(a, a, 0.05)
+	if res.Regressed {
+		t.Fatalf("identical reports regressed: %+v", res)
+	}
+	if e := entryFor(t, res, "peak"); e.Verdict != VerdictOK {
+		t.Fatalf("verdict = %q, want ok", e.Verdict)
+	}
+}
+
+func TestDiffNewlyFailingIsRegression(t *testing.T) {
+	res := Diff(report(passObj("avail", AtLeast, 1)), report(failObj("avail", 2, 5)), 0.05)
+	e := entryFor(t, res, "avail")
+	if e.Verdict != VerdictRegressed || !e.Regression || !res.Regressed {
+		t.Fatalf("newly failing objective = %+v, want regression", e)
+	}
+	if !strings.Contains(e.Detail, "newly failing") {
+		t.Fatalf("detail = %q", e.Detail)
+	}
+}
+
+func TestDiffFailingBothOnlyRegressesWhenWorse(t *testing.T) {
+	same := Diff(report(failObj("x", 2, 4)), report(failObj("x", 2, 4)), 0.05)
+	if e := entryFor(t, same, "x"); e.Verdict != VerdictFailing || e.Regression {
+		t.Fatalf("equally failing = %+v, want failing without regression", e)
+	}
+	worse := Diff(report(failObj("x", 2, 4)), report(failObj("x", 3, 4)), 0.05)
+	if e := entryFor(t, worse, "x"); e.Verdict != VerdictRegressed || !e.Regression {
+		t.Fatalf("failing and worse = %+v, want regression", e)
+	}
+}
+
+func TestDiffImprovedAndRemovedAndAdded(t *testing.T) {
+	res := Diff(
+		report(failObj("fixed", 1, 2), passObj("dropped", AtMost, 9)),
+		report(passObj("fixed", AtMost, 1), passObj("brand-new", AtMost, 3)),
+		0.05)
+	if e := entryFor(t, res, "fixed"); e.Verdict != VerdictImproved || e.Regression {
+		t.Fatalf("fail→pass = %+v, want improved", e)
+	}
+	if e := entryFor(t, res, "brand-new"); e.Verdict != VerdictAdded || e.Regression {
+		t.Fatalf("new passing objective = %+v, want added", e)
+	}
+	// A dropped objective is a gate failure: silently deleting a target is
+	// how regressions hide.
+	if e := entryFor(t, res, "dropped"); e.Verdict != VerdictRemoved || !e.Regression {
+		t.Fatalf("dropped objective = %+v, want removed+regression", e)
+	}
+	if !res.Regressed {
+		t.Fatal("removed objective must fail the gate")
+	}
+}
+
+func TestDiffAddedFailingIsRegression(t *testing.T) {
+	res := Diff(report(), report(failObj("new-bad", 1, 1)), 0.05)
+	if e := entryFor(t, res, "new-bad"); !e.Regression || !res.Regressed {
+		t.Fatalf("new failing objective = %+v, want regression", e)
+	}
+}
+
+func TestDiffHeadroomErosion(t *testing.T) {
+	// at_most: bigger is worse. +10% move exceeds a 5% tolerance.
+	res := Diff(report(passObj("peak", AtMost, 100)), report(passObj("peak", AtMost, 110)), 0.05)
+	if e := entryFor(t, res, "peak"); e.Verdict != VerdictRegressed || !e.Regression {
+		t.Fatalf("10%% erosion at 5%% tolerance = %+v, want regression", e)
+	}
+	// +4% stays inside the tolerance.
+	res = Diff(report(passObj("peak", AtMost, 100)), report(passObj("peak", AtMost, 104)), 0.05)
+	if e := entryFor(t, res, "peak"); e.Verdict != VerdictOK {
+		t.Fatalf("4%% erosion at 5%% tolerance = %+v, want ok", e)
+	}
+	// at_least: smaller is worse.
+	res = Diff(report(passObj("hit", AtLeast, 0.5)), report(passObj("hit", AtLeast, 0.44)), 0.05)
+	if e := entryFor(t, res, "hit"); e.Verdict != VerdictRegressed {
+		t.Fatalf("at_least drop = %+v, want regression", e)
+	}
+	// Movement in the good direction reads as improvement, not regression.
+	res = Diff(report(passObj("peak", AtMost, 100)), report(passObj("peak", AtMost, 80)), 0.05)
+	if e := entryFor(t, res, "peak"); e.Verdict != VerdictImproved || e.Regression {
+		t.Fatalf("20%% gain = %+v, want improved", e)
+	}
+}
+
+func TestDiffUsesLastValueWhenNoFinal(t *testing.T) {
+	last := func(name string, v float64) ObjectiveStatus {
+		return ObjectiveStatus{Name: name, Direction: AtMost, Pass: true, LastValue: &v}
+	}
+	res := Diff(report(last("w", 10)), report(last("w", 20)), 0.05)
+	if e := entryFor(t, res, "w"); e.Verdict != VerdictRegressed {
+		t.Fatalf("windowed-value erosion = %+v, want regression", e)
+	}
+}

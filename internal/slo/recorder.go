@@ -1,0 +1,659 @@
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"nvmcp/internal/obs"
+)
+
+// Window is one closed flight-recorder window. Values holds the windowed
+// series that had data in the window — absent keys mean "no data" (e.g. no
+// pre-copy traffic happened, so precopy_hit_rate is undefined), never zero.
+type Window struct {
+	Index   int   `json:"index"`
+	StartUS int64 `json:"start_us"`
+	EndUS   int64 `json:"end_us"`
+	// Values maps series name → windowed value. JSON marshals map keys
+	// sorted, so the artifact is byte-stable.
+	Values map[string]float64 `json:"values"`
+}
+
+// interval is one degraded span of virtual time; end < 0 while still open.
+type interval struct {
+	start, end time.Duration
+}
+
+// scalars are the cumulative registry counters the windowed series
+// difference against.
+type scalars struct {
+	precopyBytes float64
+	ckptBytes    float64
+	precopied    float64
+	redirtied    float64
+	recovery     [4]float64 // local, remote, bottom, lost
+	fabric       float64    // cumulative fabric_bytes{class="ckpt"}
+}
+
+// tierIdx orders the recovery_path tiers in scalars.recovery.
+var tierNames = [4]string{"local", "remote", "bottom", "lost"}
+
+// tierLabels are the canonical label strings the registry keys the
+// recovery_path counters under (obs.Labels{"tier": name}.canon()).
+var tierLabels = [4]string{
+	`{tier="local"}`, `{tier="remote"}`, `{tier="bottom"}`, `{tier="lost"}`,
+}
+
+// objState is the online evaluator state for one objective.
+type objState struct {
+	obj Objective
+	// recent is a ring of the objective's last horizon() window verdicts
+	// (true = violating).
+	recent []bool
+	n, pos int
+	bad    int // violating count inside recent
+
+	evaluated int // windows with data for this objective's series
+	breached  int // windows judged breaching
+	inBreach  bool
+	episodes  int
+
+	lastValue  float64
+	hasLast    bool
+	finalValue float64
+	hasFinal   bool
+	finalPass  bool
+}
+
+// ObjectiveStatus is one objective's externally visible evaluation state —
+// what the introspection endpoints, the run report, and the diff consume.
+type ObjectiveStatus struct {
+	Name      string  `json:"name"`
+	Series    string  `json:"series"`
+	Direction string  `json:"direction"`
+	Threshold float64 `json:"threshold"`
+	Over      int     `json:"over"`
+	Tolerance float64 `json:"tolerance"`
+	Final     bool    `json:"final"`
+	// Evaluated counts windows that had data for the series; Breached counts
+	// those judged breaching; Episodes counts compliant→breach transitions.
+	Evaluated int  `json:"windows_evaluated"`
+	Breached  int  `json:"windows_breached"`
+	Episodes  int  `json:"breach_episodes"`
+	InBreach  bool `json:"in_breach"`
+	// LastValue is the most recent windowed value; FinalValue the whole-run
+	// aggregate (set at Finalize). Nil means no data.
+	LastValue  *float64 `json:"last_value,omitempty"`
+	FinalValue *float64 `json:"final_value,omitempty"`
+	// Pass is the objective's overall verdict: no breach episodes and (for
+	// final objectives) the end-of-run aggregate inside the bound.
+	Pass bool `json:"pass"`
+}
+
+// Summary is the recorder's end-of-run rollup, embedded into the RunReport
+// and the cluster result table.
+type Summary struct {
+	WindowUS       int64             `json:"window_us"`
+	Windows        int               `json:"windows"`
+	WindowsStored  int               `json:"windows_stored"`
+	Objectives     []ObjectiveStatus `json:"objectives,omitempty"`
+	ViolationCount int               `json:"violation_count"`
+	// Whole-run aggregates of the flight series.
+	PeakCkptWindowBytes float64 `json:"peak_ckpt_window_bytes"`
+	PrecopyHitRate      float64 `json:"precopy_hit_rate"`
+	RedirtyRate         float64 `json:"redirty_rate"`
+	MTTRSeconds         float64 `json:"mttr_seconds"`
+	DegradedSeconds     float64 `json:"degraded_seconds"`
+	Availability        float64 `json:"availability"`
+}
+
+// Recorder is the virtual-time flight recorder: an event tap that closes
+// fixed-width windows lazily as the bus's virtual clock crosses their
+// boundaries, differencing the metrics registry (via Snapshot) and the
+// fabric timeline into windowed series, and evaluating the SLO spec online.
+//
+// All state is mutex-guarded so the introspection HTTP handlers can read
+// mid-run, exactly like the lineage tracer. The tap runs under the
+// observer's mutex and only reads the registry (observer.mu → registry.mu
+// is the established lock order); it never publishes events back.
+type Recorder struct {
+	mu  sync.Mutex
+	cfg Config
+
+	window        time.Duration
+	maxWindows    int
+	maxViolations int
+
+	reg    *obs.Registry
+	fabric *obs.Timeline
+	buf    []obs.MetricPoint
+
+	// curStart is the open window's start; prev the cumulative scalars at
+	// its open.
+	curStart time.Duration
+	prev     scalars
+
+	// ring of closed windows: win[(start+i)%cap] for i < n.
+	win   []Window
+	start int
+	n     int
+	total int // windows closed ever
+
+	// degraded intervals: failures (keyed "fail:<node>" — at most one outage
+	// at a time in practice, but keyed defensively) and link flaps (keyed by
+	// node). Closed intervals are pruned once fully behind the open window.
+	open      map[string]time.Duration
+	closedIvs []interval
+
+	// per-window repair stats, reset at close; run-level accumulators.
+	repairSumUS int64
+	repairN     int
+	mttrSumUS   int64
+	mttrN       int
+
+	// run-level aggregates, maintained incrementally so ring eviction loses
+	// no information.
+	peakCkptWindow float64
+	degradedTotal  time.Duration
+
+	objs       []objState
+	violations []Violation
+	violCount  int
+
+	finalized bool
+	endTime   time.Duration
+}
+
+// New builds a recorder over a registry. Tests drive it directly with
+// synthetic events; production code uses Attach.
+func New(cfg Config, reg *obs.Registry) *Recorder {
+	r := &Recorder{
+		cfg:           cfg,
+		window:        cfg.Spec.Window(),
+		maxWindows:    cfg.MaxWindows,
+		maxViolations: cfg.MaxViolations,
+		reg:           reg,
+		fabric:        reg.Timeline("fabric_bytes", obs.Labels{"class": "ckpt"}),
+		open:          make(map[string]time.Duration),
+	}
+	if r.maxWindows <= 0 {
+		r.maxWindows = defaultMaxWindows
+	}
+	if r.maxViolations <= 0 {
+		r.maxViolations = defaultMaxViolations
+	}
+	r.win = make([]Window, 0, r.maxWindows)
+	if cfg.Spec != nil {
+		for _, o := range cfg.Spec.Objectives {
+			r.objs = append(r.objs, objState{
+				obj:       o,
+				recent:    make([]bool, o.horizon()),
+				finalPass: true,
+			})
+		}
+	}
+	return r
+}
+
+// Attach builds a recorder and registers it as an (additive) event tap on
+// the observer, alongside any lineage tracer.
+func Attach(o *obs.Observer, cfg Config) *Recorder {
+	r := New(cfg, o.Registry())
+	o.AddEventTap(r.Observe)
+	return r
+}
+
+// Observe is the event tap. It first closes any windows the event's virtual
+// time has moved past, then folds the event into the open window's state.
+func (r *Recorder) Observe(ev obs.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finalized {
+		return
+	}
+	t := ev.Time()
+	r.closeThrough(t)
+	switch ev.Type {
+	case obs.EvFailure:
+		key := "fail:" + strconv.Itoa(ev.Node)
+		if _, dup := r.open[key]; !dup {
+			r.open[key] = t
+		}
+	case obs.EvRepairDone:
+		r.closeInterval("fail:"+strconv.Itoa(ev.Node), t)
+		if us, err := strconv.ParseInt(ev.Attrs["mttr_us"], 10, 64); err == nil {
+			r.repairSumUS += us
+			r.repairN++
+			r.mttrSumUS += us
+			r.mttrN++
+		}
+	case obs.EvLinkFlap:
+		key := "flap:" + strconv.Itoa(ev.Node)
+		if _, dup := r.open[key]; !dup {
+			r.open[key] = t
+		}
+	case obs.EvLinkRestore:
+		r.closeInterval("flap:"+strconv.Itoa(ev.Node), t)
+	}
+}
+
+// closeInterval moves an open degraded interval to the closed list.
+func (r *Recorder) closeInterval(key string, t time.Duration) {
+	start, ok := r.open[key]
+	if !ok {
+		return
+	}
+	delete(r.open, key)
+	r.closedIvs = append(r.closedIvs, interval{start: start, end: t})
+}
+
+// closeThrough closes every full window whose end is <= t.
+func (r *Recorder) closeThrough(t time.Duration) {
+	for t >= r.curStart+r.window {
+		r.closeWindow(r.curStart + r.window)
+	}
+}
+
+// degradedIn sums the overlap of all degraded intervals with [s, e), and
+// prunes closed intervals that can no longer overlap future windows.
+func (r *Recorder) degradedIn(s, e time.Duration) time.Duration {
+	var sum time.Duration
+	kept := r.closedIvs[:0]
+	for _, iv := range r.closedIvs {
+		sum += overlap(iv.start, iv.end, s, e)
+		if iv.end > e {
+			kept = append(kept, iv)
+		}
+	}
+	r.closedIvs = kept
+	for _, start := range r.open {
+		sum += overlap(start, e, s, e)
+	}
+	return sum
+}
+
+func overlap(a0, a1, b0, b1 time.Duration) time.Duration {
+	if a0 < b0 {
+		a0 = b0
+	}
+	if a1 > b1 {
+		a1 = b1
+	}
+	if a1 <= a0 {
+		return 0
+	}
+	return a1 - a0
+}
+
+// snapScalars reads the tracked cumulative counters via Registry.Snapshot —
+// the cheap no-map, no-concat poll path — plus the fabric timeline.
+func (r *Recorder) snapScalars(at time.Duration) scalars {
+	var s scalars
+	r.buf = r.reg.Snapshot(r.buf[:0])
+	for _, p := range r.buf {
+		switch p.Name {
+		case "precopy_bytes":
+			if p.Labels == "" {
+				s.precopyBytes = p.Value
+			}
+		case "ckpt_bytes":
+			if p.Labels == "" {
+				s.ckptBytes = p.Value
+			}
+		case "chunks_precopied":
+			if p.Labels == "" {
+				s.precopied = p.Value
+			}
+		case "redirtied_chunks":
+			if p.Labels == "" {
+				s.redirtied = p.Value
+			}
+		case "recovery_path":
+			for i, canon := range tierLabels {
+				if p.Labels == canon {
+					s.recovery[i] = p.Value
+				}
+			}
+		}
+	}
+	s.fabric = r.fabric.At(at)
+	return s
+}
+
+// closeWindow seals [curStart, end): computes the windowed series values,
+// evaluates the per-window objectives, pushes the window into the ring, and
+// rolls the aggregates forward.
+//
+// Counter deltas are read at close time, so activity stamped exactly at a
+// boundary (or at the triggering event's time, which may sit past end)
+// attributes to the closing window. The fuzz is one event deep and the
+// simulation is deterministic, so reports are byte-stable run to run.
+func (r *Recorder) closeWindow(end time.Duration) {
+	start := r.curStart
+	width := end - start
+	cur := r.snapScalars(end)
+
+	vals := make(map[string]float64, 10)
+	vals["ckpt_window_bytes"] = cur.fabric - r.prev.fabric
+	if dPre, dCk := cur.precopyBytes-r.prev.precopyBytes, cur.ckptBytes-r.prev.ckptBytes; dPre+dCk > 0 {
+		vals["precopy_hit_rate"] = dPre / (dPre + dCk)
+	}
+	if dCop := cur.precopied - r.prev.precopied; dCop > 0 {
+		vals["redirty_rate"] = (cur.redirtied - r.prev.redirtied) / dCop
+	}
+	for i, tier := range tierNames {
+		vals["recovery_"+tier] = cur.recovery[i] - r.prev.recovery[i]
+	}
+	if r.repairN > 0 {
+		vals["mttr_seconds"] = float64(r.repairSumUS) / 1e6 / float64(r.repairN)
+	}
+	degraded := r.degradedIn(start, end)
+	vals["degraded_seconds"] = degraded.Seconds()
+	vals["availability"] = 1 - float64(degraded)/float64(width)
+
+	w := Window{
+		Index:   r.total,
+		StartUS: start.Microseconds(),
+		EndUS:   end.Microseconds(),
+		Values:  vals,
+	}
+	r.push(w)
+	r.evaluateWindow(w)
+
+	if v := vals["ckpt_window_bytes"]; v > r.peakCkptWindow {
+		r.peakCkptWindow = v
+	}
+	r.degradedTotal += degraded
+	r.total++
+	r.prev = cur
+	r.curStart = end
+	r.repairSumUS, r.repairN = 0, 0
+}
+
+// push appends a window to the bounded ring, evicting the oldest when full.
+func (r *Recorder) push(w Window) {
+	if len(r.win) < r.maxWindows {
+		r.win = append(r.win, w)
+		r.n++
+		return
+	}
+	r.win[r.start] = w
+	r.start = (r.start + 1) % r.maxWindows
+}
+
+// evaluateWindow feeds the window's values to every non-final objective.
+func (r *Recorder) evaluateWindow(w Window) {
+	for i := range r.objs {
+		st := &r.objs[i]
+		if st.obj.Final {
+			continue
+		}
+		v, ok := w.Values[st.obj.SeriesName()]
+		if !ok {
+			continue // no data this window; breach state unchanged
+		}
+		st.lastValue, st.hasLast = v, true
+		st.evaluated++
+		// Slide the horizon ring.
+		if st.n == len(st.recent) {
+			if st.recent[st.pos] {
+				st.bad--
+			}
+		} else {
+			st.n++
+		}
+		violating := st.obj.violated(v)
+		st.recent[st.pos] = violating
+		if violating {
+			st.bad++
+		}
+		st.pos = (st.pos + 1) % len(st.recent)
+
+		frac := float64(st.bad) / float64(st.n)
+		breach := frac > st.obj.Tolerance+1e-9
+		if breach {
+			st.breached++
+		}
+		if breach && !st.inBreach {
+			st.episodes++
+			r.violate(Violation{
+				TUS:       w.EndUS,
+				Window:    w.Index,
+				Objective: st.obj.Name,
+				Series:    st.obj.SeriesName(),
+				Value:     v,
+				Threshold: st.obj.Threshold,
+				Direction: st.obj.Direction,
+				Detail: fmt.Sprintf("window %d [%gs,%gs): %s = %g %s threshold %g (%d/%d windows violating, tolerance %g)",
+					w.Index, float64(w.StartUS)/1e6, float64(w.EndUS)/1e6,
+					st.obj.SeriesName(), v, violatedWord(st.obj.Direction), st.obj.Threshold,
+					st.bad, st.n, st.obj.Tolerance),
+			})
+		}
+		st.inBreach = breach
+	}
+}
+
+func violatedWord(direction string) string {
+	if direction == AtLeast {
+		return "below"
+	}
+	return "above"
+}
+
+// violate records one breach episode, bounded by MaxViolations.
+func (r *Recorder) violate(v Violation) {
+	r.violCount++
+	if len(r.violations) < r.maxViolations {
+		r.violations = append(r.violations, v)
+	}
+}
+
+// finalAggregate computes the whole-run value of a series for final
+// objectives. ok=false means the series never had data (e.g. MTTR with no
+// failures), which skips the objective rather than violating it.
+func (r *Recorder) finalAggregate(series string, end scalars, now time.Duration) (float64, bool) {
+	switch series {
+	case "ckpt_window_bytes":
+		return r.peakCkptWindow, true
+	case "precopy_hit_rate":
+		if end.precopyBytes+end.ckptBytes <= 0 {
+			return 0, false
+		}
+		return end.precopyBytes / (end.precopyBytes + end.ckptBytes), true
+	case "redirty_rate":
+		if end.precopied <= 0 {
+			return 0, false
+		}
+		return end.redirtied / end.precopied, true
+	case "recovery_local":
+		return end.recovery[0], true
+	case "recovery_remote":
+		return end.recovery[1], true
+	case "recovery_bottom":
+		return end.recovery[2], true
+	case "recovery_lost":
+		return end.recovery[3], true
+	case "mttr_seconds":
+		if r.mttrN == 0 {
+			return 0, false
+		}
+		return float64(r.mttrSumUS) / 1e6 / float64(r.mttrN), true
+	case "degraded_seconds":
+		return r.degradedTotal.Seconds(), true
+	case "availability":
+		if now <= 0 {
+			return 0, false
+		}
+		return 1 - float64(r.degradedTotal)/float64(now), true
+	}
+	return 0, false
+}
+
+// Finalize seals the recorder at virtual time now: closes every complete
+// window, closes the partial tail window if any time remains, and evaluates
+// the final (whole-run) objectives. Idempotent; later Observe calls are
+// ignored.
+func (r *Recorder) Finalize(now time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finalized {
+		return
+	}
+	r.closeThrough(now)
+	if now > r.curStart {
+		r.closeWindow(now) // partial tail window [curStart, now)
+	}
+	r.endTime = now
+	endScalars := r.snapScalars(now)
+	for i := range r.objs {
+		st := &r.objs[i]
+		if !st.obj.Final {
+			continue
+		}
+		v, ok := r.finalAggregate(st.obj.SeriesName(), endScalars, now)
+		if !ok {
+			continue
+		}
+		st.finalValue, st.hasFinal = v, true
+		st.evaluated++
+		if st.obj.violated(v) {
+			st.finalPass = false
+			st.breached++
+			st.episodes++
+			st.inBreach = true
+			r.violate(Violation{
+				TUS:       now.Microseconds(),
+				Window:    -1,
+				Objective: st.obj.Name,
+				Series:    st.obj.SeriesName(),
+				Value:     v,
+				Threshold: st.obj.Threshold,
+				Direction: st.obj.Direction,
+				Detail: fmt.Sprintf("final: %s = %g %s threshold %g",
+					st.obj.SeriesName(), v, violatedWord(st.obj.Direction), st.obj.Threshold),
+			})
+		}
+	}
+	r.finalized = true
+}
+
+// status renders one objective's external state. Caller holds r.mu.
+func (st *objState) status() ObjectiveStatus {
+	s := ObjectiveStatus{
+		Name:      st.obj.Name,
+		Series:    st.obj.SeriesName(),
+		Direction: st.obj.Direction,
+		Threshold: st.obj.Threshold,
+		Over:      st.obj.horizon(),
+		Tolerance: st.obj.Tolerance,
+		Final:     st.obj.Final,
+		Evaluated: st.evaluated,
+		Breached:  st.breached,
+		Episodes:  st.episodes,
+		InBreach:  st.inBreach,
+		Pass:      st.episodes == 0 && st.finalPass,
+	}
+	if st.hasLast {
+		v := st.lastValue
+		s.LastValue = &v
+	}
+	if st.hasFinal {
+		v := st.finalValue
+		s.FinalValue = &v
+	}
+	return s
+}
+
+// Objectives returns every objective's current evaluation state.
+func (r *Recorder) Objectives() []ObjectiveStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ObjectiveStatus, 0, len(r.objs))
+	for i := range r.objs {
+		out = append(out, r.objs[i].status())
+	}
+	return out
+}
+
+// Windows returns the retained closed windows, oldest first.
+func (r *Recorder) Windows() []Window {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Window, 0, len(r.win))
+	for i := 0; i < len(r.win); i++ {
+		out = append(out, r.win[(r.start+i)%len(r.win)])
+	}
+	return out
+}
+
+// Violations returns the retained breach episodes (never nil, so JSON
+// consumers of the introspection endpoints see [] rather than null).
+func (r *Recorder) Violations() []Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(make([]Violation, 0, len(r.violations)), r.violations...)
+}
+
+// ViolationCount returns the total breach episodes, including any past the
+// retention bound.
+func (r *Recorder) ViolationCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.violCount
+}
+
+// Err returns nil when every objective holds, or an error describing the
+// first breach — the strict-mode failure, mirroring lineage.Err.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.violCount == 0 {
+		return nil
+	}
+	first := r.violations[0]
+	return fmt.Errorf("slo: %d objective breach(es); first: %s", r.violCount, first)
+}
+
+// Summary returns the end-of-run rollup. Call after Finalize for final
+// objective values; safe (and race-free) mid-run for live introspection.
+func (r *Recorder) Summary() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Summary{
+		WindowUS:            r.window.Microseconds(),
+		Windows:             r.total,
+		WindowsStored:       len(r.win),
+		ViolationCount:      r.violCount,
+		PeakCkptWindowBytes: r.peakCkptWindow,
+	}
+	for i := range r.objs {
+		s.Objectives = append(s.Objectives, r.objs[i].status())
+	}
+	now := r.endTime
+	if !r.finalized {
+		now = r.curStart
+	}
+	end := r.snapScalars(now)
+	if end.precopyBytes+end.ckptBytes > 0 {
+		s.PrecopyHitRate = end.precopyBytes / (end.precopyBytes + end.ckptBytes)
+	}
+	if end.precopied > 0 {
+		s.RedirtyRate = end.redirtied / end.precopied
+	}
+	if r.mttrN > 0 {
+		s.MTTRSeconds = float64(r.mttrSumUS) / 1e6 / float64(r.mttrN)
+	}
+	s.DegradedSeconds = r.degradedTotal.Seconds()
+	if now > 0 {
+		s.Availability = 1 - float64(r.degradedTotal)/float64(now)
+	} else {
+		s.Availability = 1
+	}
+	return s
+}
+
+// Strict reports whether the recorder should fail the run on breach.
+func (r *Recorder) Strict() bool { return r.cfg.Strict }

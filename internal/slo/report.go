@@ -1,0 +1,98 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion identifies the run-report JSON layout. Bump on incompatible
+// change; the diff refuses to compare mismatched versions.
+const SchemaVersion = 1
+
+// Meta is the run identity stamped into a report. Everything here is
+// deterministic — no wall-clock timestamps — so golden files and checked-in
+// baselines stay byte-stable.
+type Meta struct {
+	Tool     string `json:"tool"`
+	Scenario string `json:"scenario,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+// Report is the stable JSON artifact one run emits: identity, the windowed
+// time series, the objective verdicts, the violations, and the rollup. The
+// same struct feeds the HTML renderer and the cross-run diff.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"`
+	Scenario      string `json:"scenario,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+	WindowUS      int64  `json:"window_us"`
+	VirtualEndUS  int64  `json:"virtual_end_us"`
+	// Series lists the windowed series catalog, sorted.
+	Series []string `json:"series"`
+	// Windows are the retained closed windows, oldest first.
+	Windows    []Window    `json:"windows"`
+	Violations []Violation `json:"violations"`
+	Summary    Summary     `json:"summary"`
+}
+
+// BuildReport renders the recorder into the artifact form. Call after
+// Finalize so final objectives and the tail window are present.
+func BuildReport(r *Recorder, meta Meta) Report {
+	r.mu.Lock()
+	endUS := r.endTime.Microseconds()
+	if !r.finalized {
+		endUS = r.curStart.Microseconds()
+	}
+	r.mu.Unlock()
+	sum := r.Summary()
+	rep := Report{
+		SchemaVersion: SchemaVersion,
+		Tool:          meta.Tool,
+		Scenario:      meta.Scenario,
+		Seed:          meta.Seed,
+		WindowUS:      sum.WindowUS,
+		VirtualEndUS:  endUS,
+		Series:        SeriesNames(),
+		Windows:       r.Windows(),
+		Violations:    r.Violations(),
+		Summary:       sum,
+	}
+	if rep.Windows == nil {
+		rep.Windows = []Window{}
+	}
+	if rep.Violations == nil {
+		rep.Violations = []Violation{}
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented, key-sorted (Go maps marshal
+// sorted), byte-stable JSON.
+func WriteJSON(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("slo: encode report: %w", err)
+	}
+	return nil
+}
+
+// ReadReportFile loads a report artifact, checking the schema version.
+func ReadReportFile(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("slo: read report: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("slo: parse report %s: %w", path, err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return rep, fmt.Errorf("slo: report %s has schema version %d, this build understands %d",
+			path, rep.SchemaVersion, SchemaVersion)
+	}
+	return rep, nil
+}

@@ -46,6 +46,29 @@ func (tl *Timeline) At(t time.Duration) float64 {
 	return tl.values[i-1]
 }
 
+// Window returns the step function restricted to [start, end): the value in
+// effect at start (stamped at start itself), followed by every step strictly
+// inside the range. An empty or inverted range returns nil slices. The
+// returned slices are fresh copies — callers may mutate them.
+func (tl *Timeline) Window(start, end time.Duration) ([]time.Duration, []float64) {
+	if end <= start {
+		return nil, nil
+	}
+	// First step strictly after start; the entry before it (if any) is the
+	// value in effect at start.
+	i := sort.Search(len(tl.times), func(i int) bool { return tl.times[i] > start })
+	times := []time.Duration{start}
+	values := []float64{0}
+	if i > 0 {
+		values[0] = tl.values[i-1]
+	}
+	for ; i < len(tl.times) && tl.times[i] < end; i++ {
+		times = append(times, tl.times[i])
+		values = append(values, tl.values[i])
+	}
+	return times, values
+}
+
 // Max returns the largest recorded step value.
 func (tl *Timeline) Max() float64 {
 	m := 0.0
