@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check ci presets faults invariants slo clean bench bench-check
+.PHONY: all build test race vet fmt lint check ci presets faults invariants slo clean bench bench-check bench-shards
 
 all: build
 
@@ -56,9 +56,12 @@ faults:
 # invariants runs the online lineage checker end to end: the invariant test
 # suite (every preset must trace clean, corrupted streams must be flagged)
 # and the introspection handlers under the race detector, then an explicit
-# strict run of the fault cascade — a violation fails the command.
+# strict run of the fault cascade — a violation fails the command. The shard
+# determinism suite rides along: byte-identical artifacts at any GOMAXPROCS
+# is an invariant of the partitioned engine.
 invariants:
 	$(GO) test -race ./internal/lineage/ ./internal/introspect/
+	$(GO) test -race -run 'TestShardDeterminism' ./internal/cluster/
 	$(GO) run ./cmd/nvmcp-sim -preset faults -scale tiny -invariants
 
 # slo runs the SLO engine gate: the evaluator/report/diff test suite, both
@@ -91,9 +94,16 @@ bench:
 	$(GO) run ./cmd/nvmcp-perf -out bench
 
 # bench-check re-runs the probes and fails on a >20% wall-time regression
-# against the checked-in baseline.
+# against the checked-in baseline. The fleet-shards records are gated per
+# shard count, so losing parallel speedup trips the check even when the
+# serial engine is unchanged.
 bench-check:
 	$(GO) run ./cmd/nvmcp-perf -check bench/baseline
+
+# bench-shards sweeps the 16-node fleet configuration over 1/2/4/8 event-
+# engine shards and refreshes the BENCH_fleet-shards-<n>.json records.
+bench-shards:
+	$(GO) run ./cmd/nvmcp-perf -out bench -only fleet-shards
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,11 @@ type perfRecord struct {
 	// costs when switched on (the lineage-overhead and slo-overhead probes
 	// set it); check mode gates it at overheadLimit.
 	OverheadFrac float64 `json:"overhead_frac,omitempty"`
+	// Shards is the event-engine shard count the probe ran with (the
+	// fleet-shards sweep sets it); SpeedupX is its wall-time speedup over
+	// the sweep's serial run.
+	Shards   int     `json:"shards,omitempty"`
+	SpeedupX float64 `json:"speedup_x,omitempty"`
 }
 
 // probe is one timed workload. run returns the number of simulation events
@@ -54,10 +60,11 @@ type perfRecord struct {
 // on the short microbenchmarks. extra, when set, runs after the timed reps
 // to derive additional record fields.
 type probe struct {
-	id    string
-	reps  int
-	run   func() uint64
-	extra func(rec *perfRecord)
+	id     string
+	reps   int
+	shards int
+	run    func() uint64
+	extra  func(rec *perfRecord)
 }
 
 var probes = []probe{
@@ -100,10 +107,10 @@ var probes = []probe{
 	{
 		// One paper-scale GTC cluster run with the full policy stack —
 		// the single-simulation end-to-end cost, with an events/sec rate.
-		id: "cluster-paper", reps: 1,
+		id: "cluster-paper", reps: 2,
 		run: func() uint64 {
 			_, c := cluster.MustRun(paperClusterCfg())
-			return c.Env.EventsFired()
+			return c.EventsFired()
 		},
 	},
 	{
@@ -111,14 +118,14 @@ var probes = []probe{
 		// headline wall time, held to the usual baseline threshold) and on
 		// (the overhead fraction, gated at overheadLimit): tracing must be
 		// free when disabled and cheap when enabled.
-		id: "lineage-overhead", reps: 2,
+		id: "lineage-overhead", reps: 3,
 		run: func() uint64 {
 			_, c := cluster.MustRun(paperClusterCfg())
-			return c.Env.EventsFired()
+			return c.EventsFired()
 		},
 		extra: func(rec *perfRecord) {
 			onMS := 0.0
-			for r := 0; r < 2; r++ {
+			for r := 0; r < 3; r++ {
 				cfg := paperClusterCfg()
 				cfg.Lineage = &lineage.Config{Enabled: true, Strict: true}
 				start := time.Now()
@@ -136,14 +143,14 @@ var probes = []probe{
 		// headline wall time) and on (the overhead fraction, gated at
 		// overheadLimit): windowed aggregation plus online objective
 		// evaluation must cost no more than 10% of the plain run.
-		id: "slo-overhead", reps: 2,
+		id: "slo-overhead", reps: 3,
 		run: func() uint64 {
 			_, c := cluster.MustRun(paperClusterCfg())
-			return c.Env.EventsFired()
+			return c.EventsFired()
 		},
 		extra: func(rec *perfRecord) {
 			onMS := 0.0
-			for r := 0; r < 2; r++ {
+			for r := 0; r < 3; r++ {
 				cfg := paperClusterCfg()
 				cfg.SLO = &slo.Config{Enabled: true, Spec: sloProbeSpec()}
 				start := time.Now()
@@ -155,6 +162,46 @@ var probes = []probe{
 			}
 			rec.OverheadFrac = onMS/rec.WallMS - 1
 		},
+	},
+	{
+		// Shard-count sweep over a 16-node buddy fleet: the same policy
+		// stack as cluster-paper, four times the nodes, run on the serial
+		// engine and on 2/4/8 shards. Each record is baseline-gated on its
+		// own wall time, so a per-shard-count regression trips the check
+		// even when the serial engine is unchanged.
+		id: "fleet-shards-1", reps: 2, shards: 1,
+		run: func() uint64 {
+			_, c := cluster.MustRun(fleetClusterCfg(1))
+			return c.EventsFired()
+		},
+		extra: func(rec *perfRecord) {
+			fleetSerialMS = rec.WallMS
+			rec.SpeedupX = 1
+		},
+	},
+	{
+		id: "fleet-shards-2", reps: 2, shards: 2,
+		run: func() uint64 {
+			_, c := cluster.MustRun(fleetClusterCfg(2))
+			return c.EventsFired()
+		},
+		extra: fleetSpeedup,
+	},
+	{
+		id: "fleet-shards-4", reps: 2, shards: 4,
+		run: func() uint64 {
+			_, c := cluster.MustRun(fleetClusterCfg(4))
+			return c.EventsFired()
+		},
+		extra: fleetSpeedup,
+	},
+	{
+		id: "fleet-shards-8", reps: 2, shards: 8,
+		run: func() uint64 {
+			_, c := cluster.MustRun(fleetClusterCfg(8))
+			return c.EventsFired()
+		},
+		extra: fleetSpeedup,
 	},
 	{
 		// The full Figure 9 sweep at paper scale — the acceptance metric
@@ -179,7 +226,31 @@ func paperClusterCfg() cluster.Config {
 	cfg.Remote = "buddy-precopy"
 	cfg.RemoteEvery = 2
 	cfg.LinkBW = 1e9
+	// Pinned to the serial engine: these records predate sharding and their
+	// baselines must keep measuring the same machine. The fleet-shards
+	// probes own the parallel numbers.
+	cfg.Shards = 1
 	return cfg
+}
+
+// fleetClusterCfg scales the paper configuration to a 16-node fleet so the
+// shard sweep has enough buddy pairs for eight groups (the 4-node paper
+// topology caps at two).
+func fleetClusterCfg(shards int) cluster.Config {
+	cfg := paperClusterCfg()
+	cfg.Nodes = 16
+	cfg.Shards = shards
+	return cfg
+}
+
+// fleetSerialMS is the fleet sweep's serial wall time, stashed by the
+// fleet-shards-1 probe so later shard counts can report their speedup.
+var fleetSerialMS float64
+
+func fleetSpeedup(rec *perfRecord) {
+	if fleetSerialMS > 0 {
+		rec.SpeedupX = fleetSerialMS / rec.WallMS
+	}
 }
 
 // sloProbeSpec exercises the whole evaluation path — windowed and final
@@ -210,7 +281,7 @@ const overheadLimit = 0.10
 // measure runs one probe, keeping the fastest repetition's wall time and
 // that repetition's allocation counts.
 func measure(pb probe) perfRecord {
-	rec := perfRecord{ID: pb.id, Reps: pb.reps, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	rec := perfRecord{ID: pb.id, Reps: pb.reps, GoMaxProcs: runtime.GOMAXPROCS(0), Shards: pb.shards}
 	for r := 0; r < pb.reps; r++ {
 		var before, after runtime.MemStats
 		runtime.GC()
@@ -240,6 +311,7 @@ func main() {
 	outDir := flag.String("out", "bench", "directory for BENCH_<id>.json records")
 	checkDir := flag.String("check", "", "baseline directory to compare against (enables check mode)")
 	threshold := flag.Float64("threshold", 0.20, "max tolerated wall-time regression vs baseline (fraction)")
+	only := flag.String("only", "", "run only probes whose id starts with this prefix")
 	httpAddr := flag.String("http", "", "serve live introspection (/healthz /progress, pprof) on this address, e.g. :8080")
 	flag.Parse()
 
@@ -260,12 +332,19 @@ func main() {
 
 	regressed := false
 	for _, pb := range probes {
+		if *only != "" && !strings.HasPrefix(pb.id, *only) {
+			continue
+		}
 		status.Store(pb.id)
 		rec := measure(pb)
-		if rec.EventsPerSec > 0 {
+		switch {
+		case rec.SpeedupX > 0:
+			fmt.Printf("%-16s %10.1f ms  %12.0f events/s  %9d mallocs  %5.2fx\n",
+				rec.ID, rec.WallMS, rec.EventsPerSec, rec.Mallocs, rec.SpeedupX)
+		case rec.EventsPerSec > 0:
 			fmt.Printf("%-16s %10.1f ms  %12.0f events/s  %9d mallocs\n",
 				rec.ID, rec.WallMS, rec.EventsPerSec, rec.Mallocs)
-		} else {
+		default:
 			fmt.Printf("%-16s %10.1f ms  %9d mallocs\n", rec.ID, rec.WallMS, rec.Mallocs)
 		}
 		if *checkDir != "" {

@@ -23,12 +23,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"nvmcp/internal/cluster"
-	"nvmcp/internal/interconnect"
 	"nvmcp/internal/introspect"
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/obs"
@@ -75,6 +75,7 @@ func main() {
 		sloOn        = flag.Bool("slo", false, "record SLO flight-recorder time series (report summary + /slo endpoints)")
 		sloStrict    = flag.Bool("slo-strict", false, "fail the run on the first SLO objective breach (implies -slo)")
 		sloReportOut = flag.String("slo-report-out", "", "write the SLO run report to <path>.html and <path>.json (implies -slo)")
+		shardsFlag   = flag.String("shards", "auto", "event-engine shards: auto = min(GOMAXPROCS, topology), or a count (1 = serial engine)")
 		sweepPath    = flag.String("sweep", "", "run every cell of a sweep JSON file sequentially")
 		httpAddr     = flag.String("http", "", "serve live introspection (/healthz /metrics /progress /lineage, pprof) on this address, e.g. :8080")
 		httpHold     = flag.Bool("http-hold", false, "keep the introspection server up after the run until interrupted")
@@ -154,6 +155,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
 		os.Exit(2)
 	}
+	if err := applyShards(&cfg, *shardsFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		os.Exit(2)
+	}
 	if *traceOut != "" && cfg.Tracer == nil {
 		// Only runs that render a timeline pay for span recording.
 		cfg.Tracer = trace.NewSpanRecorder()
@@ -220,7 +225,7 @@ func main() {
 	tb.AddRow("pre-copy hit rate", trace.FmtPct(res.PreCopyHitRate))
 	tb.AddRow("re-dirty rate", trace.FmtPct(res.ReDirtyRate))
 	if remoteOn {
-		tb.AddRow("ckpt bytes on fabric", trace.FmtBytes(c.Fabric.Bytes(interconnect.ClassCkpt)))
+		tb.AddRow("ckpt bytes on fabric", trace.FmtBytes(c.CkptFabricBytes()))
 		tb.AddRow(fmt.Sprintf("peak fabric ckpt/%v", cluster.PeakWindow),
 			trace.FmtBytes(res.PeakCkptWindowBytes))
 		for i, u := range res.HelperUtil {
@@ -349,6 +354,24 @@ func printPresets(w io.Writer) {
 		tb.AddRow(p.ID, via, p.Description)
 	}
 	tb.Write(w)
+}
+
+// applyShards lowers the -shards flag onto the run config. "auto" arms the
+// process-wide auto policy but defers to a scenario's explicit shards field;
+// a numeric flag pins the count outright (1 = the serial engine).
+func applyShards(cfg *cluster.Config, flagVal string) error {
+	switch flagVal {
+	case "", "auto":
+		cluster.DefaultShards = cluster.ShardsAuto
+		return nil
+	default:
+		n, err := strconv.Atoi(flagVal)
+		if err != nil || n < 1 {
+			return fmt.Errorf("-shards must be \"auto\" or a count >= 1, got %q", flagVal)
+		}
+		cfg.Shards = n
+		return nil
+	}
 }
 
 // policyName renders a policy field for the summary line ("" means none).

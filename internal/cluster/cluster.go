@@ -161,6 +161,26 @@ type Config struct {
 	// event bus. Strict mode makes Run fail loudly on the first objective
 	// breach.
 	SLO *slo.Config
+
+	// Shards partitions the node set onto N independent event engines run in
+	// conservative lockstep (see DESIGN.md §12). 0 leaves the choice to the
+	// process-wide DefaultShards (which itself defaults to the classic serial
+	// engine), 1 pins the serial engine, ShardsAuto resolves
+	// min(GOMAXPROCS, topology limit) at build time. Requests the topology
+	// cannot honor are capped; configurations with global coupling (failures,
+	// a bottom tier, a non-shard-local remote policy, lineage/SLO/tracing)
+	// fall back to the serial engine with an EvEngineWarn on the bus.
+	Shards int
+
+	// nodeOffset / rankOffset shift this instance's node and rank numbering
+	// when it runs as one shard of a partitioned cluster, so recorder scopes,
+	// process names and span lanes stay globally unique and the merged
+	// observability streams read like one cluster's.
+	nodeOffset int
+	rankOffset int
+	// shardFallback records why a requested sharded run fell back to the
+	// serial engine, surfaced as an EvEngineWarn once the bus exists.
+	shardFallback string
 }
 
 func (cfg *Config) setDefaults() {
@@ -223,6 +243,9 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.PayloadCap < 1 {
 		return fmt.Errorf("cluster: payload cap must be >= 1, got %d", cfg.PayloadCap)
+	}
+	if cfg.Shards < ShardsAuto {
+		return fmt.Errorf("cluster: shards must be >= 0 (or ShardsAuto), got %d", cfg.Shards)
 	}
 	for i, f := range cfg.Failures {
 		if f.Node < 0 || f.Node >= cfg.Nodes {
@@ -351,7 +374,13 @@ type Cluster struct {
 	SLO *slo.Recorder
 
 	kernels []*nvmkernel.Kernel
-	barrier *sim.Barrier
+	barrier rendezvous
+	// newBarrier, when set, supplies the rendezvous ranks block on at
+	// checkpoint boundaries instead of a fresh sim.Barrier — the sharded
+	// engine injects each shard's cross-barrier gate here.
+	newBarrier func(parties int) rendezvous
+	// sharded is non-nil on the coordinator cluster of a partitioned run.
+	sharded *shardEngine
 
 	localPol   policy.LocalPolicy
 	remoteTier policy.RemoteTier
@@ -393,6 +422,13 @@ type Cluster struct {
 	workSum       uint64
 }
 
+// rendezvous is the coordination point rank processes block on at
+// checkpoint boundaries: a per-epoch sim.Barrier in the serial engine, a
+// cross-shard gate in the sharded one.
+type rendezvous interface {
+	Await(p *sim.Proc)
+}
+
 // New builds a cluster (devices, kernels, fabric, policy tiers) without
 // running it. The configuration is validated; policy names resolve through
 // the registry.
@@ -400,6 +436,32 @@ func New(cfg Config) (*Cluster, error) {
 	cfg.setDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if want := cfg.Shards; want == 0 {
+		want = DefaultShards
+		if want > 1 || want == ShardsAuto {
+			// Policy-driven sharding (the cmds' -shards flag): quietly keep
+			// the serial engine when the config cannot shard, so ambient
+			// defaults never change a run's event stream.
+			if shardBlocker(&cfg) == "" {
+				if n := resolveShardCount(&cfg, want); n > 1 {
+					cfg.Shards = n
+					return newSharded(cfg)
+				}
+			}
+		}
+	} else if want > 1 || want == ShardsAuto {
+		// Explicit request in the Config: shard if possible, and say why not
+		// when it is not.
+		if reason := shardBlocker(&cfg); reason == "" {
+			if n := resolveShardCount(&cfg, want); n > 1 {
+				cfg.Shards = n
+				return newSharded(cfg)
+			}
+			cfg.shardFallback = "topology supports only one shard"
+		} else {
+			cfg.shardFallback = reason
+		}
 	}
 	localEntry, _ := policy.Parse(policy.KindLocal, cfg.Local)
 	remoteEntry, _ := policy.Parse(policy.KindRemote, cfg.Remote)
@@ -428,13 +490,20 @@ func New(cfg Config) (*Cluster, error) {
 		nvms[n] = mem.NewPCM(env, cfg.NVMPerNode)
 	}
 	o := obs.New(env)
+	if cfg.shardFallback != "" {
+		o.Emit(obs.Event{Type: obs.EvEngineWarn, Actor: "cluster", Attrs: map[string]string{
+			"code": "shard-fallback",
+			"msg": fmt.Sprintf("shards=%d requested but running serial: %s",
+				cfg.Shards, cfg.shardFallback),
+		}})
+	}
 	if cfg.Tracer == nil {
 		// No trace sink will read spans from this run; turning recording
 		// off also lets hot sites skip per-span name formatting.
 		o.SetSpansEnabled(false)
 	}
 	o.UseSpanRecorder(cfg.Tracer)
-	fabric.SetRecorder(o.Recorder(0, "fabric"))
+	fabric.SetRecorder(o.Recorder(cfg.nodeOffset, "fabric"))
 
 	remoteTier, err := remoteEntry.Remote().NewTier(policy.RemoteRuntime{
 		Env:          env,
@@ -494,15 +563,59 @@ func New(cfg Config) (*Cluster, error) {
 	}, nil
 }
 
-// Kernel returns node n's kernel (for tests).
-func (c *Cluster) Kernel(n int) *nvmkernel.Kernel { return c.kernels[n] }
+// Kernel returns node n's kernel (for tests). Nodes are numbered globally;
+// on a sharded cluster the lookup resolves into the owning shard.
+func (c *Cluster) Kernel(n int) *nvmkernel.Kernel {
+	if c.sharded != nil {
+		sub := c.sharded.shardOf(n)
+		return sub.kernels[n-sub.Cfg.nodeOffset]
+	}
+	return c.kernels[n]
+}
 
 // Mesh returns the buddy tier's remote mesh, or nil when the remote policy is
-// not buddy-based (lower-level surface for tests and drain experiments).
-func (c *Cluster) Mesh() *remote.Mesh { return policy.BuddyMesh(c.remoteTier) }
+// not buddy-based (lower-level surface for tests and drain experiments). A
+// sharded cluster has one mesh per shard; this returns shard 0's.
+func (c *Cluster) Mesh() *remote.Mesh {
+	if c.sharded != nil {
+		return c.sharded.subs[0].Mesh()
+	}
+	return policy.BuddyMesh(c.remoteTier)
+}
 
-// RemoteTier returns the composed remote tier (nil when disabled).
-func (c *Cluster) RemoteTier() policy.RemoteTier { return c.remoteTier }
+// RemoteTier returns the composed remote tier (nil when disabled). A sharded
+// cluster has one tier instance per shard; this returns shard 0's, which is
+// enough for "is the remote level on" checks.
+func (c *Cluster) RemoteTier() policy.RemoteTier {
+	if c.sharded != nil {
+		return c.sharded.subs[0].remoteTier
+	}
+	return c.remoteTier
+}
+
+// EventsFired counts simulation events dispatched by the run's engine —
+// summed across shards in sharded mode (the coordinator's merge env
+// dispatches almost nothing itself).
+func (c *Cluster) EventsFired() uint64 {
+	if c.sharded != nil {
+		return c.sharded.group.EventsFired()
+	}
+	return c.Env.EventsFired()
+}
+
+// CkptFabricBytes is the checkpoint-class traffic the fabric moved, summed
+// across shards in sharded mode (where the coordinator has no fabric of its
+// own and c.Fabric is nil).
+func (c *Cluster) CkptFabricBytes() float64 {
+	if c.sharded != nil {
+		var t float64
+		for _, sub := range c.sharded.subs {
+			t += sub.Fabric.Bytes(interconnect.ClassCkpt)
+		}
+		return t
+	}
+	return c.Fabric.Bytes(interconnect.ClassCkpt)
+}
 
 // Run executes the configured workload to completion (surviving injected
 // failures) and returns the result summary.
@@ -520,6 +633,9 @@ func Run(cfg Config) (Result, *Cluster, error) {
 // introspection server over Obs and Lineage) use New + Execute instead of
 // Run.
 func (c *Cluster) Execute() (Result, error) {
+	if c.sharded != nil {
+		return c.executeSharded()
+	}
 	events := make([]fault.Event, 0, len(c.Cfg.Failures))
 	for _, f := range c.Cfg.Failures {
 		events = append(events, f.toFault())
@@ -642,7 +758,11 @@ func (c *Cluster) drainBottom(p *sim.Proc) {
 func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 	cfg := c.Cfg
 	ranks := cfg.Nodes * cfg.CoresPerNode
-	c.barrier = sim.NewBarrier(c.Env, ranks)
+	if c.newBarrier != nil {
+		c.barrier = c.newBarrier(ranks)
+	} else {
+		c.barrier = sim.NewBarrier(c.Env, ranks)
+	}
 	c.engines = nil
 	c.epochStores = nil
 	if c.remoteTier != nil {
@@ -651,7 +771,7 @@ func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 	start := c.committedIter
 	procs := make([]*sim.Proc, 0, ranks)
 	for r := 0; r < ranks; r++ {
-		procs = append(procs, c.Env.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+		procs = append(procs, c.Env.Go(fmt.Sprintf("rank%d", r+cfg.rankOffset), func(p *sim.Proc) {
 			c.rankBody(p, r, start)
 		}))
 	}
@@ -667,10 +787,13 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 	lane := rank % cfg.CoresPerNode
 	leader := lane == 0
 	kernel := c.kernels[node]
-	name := fmt.Sprintf("rank%d", rank)
-	rec := c.Obs.Recorder(node, name)
+	// Names and recorder scopes carry the shard offsets so the merged
+	// observability streams of a partitioned run number ranks and nodes
+	// globally; all engine-side indexing stays shard-local.
+	name := fmt.Sprintf("rank%d", rank+cfg.rankOffset)
+	rec := c.Obs.Recorder(node+cfg.nodeOffset, name)
 	if leader && rec.SpansActive() {
-		rec.NameProcess(fmt.Sprintf("node%d", node))
+		rec.NameProcess(fmt.Sprintf("node%d", node+cfg.nodeOffset))
 	}
 
 	store := core.NewStore(kernel.Attach(name), core.Options{

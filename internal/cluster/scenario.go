@@ -53,6 +53,8 @@ func FromScenario(sc *scenario.Scenario) (Config, error) {
 
 		PayloadCap:    sc.PayloadCap,
 		SingleVersion: sc.SingleVersion,
+
+		Shards: sc.Shards,
 	}
 	for _, f := range sc.Failures {
 		cfg.Failures = append(cfg.Failures, FailureEvent{

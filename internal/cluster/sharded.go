@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"nvmcp/internal/obs"
+	"nvmcp/internal/policy"
+	"nvmcp/internal/sim"
+)
+
+// The sharded engine (DESIGN.md §12) partitions the node set into contiguous
+// groups, builds one fully independent sub-cluster per group — its own
+// sim.Env, fabric, kernels, stores, remote-tier instance and Observer — and
+// runs the group in conservative lockstep: between coordinated-checkpoint
+// rendezvous the shards exchange nothing, so each may run arbitrarily far
+// ahead (the lookahead is the whole barrier interval); at the rendezvous no
+// shard proceeds before the slowest shard's arrival time. Determinism at a
+// fixed shard count is by construction: shards share no mutable state, and
+// every cross-shard reduction (the release time, the merged observability
+// streams, the folded checksum) is ordered by shard index.
+
+// ShardsAuto, set as Config.Shards or DefaultShards, resolves the shard
+// count to min(GOMAXPROCS, topology limit) at cluster build time.
+const ShardsAuto = -1
+
+// DefaultShards is the process-wide shard policy applied when a Config
+// leaves Shards at zero: 0 keeps the classic serial engine, ShardsAuto
+// resolves per run, a positive count is used directly (capped by the
+// topology). The cmds' -shards flag sets it; the library default stays
+// serial so embedded runs and the existing test corpus are untouched.
+var DefaultShards = 0
+
+// shardEngine is the coordinator state hung off a partitioned Cluster.
+type shardEngine struct {
+	subs    []*Cluster
+	group   *sim.ShardGroup
+	barrier *sim.CrossBarrier
+}
+
+// shardOf returns the sub-cluster owning global node n.
+func (se *shardEngine) shardOf(n int) *Cluster {
+	for _, sub := range se.subs {
+		if n < sub.Cfg.nodeOffset+sub.Cfg.Nodes {
+			return sub
+		}
+	}
+	return se.subs[len(se.subs)-1]
+}
+
+// shardBlocker reports why cfg must run on the serial engine, or "" when the
+// topology partitions cleanly. Sharding models loosely-coupled node groups,
+// so anything with global coupling pins the run to one engine: failure
+// injection (faults broadcast a kill to every rank), a bottom tier (one
+// shared file system), a remote policy whose data flows cross groups, and
+// the whole-run bus consumers (lineage, SLO, span tracing) that need one
+// globally ordered stream *during* the run rather than after the merge.
+func shardBlocker(cfg *Config) string {
+	if len(cfg.Failures) > 0 || cfg.FaultModel != nil {
+		return "failure injection broadcasts across the whole cluster"
+	}
+	if e, _ := policy.Parse(policy.KindBottom, cfg.Bottom); e != nil && e.Name != "none" {
+		return fmt.Sprintf("bottom tier %q drains to one shared store", e.Name)
+	}
+	re, _ := policy.Parse(policy.KindRemote, cfg.Remote)
+	if sl, ok := re.Remote().(policy.ShardLocalPolicy); !ok || !sl.ShardLocal() {
+		return fmt.Sprintf("remote policy %q spans node groups", re.Name)
+	}
+	if cfg.Lineage != nil && cfg.Lineage.Enabled {
+		return "lineage tracing needs one live globally-ordered event bus"
+	}
+	if cfg.SLO != nil && cfg.SLO.Enabled {
+		return "SLO recording needs one live globally-ordered event bus"
+	}
+	if cfg.Tracer != nil {
+		return "span tracing records into one externally-owned recorder"
+	}
+	return ""
+}
+
+// maxShardCount is the topology's shard ceiling: every shard needs enough
+// nodes for its remote-tier instance to function (two for a buddy ring).
+func maxShardCount(cfg *Config) int {
+	min := 1
+	if e, _ := policy.Parse(policy.KindRemote, cfg.Remote); e != nil {
+		if sl, ok := e.Remote().(policy.ShardLocalPolicy); ok && sl.MinShardNodes() > min {
+			min = sl.MinShardNodes()
+		}
+	}
+	return cfg.Nodes / min
+}
+
+// resolveShardCount lowers a shard request (a count, or ShardsAuto) to the
+// effective count, capped by the topology.
+func resolveShardCount(cfg *Config, req int) int {
+	n := req
+	if n == ShardsAuto {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if max := maxShardCount(cfg); n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AutoShards reports the shard count a configuration resolves to under
+// ShardsAuto on this host: min(GOMAXPROCS, topology limit), or 1 when the
+// configuration cannot shard at all.
+func AutoShards(cfg Config) int {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return 1
+	}
+	if shardBlocker(&cfg) != "" {
+		return 1
+	}
+	return resolveShardCount(&cfg, ShardsAuto)
+}
+
+// newSharded builds the coordinator cluster: one sub-cluster per contiguous
+// node group, a CrossBarrier with one gate per shard injected as each sub's
+// checkpoint rendezvous, and a merge environment whose Observer receives the
+// deterministic flush-time merge of every shard's streams. cfg.Shards holds
+// the resolved count and cfg passed Validate.
+func newSharded(cfg Config) (*Cluster, error) {
+	n := cfg.Shards
+	base, rem := cfg.Nodes/n, cfg.Nodes%n
+	subs := make([]*Cluster, 0, n)
+	envs := make([]*sim.Env, 0, n)
+	parties := make([]int, 0, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		span := base
+		if i < rem {
+			span++
+		}
+		sub := cfg
+		sub.Shards = 1
+		sub.Nodes = span
+		sub.nodeOffset = off
+		sub.rankOffset = off * cfg.CoresPerNode
+		c, err := New(sub)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		subs = append(subs, c)
+		envs = append(envs, c.Env)
+		parties = append(parties, span*cfg.CoresPerNode)
+		off += span
+	}
+	group := sim.NewShardGroup(envs...)
+	cb := sim.NewCrossBarrier(group, parties)
+	for i, sub := range subs {
+		gate := cb.Gate(i)
+		sub.newBarrier = func(int) rendezvous { return gate }
+	}
+	env := sim.NewEnv()
+	c := &Cluster{
+		Cfg:     cfg,
+		Env:     env,
+		Obs:     obs.New(env),
+		sharded: &shardEngine{subs: subs, group: group, barrier: cb},
+	}
+	c.Obs.SetSpansEnabled(false)
+	return c, nil
+}
+
+// executeSharded is the coordinator loop: advance every shard concurrently
+// until each pauses at a filled gate or drains idle; when the rendezvous is
+// full, release it at the slowest shard's arrival time and go again. A round
+// that parks ranks without filling the rendezvous means the shards' barrier
+// cadences diverged — a structural bug, reported loudly rather than hung.
+func (c *Cluster) executeSharded() (Result, error) {
+	se := c.sharded
+	for _, sub := range se.subs {
+		sub.Env.Go("driver", sub.drive)
+	}
+	for {
+		se.group.RunRound()
+		if se.barrier.Full() {
+			se.barrier.Release()
+			continue
+		}
+		if n := se.barrier.Arrivals(); n > 0 {
+			return Result{}, fmt.Errorf("cluster: sharded run wedged with %d ranks gated (%s)",
+				n, se.barrier.State())
+		}
+		break
+	}
+	// Align the merge clock with the slowest shard so the merged report's
+	// virtual end time covers every shard's events.
+	c.Env.RunUntil(se.group.MaxNow())
+	return c.collectSharded(), nil
+}
+
+// collectSharded folds the shards into one Result and merges their
+// observability streams into the coordinator's Observer. Every fold is
+// ordered by shard index, so the output at a fixed shard count is
+// byte-stable regardless of GOMAXPROCS.
+func (c *Cluster) collectSharded() Result {
+	se := c.sharded
+	shardObs := make([]*obs.Observer, len(se.subs))
+	subResults := make([]Result, len(se.subs))
+	for i, sub := range se.subs {
+		subResults[i] = sub.collect()
+		shardObs[i] = sub.Obs
+	}
+	obs.MergeShards(c.Obs, shardObs)
+
+	cfg := c.Cfg
+	ranks := cfg.Nodes * cfg.CoresPerNode
+	res := Result{Ranks: ranks}
+	var ckptTotal time.Duration
+	h := fnv.New64a()
+	var buf [8]byte
+	for i, sr := range subResults {
+		sub := se.subs[i]
+		if sr.ExecTime > res.ExecTime {
+			res.ExecTime = sr.ExecTime
+		}
+		// The cross-shard barrier aligns every round, so per-shard round
+		// counts agree; max() reads the common value without assuming it.
+		if sr.LocalCkpts > res.LocalCkpts {
+			res.LocalCkpts = sr.LocalCkpts
+		}
+		if sr.RemoteCkpts > res.RemoteCkpts {
+			res.RemoteCkpts = sr.RemoteCkpts
+		}
+		for _, d := range sub.ckptTime {
+			ckptTotal += d
+		}
+		res.PreCopyBytes += sr.PreCopyBytes
+		res.CkptBytes += sr.CkptBytes
+		res.Restores += sr.Restores
+		res.RemoteRestores += sr.RemoteRestores
+		res.HelperUtil = append(res.HelperUtil, sr.HelperUtil...)
+		if sr.BottomDrainTime > res.BottomDrainTime {
+			res.BottomDrainTime = sr.BottomDrainTime
+		}
+		res.BottomObjects += sr.BottomObjects
+		res.BottomBytes += sr.BottomBytes
+		// Fold the per-shard content checksums in shard order: the global
+		// fingerprint of a partitioned run, stable at a fixed shard count.
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(sub.workSum >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	res.CkptTimePerRank = ckptTotal / time.Duration(ranks)
+	res.DataToNVMPerRank = float64(res.PreCopyBytes+res.CkptBytes) / float64(ranks)
+	res.WorkloadChecksum = h.Sum64()
+
+	// Cluster-level rates and the Figure 10 peak re-derive from the merged
+	// registry (the per-shard gauge values absorbed by the merge are only
+	// the last shard's; overwrite them with the global figures).
+	reg := c.Obs.Registry()
+	pre := float64(reg.Counter("precopy_bytes", nil).Get())
+	ck := float64(reg.Counter("ckpt_bytes", nil).Get())
+	if pre+ck > 0 {
+		res.PreCopyHitRate = pre / (pre + ck)
+	}
+	precopied := float64(reg.Counter("chunks_precopied", nil).Get())
+	if precopied > 0 {
+		res.ReDirtyRate = float64(reg.Counter("redirtied_chunks", nil).Get()) / precopied
+	}
+	res.PeakCkptWindowBytes, _ = reg.Timeline("fabric_bytes", obs.Labels{"class": "ckpt"}).
+		PeakDiffBucket(c.Env.Now(), PeakWindow)
+	reg.Gauge("precopy_hit_rate", nil).Set(res.PreCopyHitRate)
+	reg.Gauge("redirty_rate", nil).Set(res.ReDirtyRate)
+	reg.Gauge("peak_ckpt_window_bytes", nil).Set(res.PeakCkptWindowBytes)
+	reg.Gauge("mttr_seconds", nil).Set(0)
+	reg.Gauge("degraded_seconds_total", nil).Set(0)
+	res.ShipRetries = reg.Counter("helper_ship_retries", nil).Get()
+	res.BuddyFailovers = reg.Counter("helper_buddy_failovers", nil).Get()
+	return res
+}

@@ -108,6 +108,11 @@ const (
 	// payload (the per-victim companion to the aggregated EvNVMCorrupt);
 	// Attrs carry the damaged generation seq, version, mode, and cause.
 	EvChunkCorrupt Type = "chunk_corrupt"
+	// EvEngineWarn surfaces a rare, deduplicated simulation-engine warning
+	// (e.g. the first negative-delay Schedule, clamped to zero, or a shard
+	// request falling back to the serial engine); Attrs carry the warning
+	// code and message.
+	EvEngineWarn Type = "engine_warn"
 	// EvPFSDrain records one object actually written to the parallel file
 	// system by a drain pass (version-gated rewrites are skipped, so the
 	// stream mirrors PFS contents); Attrs carry the object version/seq.

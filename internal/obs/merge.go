@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"nvmcp/internal/stats"
+)
+
+// MergeShards folds per-shard observers into dst in a deterministic order —
+// the sharded engine's flush-time merge. Each shard publishes into its own
+// Observer during the run (so the hot path takes no cross-shard locks); when
+// every shard has stopped, the coordinator merges:
+//
+//   - events: a k-way merge ordered by (virtual time, shard index,
+//     per-shard publication order) — the cross-shard total order the
+//     determinism contract names. Within one shard the stream is already
+//     time-ordered, so the merge is linear.
+//   - counters: summed.
+//   - gauges: taken in shard order (last shard wins a conflict); callers
+//     re-derive cluster-level gauges from the merged registry afterwards.
+//   - histograms: bucket-wise pooled.
+//   - timelines: summed as step functions — the merged series at any instant
+//     is the sum of the shard series, which keeps window-diff readings
+//     (e.g. the Figure 10 peak) exact.
+//
+// dst's environment should already be advanced to the latest shard clock so
+// report builders read a consistent end time. No taps run on merged events.
+func MergeShards(dst *Observer, shards []*Observer) {
+	streams := make([][]Event, len(shards))
+	total := 0
+	for i, s := range shards {
+		streams[i] = s.Events()
+		total += len(streams[i])
+	}
+	idx := make([]int, len(streams))
+	dst.mu.Lock()
+	merged := make([]Event, 0, len(dst.events)+total)
+	merged = append(merged, dst.events...)
+	for {
+		best := -1
+		for i := range streams {
+			if idx[i] >= len(streams[i]) {
+				continue
+			}
+			if best < 0 || streams[i][idx[i]].TUS < streams[best][idx[best]].TUS {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged = append(merged, streams[best][idx[best]])
+		idx[best]++
+	}
+	dst.events = merged
+	if n := len(merged); n > 0 && merged[n-1].TUS > dst.lastTUS {
+		dst.lastTUS = merged[n-1].TUS
+	}
+	dst.mu.Unlock()
+
+	regs := make([]*Registry, len(shards))
+	for i, s := range shards {
+		regs[i] = s.reg
+	}
+	dst.reg.mergeFrom(regs)
+}
+
+// merge pools a snapshotted histogram into h (same edges assumed — both
+// sides were created by the same instrumentation site).
+func (h *Histogram) merge(cp stats.Histogram, sum float64) {
+	h.mu.Lock()
+	for i := range cp.Counts {
+		h.h.Counts[i] += cp.Counts[i]
+	}
+	h.h.Under += cp.Under
+	h.h.Over += cp.Over
+	h.h.Total += cp.Total
+	h.sum += sum
+	h.mu.Unlock()
+}
+
+// mergeFrom absorbs the source registries into dst, iterating every metric
+// map in sorted-key order so the merged registry's creation order — and
+// with it every downstream rendering — is deterministic.
+func (dst *Registry) mergeFrom(srcs []*Registry) {
+	for _, src := range srcs {
+		src.mu.Lock()
+		counters := make(map[metricKey]*Counter, len(src.counters))
+		for k, v := range src.counters {
+			counters[k] = v
+		}
+		gauges := make(map[metricKey]*Gauge, len(src.gauges))
+		for k, v := range src.gauges {
+			gauges[k] = v
+		}
+		hists := make(map[metricKey]*Histogram, len(src.hists))
+		for k, v := range src.hists {
+			hists[k] = v
+		}
+		labels := make(map[metricKey]Labels, len(src.labels))
+		for k, v := range src.labels {
+			labels[k] = v
+		}
+		src.mu.Unlock()
+		for _, k := range sortedKeys(counters) {
+			dst.counterCanon(k.name, k.labels, labels[k]).Add(counters[k].Get())
+		}
+		for _, k := range sortedKeys(gauges) {
+			dst.gaugeCanon(k.name, k.labels, labels[k]).Set(gauges[k].Get())
+		}
+		for _, k := range sortedKeys(hists) {
+			cp, sum := hists[k].Snapshot()
+			dst.histogramCanon(k.name, k.labels, labels[k], cp.Edges).merge(cp, sum)
+		}
+	}
+
+	// Timelines need every source at once: the merged series is the sum of
+	// step functions, rebuilt monotonically (trace.Timeline only appends).
+	seen := make(map[metricKey]Labels)
+	var keys []metricKey
+	for _, src := range srcs {
+		src.mu.Lock()
+		for k := range src.timelines {
+			if _, ok := seen[k]; !ok {
+				seen[k] = src.labels[k].clone()
+				keys = append(keys, k)
+			}
+		}
+		src.mu.Unlock()
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].labels < keys[j].labels
+	})
+	for _, k := range keys {
+		var parts []*Timeline
+		for _, src := range srcs {
+			src.mu.Lock()
+			tl := src.timelines[k]
+			src.mu.Unlock()
+			if tl != nil {
+				parts = append(parts, tl)
+			}
+		}
+		sumStepFunctions(dst.Timeline(k.name, seen[k]), parts)
+	}
+}
+
+// sumStepFunctions rebuilds dst as the pointwise sum of the source step
+// functions: each source is decomposed into (time, delta) increments, the
+// increments are merged in time order (ties collapse at the same instant,
+// so their ordering cannot affect the series), and the cumulative sum is
+// replayed into dst.
+func sumStepFunctions(dst *Timeline, srcs []*Timeline) {
+	const horizon = 1<<62 - 1
+	type step struct {
+		t time.Duration
+		d float64
+	}
+	var steps []step
+	for _, s := range srcs {
+		ts, vs := s.Window(0, horizon)
+		prev := 0.0
+		for i, t := range ts {
+			d := vs[i] - prev
+			prev = vs[i]
+			if d == 0 {
+				continue
+			}
+			steps = append(steps, step{t, d})
+		}
+	}
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].t < steps[j].t })
+	cum := 0.0
+	for _, st := range steps {
+		cum += st.d
+		dst.Set(st.t, cum)
+	}
+}

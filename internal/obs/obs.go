@@ -26,14 +26,21 @@ type Observer struct {
 	lastTUS int64
 }
 
-// New builds an Observer over a simulation environment.
+// New builds an Observer over a simulation environment and attaches the
+// engine's warn hook, so rare engine warnings (negative-delay clamps) land
+// on the event bus as EvEngineWarn.
 func New(env *sim.Env) *Observer {
-	return &Observer{
+	o := &Observer{
 		env:     env,
 		reg:     NewRegistry(),
 		spans:   trace.NewSpanRecorder(),
 		spansOn: true,
 	}
+	env.SetWarnFunc(func(code, msg string) {
+		o.Emit(Event{Type: EvEngineWarn, Actor: "sim",
+			Attrs: map[string]string{"code": code, "msg": msg}})
+	})
+	return o
 }
 
 // SetSpansEnabled turns span/instant recording on or off. Runs that never

@@ -69,6 +69,10 @@ type noneRemote struct{}
 func (noneRemote) ExtraNodes(int) int                                       { return 0 }
 func (noneRemote) NewTier(RemoteRuntime, RemoteOptions) (RemoteTier, error) { return nil, nil }
 
+// A disabled remote level trivially stays inside any node group.
+func (noneRemote) ShardLocal() bool   { return true }
+func (noneRemote) MinShardNodes() int { return 1 }
+
 // noneBottom disables the bottom level by building a nil tier.
 type noneBottom struct{}
 
@@ -79,6 +83,12 @@ func (noneBottom) NewTier(*sim.Env, BottomOptions) (BottomTier, error) { return 
 type buddyPolicy struct{ scheme remote.Scheme }
 
 func (buddyPolicy) ExtraNodes(int) int { return 0 }
+
+// The buddy ring is (n+1) mod N over whatever node set the tier is built
+// with, so a partitioned cluster that builds one tier per node group keeps
+// every ship intra-group; a ring needs at least two nodes to have a buddy.
+func (buddyPolicy) ShardLocal() bool   { return true }
+func (buddyPolicy) MinShardNodes() int { return 2 }
 
 func (bp buddyPolicy) NewTier(rt RemoteRuntime, o RemoteOptions) (RemoteTier, error) {
 	if o.Group != 0 {

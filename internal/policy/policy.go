@@ -148,6 +148,21 @@ type RemotePolicy interface {
 	NewTier(rt RemoteRuntime, o RemoteOptions) (RemoteTier, error)
 }
 
+// ShardLocalPolicy is an optional capability a RemotePolicy implements to
+// declare that its tier's data flows stay inside any contiguous node group a
+// partitioned cluster builds it over (each group instantiates its own tier,
+// so e.g. the buddy ring is re-rung within the group). The sharded engine
+// only partitions runs whose remote policy advertises this; everything else
+// falls back to the serial engine.
+type ShardLocalPolicy interface {
+	// ShardLocal reports whether per-group tier instances are equivalent to
+	// one global instance for this policy.
+	ShardLocal() bool
+	// MinShardNodes is the smallest node group the tier still functions in
+	// (a buddy ring needs two nodes; a disabled tier runs with one).
+	MinShardNodes() int
+}
+
 // BottomOptions tunes the bottom storage tier.
 type BottomOptions struct {
 	AggregateBW float64

@@ -203,6 +203,11 @@ type Scenario struct {
 	PayloadCap    int  `json:"payload_cap,omitempty"`
 	SingleVersion bool `json:"single_version,omitempty"`
 
+	// Shards pins the run's event-engine shard count (0 = the runner's
+	// default policy, usually auto; 1 = the serial engine). Requests the
+	// topology or configuration cannot honor are capped or fall back.
+	Shards int `json:"shards,omitempty"`
+
 	Obs ObsSpec `json:"obs,omitempty"`
 
 	// SLO declares the run's service-level objectives, evaluated online by
@@ -259,6 +264,9 @@ func (sc *Scenario) Validate() error {
 	if sc.NVMPerCoreBW < 0 || sc.LinkBW < 0 {
 		return fmt.Errorf("scenario %s: bandwidths must be non-negative (nvm_per_core_bw %g, link_bw %g)",
 			sc.label(), sc.NVMPerCoreBW, sc.LinkBW)
+	}
+	if sc.Shards < 0 {
+		return fmt.Errorf("scenario %s: shards must be >= 0, got %d", sc.label(), sc.Shards)
 	}
 	if _, ok := workload.SpecByName(sc.Workload.App); !ok {
 		var names []string

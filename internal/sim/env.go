@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -25,26 +24,37 @@ import (
 // through the Proc mechanism itself.
 //
 // Events due at the current instant live in a FIFO ring (nowq) instead of
-// the time-ordered heap: the dominant scheduling pattern is an immediate
-// wake (Sleep(0), wakeLater, handoffs), and a ring append/pop is O(1) where
-// the heap costs O(log n). Dispatch order is still strictly (time, seq) —
-// the ring only ever holds events stamped at the current time with
-// monotonically increasing sequence numbers, so comparing the ring head
-// against the heap top reproduces the exact total order a single heap would
-// produce.
+// the time-ordered ladder queue: the dominant scheduling pattern is an
+// immediate wake (Sleep(0), wakeLater, handoffs), and a ring append/pop is
+// O(1). Dispatch order is still strictly (time, seq) — the ring only ever
+// holds events stamped at the current time with monotonically increasing
+// sequence numbers, so comparing the ring head against the ladder's front
+// reproduces the exact total order a single priority queue would produce.
 type Env struct {
 	now    time.Duration
-	queue  eventHeap
+	queue  ladder
 	seq    uint64 // tie-breaker for events scheduled at the same instant
 	parked chan struct{}
 	cur    *Proc // process currently executing, nil in scheduler context
 	fatal  any   // panic value captured from a process, re-raised by Run
 	nprocs int   // live (started, not yet finished) processes
+	brk    bool  // Break() requested: pause the run loop after this dispatch
 
 	nowq     []*Event // FIFO of events due at the current instant
 	nowqHead int
 	free     []*Event // recycled internal (direct-wake) events
 	nfired   uint64   // events dispatched over the Env's lifetime
+
+	// arena chunk-allocates events (see alloc); arenaUsed indexes the
+	// current block's next free slot.
+	arena     []Event
+	arenaUsed int
+
+	// warnFn receives rare, deduplicated engine warnings (the obs layer
+	// attaches the run's event bus here); negWarned latches the one-shot
+	// negative-delay warning.
+	warnFn    func(code, msg string)
+	negWarned bool
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -60,27 +70,68 @@ func (e *Env) Now() time.Duration { return e.now }
 func (e *Env) EventsFired() uint64 { return e.nfired }
 
 // Schedule registers fn to run at Now()+delay in scheduler context and
-// returns a handle that may be used to cancel it. A negative delay is
-// treated as zero. Events at equal times fire in scheduling order.
+// returns a handle that may be used to cancel it. Events at equal times fire
+// in scheduling order.
+//
+// Contract: delay must be non-negative — virtual time never runs backwards.
+// A negative delay is clamped to zero (the event fires at the current
+// instant, after events already due), and the first occurrence per Env
+// raises a "negative-delay" engine warning through the warn hook so the
+// modeling bug that produced it is visible on the run's event bus rather
+// than silently absorbed.
 func (e *Env) Schedule(delay time.Duration, fn func()) *Event {
 	if delay < 0 {
+		if !e.negWarned {
+			e.negWarned = true
+			if e.warnFn != nil {
+				e.warnFn("negative-delay", fmt.Sprintf(
+					"Schedule called with negative delay %v at t=%v; clamped to 0 (reported once)",
+					delay, e.now))
+			}
+		}
 		delay = 0
 	}
 	return e.At(e.now+delay, fn)
 }
 
+// SetWarnFunc installs the engine's warning sink: rare, deduplicated
+// conditions (e.g. the first negative-delay Schedule) — not a general
+// logging path. obs.New attaches the run's event bus here so warnings become
+// typed events.
+func (e *Env) SetWarnFunc(fn func(code, msg string)) { e.warnFn = fn }
+
 // At registers fn to run at absolute virtual time t. If t is in the past it
 // fires at the current time (but never before events already due).
 func (e *Env) At(t time.Duration, fn func()) *Event {
-	ev := &Event{fn: fn}
+	ev := e.alloc()
+	ev.fn = fn
 	e.enqueue(ev, t)
 	return ev
 }
 
+// arenaBlock is how many events one arena chunk holds.
+const arenaBlock = 256
+
+// alloc hands out events from a chunked arena: a pointer bump in the common
+// case, one block allocation per arenaBlock events — the zero-alloc dispatch
+// path's counterpart to the direct-wake free list. Arena events are never
+// recycled: callers may hold Cancel handles indefinitely, and reuse would
+// let a stale handle cancel an unrelated occupant. (Pooled direct-wake
+// events cycle through the generation-guarded free list instead.)
+func (e *Env) alloc() *Event {
+	if e.arenaUsed == len(e.arena) {
+		e.arena = make([]Event, arenaBlock)
+		e.arenaUsed = 0
+	}
+	ev := &e.arena[e.arenaUsed]
+	e.arenaUsed++
+	return ev
+}
+
 // enqueue stamps ev with (t, next seq) and routes it to the now-ring or the
-// heap. Events created through the public API are heap-allocated and never
-// recycled (callers may hold Cancel handles indefinitely); internal
-// direct-wake events come from the free list.
+// ladder. Events created through the public API come from the arena and are
+// never recycled (callers may hold Cancel handles indefinitely); internal
+// direct-wake events cycle through the free list.
 func (e *Env) enqueue(ev *Event, t time.Duration) {
 	if t < e.now {
 		t = e.now
@@ -92,7 +143,7 @@ func (e *Env) enqueue(ev *Event, t time.Duration) {
 		e.nowq = append(e.nowq, ev)
 		return
 	}
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 }
 
 // scheduleWake schedules a direct wake of p's wait seq with kind k at
@@ -111,7 +162,8 @@ func (e *Env) scheduleWake(delay time.Duration, p *Proc, seq uint64, k wakeKind)
 		e.free = e.free[:n-1]
 		ev.cancelled = false
 	} else {
-		ev = &Event{pooled: true}
+		ev = e.alloc()
+		ev.pooled = true
 	}
 	ev.wakeP = p
 	ev.wakeSeq = seq
@@ -148,8 +200,15 @@ func (e *Env) Run() {
 
 // pending returns the total number of queued events.
 func (e *Env) pending() int {
-	return e.queue.Len() + len(e.nowq) - e.nowqHead
+	return e.queue.len() + len(e.nowq) - e.nowqHead
 }
+
+// Break pauses the run loop after the event currently dispatching completes,
+// leaving the clock and every queued event in place; the next Run or
+// RunUntil resumes exactly where the loop stopped. The sharded engine's
+// cross-shard gates call this when they fill, handing control back to the
+// coordinator between rendezvous rounds.
+func (e *Env) Break() { e.brk = true }
 
 // RunUntil executes events with timestamps <= horizon, then sets the clock to
 // horizon if it advanced that far. Events beyond the horizon stay queued and
@@ -162,9 +221,9 @@ func (e *Env) RunUntil(horizon time.Duration) {
 			next = e.nowq[e.nowqHead]
 			fromRing = true
 		}
-		if top := e.queue; len(top) > 0 {
-			if next == nil || top[0].t < next.t || (top[0].t == next.t && top[0].seq < next.seq) {
-				next = top[0]
+		if top := e.queue.peek(); top != nil {
+			if next == nil || top.t < next.t || (top.t == next.t && top.seq < next.seq) {
+				next = top
 				fromRing = false
 			}
 		}
@@ -185,7 +244,7 @@ func (e *Env) RunUntil(horizon time.Duration) {
 				e.nowqHead = 0
 			}
 		} else {
-			heap.Pop(&e.queue)
+			e.queue.pop()
 		}
 		if next.cancelled {
 			e.release(next)
@@ -206,6 +265,10 @@ func (e *Env) RunUntil(horizon time.Duration) {
 			f := e.fatal
 			e.fatal = nil
 			panic(f)
+		}
+		if e.brk {
+			e.brk = false
+			return
 		}
 	}
 	if e.now < horizon && horizon < 1<<62-1 {
@@ -258,7 +321,6 @@ type Event struct {
 	seq       uint64
 	fn        func()
 	cancelled bool
-	index     int
 
 	// Direct-wake payload: internal events (Sleep timers, deferred wakes)
 	// dispatch a wake without allocating a closure, and recycle through the
@@ -276,34 +338,6 @@ func (ev *Event) Cancel() { ev.cancelled = true }
 
 // Time returns the virtual time at which the event is due.
 func (ev *Event) Time() time.Duration { return ev.t }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
 
 // String implements fmt.Stringer for debugging.
 func (e *Env) String() string {

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"sort"
+	"time"
+)
+
+// ladder is the Env's pending-event scheduler: a two-band priority structure
+// replacing the former container/heap binary heap. The near band holds the
+// earliest events, kept fully sorted in *descending* (t, seq) order so the
+// next event pops off the end in O(1) and a binary-search insert shifts only
+// the band's small tail. Everything later than the split boundary waits in
+// the far band, which absorbs pushes in O(1) and is sorted lazily, one chunk
+// at a time, as the near band drains.
+//
+// The structure preserves the exact (t, seq) total order a single heap would
+// produce — the split boundary is maintained so equal-time events can never
+// straddle the two bands — while dropping the heap's interface boxing and
+// per-operation sift costs from the dispatch hot path.
+type ladder struct {
+	near []*Event // sorted descending by (t, seq); near[len-1] is next
+	far  []*Event // events with t > split; far[:farSorted] ascending, rest unsorted
+	// farSorted is the length of far's sorted spine: refills sort only the
+	// freshly pushed tail and merge it in, so long-parked events are not
+	// re-sorted on every refill.
+	farSorted int
+	// split is the newest timestamp admitted into the near band (inclusive).
+	split time.Duration
+}
+
+// nearChunk bounds how many events one refill promotes into the near band.
+// Small enough that the shifting insert stays cheap, large enough that
+// refills amortize across many pops.
+const nearChunk = 64
+
+func (l *ladder) len() int { return len(l.near) + len(l.far) }
+
+// push files a stamped event. Events at or before the split join the sorted
+// near band; later events wait unsorted in far.
+func (l *ladder) push(ev *Event) {
+	if len(l.near) == 0 && len(l.far) == 0 {
+		l.split = ev.t
+		l.near = append(l.near, ev)
+		return
+	}
+	if ev.t <= l.split {
+		i := sort.Search(len(l.near), func(i int) bool {
+			n := l.near[i]
+			return n.t < ev.t || (n.t == ev.t && n.seq < ev.seq)
+		})
+		l.near = append(l.near, nil)
+		copy(l.near[i+1:], l.near[i:])
+		l.near[i] = ev
+		return
+	}
+	l.far = append(l.far, ev)
+}
+
+// peek returns the earliest pending event without removing it, or nil when
+// the ladder is empty. May promote a chunk from far into near.
+func (l *ladder) peek() *Event {
+	if len(l.near) == 0 {
+		if len(l.far) == 0 {
+			return nil
+		}
+		l.refill()
+	}
+	return l.near[len(l.near)-1]
+}
+
+// pop removes and returns the earliest pending event, or nil when empty.
+func (l *ladder) pop() *Event {
+	ev := l.peek()
+	if ev == nil {
+		return nil
+	}
+	n := len(l.near) - 1
+	l.near[n] = nil
+	l.near = l.near[:n]
+	return ev
+}
+
+// refill promotes the earliest chunk of far into the (empty) near band:
+// sort the unsorted tail, merge it with the sorted spine, move the first
+// nearChunk events — extended through any run of equal timestamps so the
+// split boundary never divides same-time events — and advance split.
+func (l *ladder) refill() {
+	if l.farSorted < len(l.far) {
+		tail := l.far[l.farSorted:]
+		sort.Slice(tail, func(i, j int) bool {
+			if tail[i].t != tail[j].t {
+				return tail[i].t < tail[j].t
+			}
+			return tail[i].seq < tail[j].seq
+		})
+		if l.farSorted > 0 {
+			l.far = mergeEvents(l.far[:l.farSorted], tail)
+		}
+		l.farSorted = len(l.far)
+	}
+	k := nearChunk
+	if k > len(l.far) {
+		k = len(l.far)
+	}
+	for k < len(l.far) && l.far[k].t == l.far[k-1].t {
+		k++
+	}
+	l.split = l.far[k-1].t
+	for i := k - 1; i >= 0; i-- {
+		l.near = append(l.near, l.far[i])
+	}
+	rest := copy(l.far, l.far[k:])
+	for i := rest; i < len(l.far); i++ {
+		l.far[i] = nil
+	}
+	l.far = l.far[:rest]
+	l.farSorted = rest
+}
+
+// mergeEvents merges two (t, seq)-ascending slices into a fresh slice.
+func mergeEvents(a, b []*Event) []*Event {
+	out := make([]*Event, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x.t < y.t || (x.t == y.t && x.seq < y.seq) {
+			out = append(out, x)
+			i++
+		} else {
+			out = append(out, y)
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// refMin returns the index of the (t, seq)-minimum event in live — the
+// reference model every ladder pop is checked against.
+func refMin(live []*Event) int {
+	best := 0
+	for i := 1; i < len(live); i++ {
+		a, b := live[i], live[best]
+		if a.t < b.t || (a.t == b.t && a.seq < b.seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// TestLadderMatchesReferenceOrder drives the ladder with seeded random
+// interleavings of pushes and pops and checks every pop against a reference
+// model of the live set — the exact (t, seq) total order the old binary heap
+// produced and the determinism contract depends on.
+func TestLadderMatchesReferenceOrder(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var l ladder
+		var live []*Event
+		seq := uint64(0)
+		floor := time.Duration(0) // pops advance the clock; pushes stay >= it
+		for op := 0; op < 5000; op++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				seq++
+				ev := &Event{
+					t:   floor + time.Duration(rng.Intn(2000))*time.Microsecond,
+					seq: seq,
+				}
+				l.push(ev)
+				live = append(live, ev)
+			} else {
+				got := l.pop()
+				i := refMin(live)
+				if got != live[i] {
+					t.Fatalf("seed %d op %d: pop (%v,%d), reference min (%v,%d)",
+						seed, op, got.t, got.seq, live[i].t, live[i].seq)
+				}
+				floor = got.t
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for len(live) > 0 {
+			got := l.pop()
+			i := refMin(live)
+			if got != live[i] {
+				t.Fatalf("seed %d drain: pop (%v,%d), reference min (%v,%d)",
+					seed, got.t, got.seq, live[i].t, live[i].seq)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if l.pop() != nil {
+			t.Fatalf("seed %d: ladder not empty after drain", seed)
+		}
+	}
+}
+
+// TestLadderDrainIsTotalOrder pushes a large shuffled batch and drains it,
+// asserting the exact sorted (t, seq) sequence comes back — including long
+// runs of equal timestamps that must not straddle the split boundary.
+func TestLadderDrainIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var l ladder
+	var all []*Event
+	for i := 0; i < 3000; i++ {
+		ev := &Event{
+			// Few distinct timestamps → many ties stressing the equal-time
+			// extension in refill.
+			t:   time.Duration(rng.Intn(40)) * time.Millisecond,
+			seq: uint64(i + 1),
+		}
+		all = append(all, ev)
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	for _, ev := range all {
+		l.push(ev)
+	}
+	want := append([]*Event(nil), all...)
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].t != want[j].t {
+			return want[i].t < want[j].t
+		}
+		return want[i].seq < want[j].seq
+	})
+	for i, w := range want {
+		got := l.pop()
+		if got != w {
+			t.Fatalf("pop %d: got (%v,%d), want (%v,%d)", i, got.t, got.seq, w.t, w.seq)
+		}
+	}
+	if l.pop() != nil {
+		t.Fatal("ladder not empty after full drain")
+	}
+}
+
+// TestLadderInterleavedSchedule mirrors the engine's use: pops advance a
+// clock and pushes schedule into the future relative to it.
+func TestLadderInterleavedSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var l ladder
+	seq := uint64(0)
+	now := time.Duration(0)
+	push := func(delay time.Duration) {
+		seq++
+		l.push(&Event{t: now + delay, seq: seq})
+	}
+	for i := 0; i < 64; i++ {
+		push(time.Duration(rng.Intn(500)+1) * time.Microsecond)
+	}
+	var lastT time.Duration
+	var lastSeq uint64
+	pops := 0
+	for {
+		ev := l.pop()
+		if ev == nil {
+			break
+		}
+		if ev.t < lastT || (ev.t == lastT && ev.seq < lastSeq) {
+			t.Fatalf("pop %d: (%v,%d) after (%v,%d)", pops, ev.t, ev.seq, lastT, lastSeq)
+		}
+		lastT, lastSeq = ev.t, ev.seq
+		now = ev.t
+		pops++
+		if pops < 20000 {
+			// Self-rescheduling pattern plus occasional far-future fan-out.
+			push(time.Microsecond)
+			if pops%97 == 0 {
+				for k := 0; k < 5; k++ {
+					push(time.Duration(rng.Intn(100000)+1) * time.Microsecond)
+				}
+			}
+		}
+	}
+	if pops < 20000 {
+		t.Fatalf("drained after %d pops, expected >= 20000", pops)
+	}
+}
