@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check ci presets faults invariants slo clean bench bench-check bench-shards
+.PHONY: all build test race vet fmt lint check ci presets faults invariants slo fleet clean bench bench-check bench-shards
 
 all: build
 
@@ -63,6 +63,18 @@ invariants:
 	$(GO) test -race ./internal/lineage/ ./internal/introspect/
 	$(GO) test -race -run 'TestShardDeterminism' ./internal/cluster/
 	$(GO) run ./cmd/nvmcp-sim -preset faults -scale tiny -invariants
+	$(GO) run ./cmd/nvmcp-sim -scenario docs/scenarios/zone-outage.json -invariants
+
+# fleet is the fleet-scale chaos gate: the topology / placement /
+# survivability test suites under the race detector, the fleet end-to-end
+# tests in the cluster package (-short skips the 1k-node determinism audit,
+# which `make race` already runs), and the checked-in must-survive artifact:
+# a whole-zone loss under spread placement must recover every chunk with the
+# lineage invariant checker on, emitting the stress-report pair as it goes.
+fleet:
+	$(GO) test -race ./internal/topo/ ./internal/policy/ ./internal/stress/ ./internal/scenario/
+	$(GO) test -race -short -run 'TestFleet|TestZoneOutage' ./internal/cluster/
+	$(GO) run -race ./cmd/nvmcp-sim -scenario docs/scenarios/zone-outage.json -invariants -stress-report-out bench/fleet-check.html
 
 # slo runs the SLO engine gate: the evaluator/report/diff test suite, both
 # SLO presets in strict mode (any objective breach fails the command), a
@@ -81,9 +93,9 @@ slo:
 # ci is the gate the workflow runs: lint (fmt + vet + grep idioms), the full
 # test suite under the race detector (obs publication crosses host
 # goroutines), the preset and fault-cascade smoke sweeps, the lineage
-# invariant gate, the SLO gate, and the perf regression check against the
-# checked-in baseline.
-ci: lint race presets faults invariants slo bench-check
+# invariant gate, the SLO gate, the fleet-scale chaos gate, and the perf
+# regression check against the checked-in baseline.
+ci: lint race presets faults invariants slo fleet bench-check
 
 # bench refreshes the perf records: the testing.B suites (sim kernel,
 # resource layer, paper end-to-end) plus the nvmcp-perf probes, which write

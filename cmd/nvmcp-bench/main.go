@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"nvmcp/internal/experiments"
 	"nvmcp/internal/introspect"
 	"nvmcp/internal/scenario"
+	"nvmcp/internal/stress"
 	"nvmcp/internal/workload"
 )
 
@@ -123,6 +125,10 @@ var runners = map[string]experimentDef{
 		run:   func(s experiments.Scale) any { return experiments.RunAvailability(s) },
 		print: func(w io.Writer, r any) { experiments.PrintAvailability(w, r.([]experiments.AvailabilityRow)) },
 	},
+	"fleet": {
+		run:   func(s experiments.Scale) any { return experiments.RunFleet(s) },
+		print: func(w io.Writer, r any) { experiments.PrintFleet(w, r.(experiments.FleetResult)) },
+	},
 }
 
 // order fixes the presentation sequence of `all`: the preset table's
@@ -161,6 +167,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit results as JSON (combined on stdout, plus one BENCH_<scenario>.json per experiment)")
 	jsonDir := flag.String("json-dir", ".", "directory for BENCH_<scenario>.json files")
 	reportOut := flag.String("report-out", "", "write an aggregate report JSON of every scenario run to this file")
+	stressOut := flag.String("stress-out", "", "write the fleet experiment's stress report to <path>.html and <path>.json")
 	httpAddr := flag.String("http", "", "serve live introspection (/healthz /progress, pprof) on this address, e.g. :8080")
 	shards := flag.String("shards", "auto", "event-engine shards for every run: auto = min(GOMAXPROCS, topology), or a count (1 = serial engine)")
 	flag.Usage = usage
@@ -258,6 +265,12 @@ func main() {
 			Result:   result,
 		}
 		records = append(records, rec)
+		if fr, ok := result.(experiments.FleetResult); ok && *stressOut != "" {
+			if err := writeStressReport(*stressOut, fr.Report); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		if *asJSON {
 			// The combined stdout object and the per-file artifacts share
 			// the benchRecord envelope, so consumers parse one schema.
@@ -290,6 +303,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeStressReport writes the fleet stress-report pair: <base>.json (the
+// stable schema) and <base>.html (self-contained MTTR/availability curves).
+func writeStressReport(path string, rep stress.Report) error {
+	base := strings.TrimSuffix(path, filepath.Ext(path))
+	jf, err := os.Create(base + ".json")
+	if err != nil {
+		return err
+	}
+	if err := stress.WriteJSON(jf, rep); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	hf, err := os.Create(base + ".html")
+	if err != nil {
+		return err
+	}
+	if err := stress.WriteHTML(hf, rep); err != nil {
+		hf.Close()
+		return err
+	}
+	if err := hf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote stress report -> %s.json, %s.html\n", base, base)
+	return nil
 }
 
 // writeJSONFile renders v as indented JSON at path. The file is closed (and
@@ -335,6 +378,7 @@ experiments:
   interval    checkpoint-interval sweep under failures vs Young's optimum
   redundancy  buddy replication vs XOR parity for the remote level
   hierarchy   PFS-direct vs the full three-level hierarchy
+  fleet       fleet-scale chaos: MTTR/availability over size, domain loss, placement
   all         everything above, in order
 `)
 	flag.PrintDefaults()

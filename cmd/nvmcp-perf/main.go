@@ -204,6 +204,24 @@ var probes = []probe{
 		extra: fleetSpeedup,
 	},
 	{
+		// One 1,000-node heterogeneous-fleet zone outage on the serial
+		// engine: fleet generation, wave startup, the correlated domain
+		// loss, and whole-zone recovery, end to end. Guards the fleet
+		// paths that the sharded probes (failure-free by construction)
+		// never exercise.
+		id: "fleet-1k", reps: 1, shards: 1,
+		run: func() uint64 {
+			sc := experiments.FleetChaosScenario(1000, experiments.Paper, "spread", "zone")
+			cfg, err := cluster.FromScenario(sc)
+			if err != nil {
+				panic(err)
+			}
+			cfg.Shards = 1
+			_, c := cluster.MustRun(cfg)
+			return c.EventsFired()
+		},
+	},
+	{
 		// The full Figure 9 sweep at paper scale — the acceptance metric
 		// the optimization work is held to.
 		id: "fig9-paper", reps: 1,

@@ -35,6 +35,7 @@ import (
 	"nvmcp/internal/policy"
 	"nvmcp/internal/scenario"
 	"nvmcp/internal/slo"
+	"nvmcp/internal/stress"
 	"nvmcp/internal/trace"
 )
 
@@ -75,6 +76,7 @@ func main() {
 		sloOn        = flag.Bool("slo", false, "record SLO flight-recorder time series (report summary + /slo endpoints)")
 		sloStrict    = flag.Bool("slo-strict", false, "fail the run on the first SLO objective breach (implies -slo)")
 		sloReportOut = flag.String("slo-report-out", "", "write the SLO run report to <path>.html and <path>.json (implies -slo)")
+		stressOut    = flag.String("stress-report-out", "", "write the run's stress report (survivability + MTTR/availability cell) to <path>.html and <path>.json")
 		shardsFlag   = flag.String("shards", "auto", "event-engine shards: auto = min(GOMAXPROCS, topology), or a count (1 = serial engine)")
 		sweepPath    = flag.String("sweep", "", "run every cell of a sweep JSON file sequentially")
 		httpAddr     = flag.String("http", "", "serve live introspection (/healthz /metrics /progress /lineage, pprof) on this address, e.g. :8080")
@@ -87,7 +89,7 @@ func main() {
 	flag.Parse()
 
 	if *listPresets {
-		printPresets(os.Stdout)
+		printPresets(os.Stdout, *scaleName)
 		return
 	}
 	if *sweepPath != "" {
@@ -296,6 +298,13 @@ func main() {
 	tb.AddRow("workload checksum", fmt.Sprintf("%016x", res.WorkloadChecksum))
 	tb.Write(os.Stdout)
 
+	// Fleet runs get the placement verdict: can a single zone loss destroy
+	// all copies of any chunk under this run's replica placement?
+	surv := stress.AnalyzeRun(c)
+	if cfg.Topo != nil {
+		fmt.Println(surv.Verdict())
+	}
+
 	writeArtifact(*eventsOut, "events", c.Obs.WriteEventsJSONL)
 	writeArtifact(*metricsOut, "metrics", c.Obs.Registry().WriteProm)
 	writeArtifact(*traceOut, "trace", c.Obs.Spans().WriteChrome)
@@ -310,6 +319,7 @@ func main() {
 		return obs.WriteReport(w, rep)
 	})
 	writeSLOReport(*sloReportOut, c, sc)
+	writeStressReport(*stressOut, sc, c, res, surv)
 
 	if *httpAddr != "" && *httpHold {
 		// The finished run stays inspectable (curl /lineage, grab a pprof
@@ -343,15 +353,28 @@ func resolveScenario(path, preset, scaleName string, fromFlags func() *scenario.
 	return sc, nil
 }
 
-// printPresets lists every preset id with its one-line description.
-func printPresets(w io.Writer) {
-	tb := &trace.Table{Header: []string{"preset", "runs via", "description"}}
+// printPresets lists every preset id with its fleet/fault-domain shape at
+// the given scale and its one-line description. The fleet column sits
+// between "runs via" and "description" so the Makefile's field-positional
+// preset sweep (awk '$3 == "-preset"') keeps matching.
+func printPresets(w io.Writer, scaleName string) {
+	scale, err := scenario.ParseScale(scaleName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		os.Exit(2)
+	}
+	tb := &trace.Table{Header: []string{"preset", "runs via", "fleet", "description"}}
 	for _, p := range scenario.Presets() {
 		via := "nvmcp-sim -preset " + p.ID
+		fleet := "-"
 		if !p.ClusterShaped() {
 			via = "nvmcp-bench " + p.ID
+		} else if sc := p.Build(scale); sc.Fleet != nil {
+			if tp := sc.Topology(); tp != nil {
+				fleet = fmt.Sprintf("%dn %s", tp.Nodes(), tp.Summary())
+			}
 		}
-		tb.AddRow(p.ID, via, p.Description)
+		tb.AddRow(p.ID, via, fleet, p.Description)
 	}
 	tb.Write(w)
 }
@@ -414,6 +437,29 @@ func writeSLOReport(path string, c *cluster.Cluster, sc *scenario.Scenario) {
 	})
 	writeArtifact(base+".json", "slo report (json)", func(w io.Writer) error {
 		return slo.WriteJSON(w, rep)
+	})
+}
+
+// writeStressReport renders the run as a one-cell stress report pair:
+// <base>.json (the stable schema, diffable) and <base>.html (self-contained
+// survivability verdict plus MTTR/availability cell).
+func writeStressReport(path string, sc *scenario.Scenario, c *cluster.Cluster, res cluster.Result, surv *stress.Survivability) {
+	if path == "" {
+		return
+	}
+	var survs []*stress.Survivability
+	if surv != nil {
+		survs = append(survs, surv)
+	}
+	rep := stress.BuildReport(
+		stress.Meta{Tool: "nvmcp-sim", Scenario: sc.Name, Seed: sc.FaultSeed},
+		survs, []stress.Cell{stress.CellFromRun(sc, c, res)})
+	base := strings.TrimSuffix(path, filepath.Ext(path))
+	writeArtifact(base+".html", "stress report (html)", func(w io.Writer) error {
+		return stress.WriteHTML(w, rep)
+	})
+	writeArtifact(base+".json", "stress report (json)", func(w io.Writer) error {
+		return stress.WriteJSON(w, rep)
 	})
 }
 

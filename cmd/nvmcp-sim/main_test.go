@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nvmcp/internal/scenario"
+)
+
+// TestPresetListingFleetColumn pins the -list-presets contract: fleet-backed
+// presets show their generated topology, everything else shows "-", and the
+// column order keeps `awk '$3 == "-preset"'` (the Makefile's preset sweep)
+// matching exactly the cluster-shaped presets.
+func TestPresetListingFleetColumn(t *testing.T) {
+	var buf strings.Builder
+	printPresets(&buf, "quick")
+	out := buf.String()
+
+	rows := map[string]string{}
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if i < 2 { // header + rule
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			t.Fatalf("preset row has fewer than 4 columns: %q", line)
+		}
+		rows[fields[0]] = line
+	}
+
+	for _, p := range scenario.Presets() {
+		line, ok := rows[p.ID]
+		if !ok {
+			t.Errorf("preset %q missing from listing", p.ID)
+			continue
+		}
+		fields := strings.Fields(line)
+		if p.ClusterShaped() {
+			if fields[2] != "-preset" {
+				t.Errorf("%s: field 3 = %q; Makefile awk sweep expects \"-preset\"", p.ID, fields[2])
+			}
+			sc := p.Build(scenario.ScaleQuick)
+			if sc.Fleet != nil && !strings.Contains(line, "p/") {
+				t.Errorf("%s: fleet preset row lacks a topology summary: %q", p.ID, line)
+			}
+			if sc.Fleet == nil && fields[4] != "-" {
+				t.Errorf("%s: non-fleet preset should show \"-\" in the fleet column: %q", p.ID, line)
+			}
+		} else if fields[2] == "-preset" {
+			t.Errorf("%s: bench-only preset must not match the awk preset sweep: %q", p.ID, line)
+		}
+	}
+
+	// The concrete shape the docs promise for a generated fleet.
+	if line := rows["fleet-zone"]; !strings.Contains(line, "96n 1p/4z/8r") {
+		t.Errorf("fleet-zone@quick topology column = %q, want 96n 1p/4z/8r", line)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"nvmcp/internal/core"
@@ -32,6 +33,7 @@ import (
 	"nvmcp/internal/remote"
 	"nvmcp/internal/sim"
 	"nvmcp/internal/slo"
+	"nvmcp/internal/topo"
 	"nvmcp/internal/trace"
 	"nvmcp/internal/workload"
 )
@@ -58,6 +60,16 @@ type FailureEvent struct {
 	// bandwidth fraction (0 = fully down).
 	Duration time.Duration
 	Factor   float64
+	// Provider/Zone/Rack address the failure domain of a correlated kind
+	// (rack-outage, zone-outage, provider-outage); they need Config.Topo.
+	Provider int
+	Zone     int
+	Rack     int
+	// Soft makes a domain outage spare the victims' NVM.
+	Soft bool
+	// Waves and WaveDelay shape a link-storm's seeded rack-to-rack cascade.
+	Waves     int
+	WaveDelay time.Duration
 }
 
 // EffectiveKind resolves the event's failure class: an explicit Kind wins,
@@ -75,14 +87,29 @@ func (f FailureEvent) EffectiveKind() fault.Kind {
 // toFault lowers the event into the injector's representation.
 func (f FailureEvent) toFault() fault.Event {
 	return fault.Event{
-		At:       f.After,
-		Node:     f.Node,
-		Kind:     f.EffectiveKind(),
-		Chunks:   f.Chunks,
-		Torn:     f.Torn,
-		Duration: f.Duration,
-		Factor:   f.Factor,
+		At:        f.After,
+		Node:      f.Node,
+		Kind:      f.EffectiveKind(),
+		Chunks:    f.Chunks,
+		Torn:      f.Torn,
+		Duration:  f.Duration,
+		Factor:    f.Factor,
+		Provider:  f.Provider,
+		Zone:      f.Zone,
+		Rack:      f.Rack,
+		Soft:      f.Soft,
+		Waves:     f.Waves,
+		WaveDelay: f.WaveDelay,
 	}
+}
+
+// NodeShape is one node's machine shape in a heterogeneous (generated)
+// fleet. Zero-valued fields fall back to the Config-level defaults.
+type NodeShape struct {
+	Cores        int
+	DRAM         int64
+	NVM          int64
+	NVMPerCoreBW float64
 }
 
 // Config describes one cluster run.
@@ -95,6 +122,22 @@ type Config struct {
 	// per core (the Figures 7/8 x-axis); zero uses the Table I PCM device.
 	NVMPerCoreBW float64
 	LinkBW       float64
+
+	// Shapes gives each node its own machine shape (heterogeneous fleets);
+	// when set its length must equal Nodes, and the Config-level fields
+	// above become the defaults for a shape's zero-valued fields.
+	Shapes []NodeShape
+	// Topo assigns every node a (provider, zone, rack) failure-domain
+	// coordinate, enabling correlated fault kinds and topology-aware
+	// replica placement. Nil means no domain structure.
+	Topo *topo.Topology
+	// NodeStart staggers node startup: node n's ranks begin their first
+	// iteration NodeStart[n] into the run (generated fleet ramp-up).
+	NodeStart []time.Duration
+	// Placement selects the remote tier's replica placement ("" or
+	// "spread" for zone anti-affinity over Topo, "naive" for the paper's
+	// ring/consecutive-groups layout).
+	Placement string
 
 	App        workload.AppSpec
 	Iterations int
@@ -210,6 +253,34 @@ func (cfg *Config) setDefaults() {
 	}
 }
 
+// coresOf is node n's rank count: its shape's, or the homogeneous default.
+func (cfg *Config) coresOf(n int) int {
+	if n < len(cfg.Shapes) && cfg.Shapes[n].Cores > 0 {
+		return cfg.Shapes[n].Cores
+	}
+	return cfg.CoresPerNode
+}
+
+// rankBases is the prefix-sum rank numbering of a (possibly heterogeneous)
+// node set: rankBases()[n] is node n's first rank, rankBases()[Nodes] the
+// total rank count. Homogeneous clusters reduce to n*CoresPerNode.
+func (cfg *Config) rankBases() []int {
+	rb := make([]int, cfg.Nodes+1)
+	for n := 0; n < cfg.Nodes; n++ {
+		rb[n+1] = rb[n] + cfg.coresOf(n)
+	}
+	return rb
+}
+
+// totalRanks is the cluster's rank (process) count across all node shapes.
+func (cfg *Config) totalRanks() int {
+	t := 0
+	for n := 0; n < cfg.Nodes; n++ {
+		t += cfg.coresOf(n)
+	}
+	return t
+}
+
 // Validate checks a configuration after defaulting, returning an actionable
 // error instead of letting a degenerate run proceed silently.
 func (cfg *Config) Validate() error {
@@ -247,8 +318,30 @@ func (cfg *Config) Validate() error {
 	if cfg.Shards < ShardsAuto {
 		return fmt.Errorf("cluster: shards must be >= 0 (or ShardsAuto), got %d", cfg.Shards)
 	}
+	if len(cfg.Shapes) != 0 && len(cfg.Shapes) != cfg.Nodes {
+		return fmt.Errorf("cluster: %d node shapes for %d nodes", len(cfg.Shapes), cfg.Nodes)
+	}
+	for n, s := range cfg.Shapes {
+		if s.Cores < 0 || s.DRAM < 0 || s.NVM < 0 || s.NVMPerCoreBW < 0 {
+			return fmt.Errorf("cluster: node %d shape has negative fields: %+v", n, s)
+		}
+	}
+	if cfg.Topo != nil && cfg.Topo.Nodes() != cfg.Nodes {
+		return fmt.Errorf("cluster: topology covers %d nodes, cluster has %d", cfg.Topo.Nodes(), cfg.Nodes)
+	}
+	if len(cfg.NodeStart) != 0 && len(cfg.NodeStart) != cfg.Nodes {
+		return fmt.Errorf("cluster: %d node start delays for %d nodes", len(cfg.NodeStart), cfg.Nodes)
+	}
+	for n, d := range cfg.NodeStart {
+		if d < 0 {
+			return fmt.Errorf("cluster: node %d start delay %v is negative", n, d)
+		}
+	}
+	if _, err := policy.ParsePlacement(cfg.Placement); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
 	for i, f := range cfg.Failures {
-		if f.Node < 0 || f.Node >= cfg.Nodes {
+		if !f.EffectiveKind().Correlated() && (f.Node < 0 || f.Node >= cfg.Nodes) {
 			return fmt.Errorf("cluster: failure %d targets node %d, cluster has nodes 0..%d",
 				i, f.Node, cfg.Nodes-1)
 		}
@@ -258,7 +351,7 @@ func (cfg *Config) Validate() error {
 		if f.Hard && f.Kind != "" && f.Kind != fault.Hard {
 			return fmt.Errorf("cluster: failure %d sets hard but kind %q", i, f.Kind)
 		}
-		if err := f.toFault().Validate(cfg.Nodes); err != nil {
+		if err := f.toFault().Validate(cfg.Nodes, cfg.Topo); err != nil {
 			return fmt.Errorf("cluster: failure %d: %w", i, err)
 		}
 	}
@@ -266,12 +359,15 @@ func (cfg *Config) Validate() error {
 		if m.Horizon <= 0 {
 			return fmt.Errorf("cluster: fault model horizon must be positive, got %v", m.Horizon)
 		}
-		if m.MTBFSoft < 0 || m.MTBFHard < 0 {
-			return fmt.Errorf("cluster: fault model MTBFs must be non-negative (soft %v, hard %v)",
-				m.MTBFSoft, m.MTBFHard)
+		if m.MTBFSoft < 0 || m.MTBFHard < 0 || m.MTBFRack < 0 || m.MTBFZone < 0 {
+			return fmt.Errorf("cluster: fault model MTBFs must be non-negative (soft %v, hard %v, rack %v, zone %v)",
+				m.MTBFSoft, m.MTBFHard, m.MTBFRack, m.MTBFZone)
 		}
-		if m.MTBFSoft == 0 && m.MTBFHard == 0 {
+		if m.MTBFSoft == 0 && m.MTBFHard == 0 && m.MTBFRack == 0 && m.MTBFZone == 0 {
 			return fmt.Errorf("cluster: fault model needs at least one positive MTBF")
+		}
+		if (m.MTBFRack > 0 || m.MTBFZone > 0) && cfg.Topo == nil && m.Topo == nil {
+			return fmt.Errorf("cluster: fault model rack/zone MTBFs need a topology")
 		}
 		if m.Nodes < 0 || m.Nodes > cfg.Nodes {
 			return fmt.Errorf("cluster: fault model spans %d nodes, cluster has %d", m.Nodes, cfg.Nodes)
@@ -374,7 +470,10 @@ type Cluster struct {
 	SLO *slo.Recorder
 
 	kernels []*nvmkernel.Kernel
-	barrier rendezvous
+	// rankBase is the prefix-sum rank numbering over this instance's nodes
+	// (rankBase[n] = node n's first rank; rankBase[Nodes] = total ranks).
+	rankBase []int
+	barrier  rendezvous
 	// newBarrier, when set, supplies the rendezvous ranks block on at
 	// checkpoint boundaries instead of a fresh sim.Barrier — the sharded
 	// engine injects each shard's cross-barrier gate here.
@@ -467,21 +566,43 @@ func New(cfg Config) (*Cluster, error) {
 	remoteEntry, _ := policy.Parse(policy.KindRemote, cfg.Remote)
 	bottomEntry, _ := policy.Parse(policy.KindBottom, cfg.Bottom)
 
+	remoteOpts := policy.RemoteOptions{
+		RateCap:   cfg.RemoteRateCap,
+		Delay:     cfg.RemoteDelay,
+		Group:     cfg.RemoteGroup,
+		Placement: cfg.Placement,
+	}
+
 	env := sim.NewEnv()
-	// The remote tier may ask for extra non-compute fabric nodes (e.g. an
-	// erasure parity holder); those get NVM but no kernel or ranks.
-	extra := remoteEntry.Remote().ExtraNodes(cfg.Nodes)
+	// The remote tier may ask for extra non-compute fabric nodes (e.g.
+	// erasure parity holders); those get NVM but no kernel or ranks, and —
+	// being provisioned outside the fleet — no failure-domain coordinate.
+	extra := remoteEntry.Remote().ExtraNodes(cfg.Nodes, remoteOpts)
 	totalNodes := cfg.Nodes + extra
 	fabric := interconnect.New(env, totalNodes, cfg.LinkBW)
 	kernels := make([]*nvmkernel.Kernel, cfg.Nodes)
 	nvms := make([]*mem.Device, totalNodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		dram := mem.NewDRAM(env, cfg.DRAMPerNode)
+		dramCap, nvmCap := cfg.DRAMPerNode, cfg.NVMPerNode
+		bw, cores := cfg.NVMPerCoreBW, cfg.coresOf(n)
+		if n < len(cfg.Shapes) {
+			s := cfg.Shapes[n]
+			if s.DRAM > 0 {
+				dramCap = s.DRAM
+			}
+			if s.NVM > 0 {
+				nvmCap = s.NVM
+			}
+			if s.NVMPerCoreBW > 0 {
+				bw = s.NVMPerCoreBW
+			}
+		}
+		dram := mem.NewDRAM(env, dramCap)
 		var nvm *mem.Device
-		if cfg.NVMPerCoreBW > 0 {
-			nvm = mem.NewPCMWithPerCoreBW(env, cfg.NVMPerNode, cfg.NVMPerCoreBW, cfg.CoresPerNode)
+		if bw > 0 {
+			nvm = mem.NewPCMWithPerCoreBW(env, nvmCap, bw, cores)
 		} else {
-			nvm = mem.NewPCM(env, cfg.NVMPerNode)
+			nvm = mem.NewPCM(env, nvmCap)
 		}
 		kernels[n] = nvmkernel.New(env, dram, nvm)
 		nvms[n] = nvm
@@ -511,11 +632,8 @@ func New(cfg Config) (*Cluster, error) {
 		NVMs:         nvms,
 		ComputeNodes: cfg.Nodes,
 		Recorder:     o.Recorder,
-	}, policy.RemoteOptions{
-		RateCap: cfg.RemoteRateCap,
-		Delay:   cfg.RemoteDelay,
-		Group:   cfg.RemoteGroup,
-	})
+		Topo:         cfg.Topo,
+	}, remoteOpts)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: remote policy %q: %w", remoteEntry.Name, err)
 	}
@@ -546,6 +664,7 @@ func New(cfg Config) (*Cluster, error) {
 		recorder = slo.Attach(o, *cfg.SLO)
 	}
 
+	rankBase := cfg.rankBases()
 	return &Cluster{
 		Cfg:        cfg,
 		Env:        env,
@@ -554,13 +673,19 @@ func New(cfg Config) (*Cluster, error) {
 		Lineage:    tracer,
 		SLO:        recorder,
 		kernels:    kernels,
+		rankBase:   rankBase,
 		localPol:   localEntry.Local(),
 		remoteTier: remoteTier,
 		bottomTier: bottomTier,
 		lastRemote: make(map[int]*sim.Completion),
 		lastDrain:  make(map[int]*sim.Completion),
-		ckptTime:   make([]time.Duration, cfg.Nodes*cfg.CoresPerNode),
+		ckptTime:   make([]time.Duration, rankBase[cfg.Nodes]),
 	}, nil
+}
+
+// nodeOfRank resolves a rank to its owning node through the prefix sums.
+func (c *Cluster) nodeOfRank(rank int) int {
+	return sort.Search(c.Cfg.Nodes, func(n int) bool { return c.rankBase[n+1] > rank })
 }
 
 // Kernel returns node n's kernel (for tests). Nodes are numbered globally;
@@ -645,10 +770,13 @@ func (c *Cluster) Execute() (Result, error) {
 		if mm.Nodes == 0 {
 			mm.Nodes = c.Cfg.Nodes
 		}
+		if mm.Topo == nil {
+			mm.Topo = c.Cfg.Topo
+		}
 		events = append(events, mm.Schedule()...)
 	}
 	if len(events) > 0 {
-		fault.NewInjector(c.Env, c.Cfg.FaultSeed, fault.Surfaces{
+		fault.NewInjector(c.Env, c.Cfg.FaultSeed, c.Cfg.Topo, fault.Surfaces{
 			Kill:       c.injectFailure,
 			CorruptNVM: c.corruptNVM,
 			FlapLink:   c.flapLink,
@@ -757,7 +885,7 @@ func (c *Cluster) drainBottom(p *sim.Proc) {
 // iteration.
 func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 	cfg := c.Cfg
-	ranks := cfg.Nodes * cfg.CoresPerNode
+	ranks := c.rankBase[cfg.Nodes]
 	if c.newBarrier != nil {
 		c.barrier = c.newBarrier(ranks)
 	} else {
@@ -783,10 +911,16 @@ func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 // coordinated-checkpoint loop.
 func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 	cfg := c.Cfg
-	node := rank / cfg.CoresPerNode
-	lane := rank % cfg.CoresPerNode
+	node := c.nodeOfRank(rank)
+	lane := rank - c.rankBase[node]
+	cores := cfg.coresOf(node)
 	leader := lane == 0
 	kernel := c.kernels[node]
+	// Fleet ramp-up: a node's ranks come up NodeStart[node] into the run.
+	// Restart epochs relaunch everyone together (RelaunchDelay covers it).
+	if startIter == 0 && node < len(cfg.NodeStart) && cfg.NodeStart[node] > 0 {
+		p.Sleep(cfg.NodeStart[node])
+	}
 	// Names and recorder scopes carry the shard offsets so the merged
 	// observability streams of a partitioned run number ranks and nodes
 	// globally; all engine-side indexing stays shard-local.
@@ -822,7 +956,7 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 		} else {
 			spec.CommPhases = append([]float64(nil), spec.CommPhases...)
 		}
-		offset := float64(rank%cfg.CoresPerNode) / float64(cfg.CoresPerNode) / float64(n)
+		offset := float64(lane) / float64(cores) / float64(n)
 		for i := range spec.CommPhases {
 			ph := spec.CommPhases[i] + offset
 			if ph > 1 {
@@ -894,7 +1028,7 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 	if !cfg.NoCheckpoint {
 		engine = c.localPol.NewEngine(store, policy.LocalOptions{
 			RateCap:   cfg.LocalRateCap,
-			BWPerCore: kernel.NVM.PerCoreWriteBW(cfg.CoresPerNode),
+			BWPerCore: kernel.NVM.PerCoreWriteBW(cores),
 			Rec:       rec,
 			TraceLane: lane,
 		})
@@ -997,24 +1131,52 @@ func (c *Cluster) injectFailure(ev fault.Event) {
 			ev.Node = holder
 		}
 	}
-	hard := ev.Kind == fault.Hard || ev.Kind == fault.BuddyLoss
 	c.pendingFailure = &ev
 	c.failCount++
 	c.failureAt = c.Env.Now()
+	victims, hard := c.failureEffect(ev)
 	if c.remoteTier != nil {
-		c.remoteTier.NodeFailed(ev.Node, hard)
+		for _, n := range victims {
+			c.remoteTier.NodeFailed(n, hard)
+		}
 	}
 	frec := c.Obs.Recorder(ev.Node, "cluster")
 	frec.Instant(string(ev.Kind)+" failure", "failure", 0, c.Env.Now(), nil)
-	frec.Emit(obs.EvFailure, "", 0, map[string]string{
+	attrs := map[string]string{
 		"kind":  string(ev.Kind),
 		"cause": ev.Label(),
-	})
+		"hard":  strconv.FormatBool(hard),
+	}
+	if ev.Kind.Correlated() {
+		// Domain outages fail many nodes at once; downstream consumers
+		// (the lineage invariant checker in particular) need the full
+		// victim set to invalidate every copy the outage takes with it.
+		ids := make([]string, len(victims))
+		for i, n := range victims {
+			ids[i] = strconv.Itoa(n)
+		}
+		attrs["victims"] = strings.Join(ids, ",")
+	}
+	frec.Emit(obs.EvFailure, "", 0, attrs)
 	for _, rp := range c.rankProcs {
 		if !rp.Done() {
 			rp.Kill()
 		}
 	}
+}
+
+// failureEffect resolves an event's victim node set (domain kinds fail every
+// node of the targeted domain atomically) and whether the victims' NVM dies
+// with them: hard and buddy-loss faults always, domain outages unless Soft.
+func (c *Cluster) failureEffect(ev fault.Event) (victims []int, hard bool) {
+	victims = ev.Victims(c.Cfg.Topo)
+	switch {
+	case ev.Kind == fault.Hard || ev.Kind == fault.BuddyLoss:
+		hard = true
+	case ev.Kind.Correlated():
+		hard = !ev.Soft
+	}
+	return victims, hard
 }
 
 // corruptNVM damages committed chunk payloads on ev.Node's NVM (bit-flips, or
@@ -1116,18 +1278,24 @@ func (c *Cluster) recover(p *sim.Proc, f fault.Event) {
 	for _, e := range c.engines {
 		e.Stop()
 	}
-	hard := f.Kind == fault.Hard || f.Kind == fault.BuddyLoss
+	victims, hard := c.failureEffect(f)
+	dead := make(map[int]bool, len(victims))
+	for _, n := range victims {
+		dead[n] = true
+	}
 	for n, k := range c.kernels {
-		if hard && n == f.Node {
+		if hard && dead[n] {
 			k.HardFail()
 		} else {
 			k.SoftReset()
 		}
 	}
-	c.recoverWait = c.Cfg.Nodes * c.Cfg.CoresPerNode
+	c.recoverWait = c.rankBase[c.Cfg.Nodes]
 	p.Sleep(RelaunchDelay)
 	if c.remoteTier != nil {
-		c.remoteTier.NodeRecovered(f.Node)
+		for _, n := range victims {
+			c.remoteTier.NodeRecovered(n)
+		}
 	}
 	c.Obs.Recorder(f.Node, "cluster").Emit(obs.EvRecovery, "", 0,
 		map[string]string{
@@ -1150,7 +1318,7 @@ func (c *Cluster) shutdown() {
 // collect aggregates counters into a Result.
 func (c *Cluster) collect() Result {
 	cfg := c.Cfg
-	ranks := cfg.Nodes * cfg.CoresPerNode
+	ranks := c.rankBase[cfg.Nodes]
 	res := Result{
 		ExecTime:         c.appDone,
 		LocalCkpts:       c.localCount,

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"nvmcp/internal/scenario"
+)
+
+// fleetCfg lowers one of the fleet presets into a runnable Config.
+func fleetCfg(t *testing.T, presetID string, scale scenario.Scale) Config {
+	t.Helper()
+	p, ok := scenario.PresetByID(presetID)
+	if !ok || p.Build == nil {
+		t.Fatalf("preset %q missing or bench-only", presetID)
+	}
+	cfg, err := FromScenario(p.Build(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestFleetZoneOutagePlacement is the survivability contract behind the
+// stress reports: under the block-contiguous topology a zone outage with
+// spread (zone-interleaved) buddy placement loses nothing — every victim's
+// remote copy lives in the surviving zone — while naive (ring) placement
+// co-locates buddies in-zone and demonstrably loses chunks.
+func TestFleetZoneOutagePlacement(t *testing.T) {
+	spread, _, err := Run(fleetCfg(t, "fleet-zone", scenario.ScaleTiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.FailuresInjected != 1 {
+		t.Fatalf("spread: injected %d failures, want 1", spread.FailuresInjected)
+	}
+	if spread.RecoveryLost != 0 {
+		t.Fatalf("spread placement lost %d chunks across a zone outage, want 0", spread.RecoveryLost)
+	}
+	if spread.RecoveryRemote == 0 {
+		t.Fatalf("spread: zone outage recovered no chunks from the remote tier — outage had no bite")
+	}
+
+	naive, _, err := Run(fleetCfg(t, "fleet-naive", scenario.ScaleTiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.FailuresInjected != 1 {
+		t.Fatalf("naive: injected %d failures, want 1", naive.FailuresInjected)
+	}
+	if naive.RecoveryLost == 0 {
+		t.Fatalf("naive placement lost no chunks across a zone outage — the anti-affinity demo is vacuous")
+	}
+}
+
+// TestZoneOutageScenarioMustSurvive pins the checked-in must-survive
+// artifact: docs/scenarios/zone-outage.json loses a whole zone and must
+// recover every chunk, replaying to the exact final workload state of the
+// same scenario with the outage stripped out.
+func TestZoneOutageScenarioMustSurvive(t *testing.T) {
+	load := func() *scenario.Scenario {
+		sc, err := scenario.LoadFile(filepath.Join("..", "..", "docs", "scenarios", "zone-outage.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	run := func(sc *scenario.Scenario) Result {
+		cfg, err := FromScenario(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	faulted := run(load())
+	if faulted.FailuresInjected != 1 {
+		t.Fatalf("injected %d failures, want the one zone outage", faulted.FailuresInjected)
+	}
+	if faulted.RecoveryLost != 0 {
+		t.Fatalf("zone-outage.json lost %d chunks, must survive with 0", faulted.RecoveryLost)
+	}
+	if faulted.RecoveryRemote == 0 {
+		t.Fatal("zone outage recovered nothing from the remote tier — the scenario stopped biting")
+	}
+
+	twin := load()
+	twin.Failures = nil
+	clean := run(twin)
+	if faulted.WorkloadChecksum != clean.WorkloadChecksum {
+		t.Fatalf("post-recovery workload state diverged from the fault-free twin: %016x vs %016x",
+			faulted.WorkloadChecksum, clean.WorkloadChecksum)
+	}
+}
+
+// TestFleetHeterogeneousRanks checks the prefix-sum rank mapping: a fleet
+// mixing 1- and 2-core templates must produce exactly sum(cores) ranks, and
+// the run must still account checkpoint time for every one of them.
+func TestFleetHeterogeneousRanks(t *testing.T) {
+	cfg := fleetCfg(t, "fleet-zone", scenario.ScaleTiny)
+	want := 0
+	for _, s := range cfg.Shapes {
+		want += s.Cores
+	}
+	if want <= cfg.Nodes {
+		t.Fatalf("fleet expansion produced no multi-core nodes (%d ranks over %d nodes); the heterogeneity test is vacuous", want, cfg.Nodes)
+	}
+	res, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != want {
+		t.Fatalf("run reported %d ranks, want sum of per-node cores %d", res.Ranks, want)
+	}
+	if res.LocalCkpts == 0 || res.CkptTimePerRank <= 0 {
+		t.Fatalf("heterogeneous fleet recorded no checkpoint work (ckpts %d, per-rank %v)", res.LocalCkpts, res.CkptTimePerRank)
+	}
+}
+
+// TestFleetDeterminismAcrossGOMAXPROCS is the fleet determinism audit: a
+// 1000-node heterogeneous fleet with wave startup, seeded jitter and a zone
+// outage must produce a byte-identical RunReport whether the host gives the
+// scheduler one core or eight. All fleet randomness flows from the scenario
+// seed through one rand stream consumed in node order, so nothing here may
+// depend on goroutine interleaving.
+func TestFleetDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-node fleet runs are not -short material")
+	}
+	if raceEnabled {
+		t.Skip("byte-equality audit; the plain run covers it at a fraction of the race-mode cost")
+	}
+	build := func() Config {
+		p, ok := scenario.PresetByID("fleet-zone")
+		if !ok || p.Build == nil {
+			t.Fatal("fleet-zone preset missing")
+		}
+		sc := p.Build(scenario.ScalePaper)
+		// Three iterations and a 2MB payload keep the 1k-node run lean while
+		// still spanning the 5s outage (iterations land at t=2,4,6), one
+		// post-recovery round, and real chunk traffic on every rank.
+		sc.Iterations = 3
+		sc.Workload.CkptMB = 2
+		cfg, err := FromScenario(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	arts := atGOMAXPROCS(t, []int{1, 8}, func(int) []byte {
+		return runArtifacts(t, build())
+	})
+	if !bytes.Equal(arts[0], arts[1]) {
+		t.Fatalf("1k-fleet artifacts differ between GOMAXPROCS 1 and 8 (%d vs %d bytes)",
+			len(arts[0]), len(arts[1]))
+	}
+}
+
+// TestFleetShardedEligibleRuns drives the sharded engine over a
+// heterogeneous fleet: a failure-free fleet config (severity none) is
+// shard-eligible, and the per-shard slicing of shapes, start times and
+// topology must keep the rank count and the artifact bytes stable across
+// GOMAXPROCS.
+func TestFleetShardedEligibleRuns(t *testing.T) {
+	build := func() Config {
+		cfg := fleetCfg(t, "fleet-zone", scenario.ScaleTiny)
+		cfg.Failures = nil
+		cfg.Shards = 2
+		return cfg
+	}
+	cfg := build()
+	if reason := shardBlocker(&cfg); reason != "" {
+		t.Fatalf("failure-free fleet config should shard, blocked: %s", reason)
+	}
+	want := 0
+	for _, s := range cfg.Shapes {
+		want += s.Cores
+	}
+	res, c, err := Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.sharded == nil {
+		t.Fatal("run did not take the sharded engine")
+	}
+	if res.Ranks != want {
+		t.Fatalf("sharded fleet reported %d ranks, want %d", res.Ranks, want)
+	}
+	arts := atGOMAXPROCS(t, []int{1, 8}, func(int) []byte {
+		return runArtifacts(t, build())
+	})
+	if !bytes.Equal(arts[0], arts[1]) {
+		t.Fatalf("sharded fleet artifacts differ between GOMAXPROCS 1 and 8")
+	}
+}

@@ -31,6 +31,7 @@ func FromScenario(sc *scenario.Scenario) (Config, error) {
 		NVMPerNode:   sc.NVMPerNode,
 		NVMPerCoreBW: sc.NVMPerCoreBW,
 		LinkBW:       sc.LinkBW,
+		Placement:    sc.Remote.Placement,
 
 		App:        app,
 		Iterations: sc.Iterations,
@@ -56,25 +57,57 @@ func FromScenario(sc *scenario.Scenario) (Config, error) {
 
 		Shards: sc.Shards,
 	}
+	if sc.Fleet != nil {
+		// A fleet spec generates the machine shape: per-node cores/memory/BW,
+		// the failure-domain topology, and the staggered start times. Ranks
+		// are heterogeneous, so CoresPerNode stays 1 and the per-node shape
+		// carries the real core count.
+		fl, err := sc.Fleet.Expand()
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Nodes = sc.Fleet.Nodes
+		cfg.CoresPerNode = 1
+		cfg.Topo = fl.Topo
+		cfg.NodeStart = fl.Start
+		cfg.Shapes = make([]NodeShape, len(fl.Shapes))
+		for i, s := range fl.Shapes {
+			cfg.Shapes[i] = NodeShape{
+				Cores:        s.Cores,
+				DRAM:         s.DRAM,
+				NVM:          s.NVM,
+				NVMPerCoreBW: s.NVMPerCoreBW,
+			}
+		}
+	}
 	for _, f := range sc.Failures {
 		cfg.Failures = append(cfg.Failures, FailureEvent{
-			After:    time.Duration(f.AtSecs * float64(time.Second)),
-			Node:     f.Node,
-			Hard:     f.Hard,
-			Kind:     fault.Kind(f.Kind),
-			Chunks:   f.Chunks,
-			Torn:     f.Torn,
-			Duration: time.Duration(f.DurationSecs * float64(time.Second)),
-			Factor:   f.Factor,
+			After:     time.Duration(f.AtSecs * float64(time.Second)),
+			Node:      f.Node,
+			Hard:      f.Hard,
+			Kind:      fault.Kind(f.Kind),
+			Chunks:    f.Chunks,
+			Torn:      f.Torn,
+			Duration:  time.Duration(f.DurationSecs * float64(time.Second)),
+			Factor:    f.Factor,
+			Provider:  f.Provider,
+			Zone:      f.Zone,
+			Rack:      f.Rack,
+			Soft:      f.Soft,
+			Waves:     f.Waves,
+			WaveDelay: time.Duration(f.WaveDelaySecs * float64(time.Second)),
 		})
 	}
 	if m := sc.FaultModel; m != nil {
 		cfg.FaultModel = &fault.Model{
 			MTBFSoft: time.Duration(m.MTBFSoftSecs * float64(time.Second)),
 			MTBFHard: time.Duration(m.MTBFHardSecs * float64(time.Second)),
+			MTBFRack: time.Duration(m.MTBFRackSecs * float64(time.Second)),
+			MTBFZone: time.Duration(m.MTBFZoneSecs * float64(time.Second)),
 			Horizon:  time.Duration(m.HorizonSecs * float64(time.Second)),
 			Seed:     m.Seed,
-			Nodes:    sc.Nodes,
+			Nodes:    cfg.Nodes,
+			Topo:     cfg.Topo,
 		}
 	}
 	cfg.FaultSeed = sc.FaultSeed

@@ -130,6 +130,7 @@ func AutoShards(cfg Config) int {
 func newSharded(cfg Config) (*Cluster, error) {
 	n := cfg.Shards
 	base, rem := cfg.Nodes/n, cfg.Nodes%n
+	bases := cfg.rankBases()
 	subs := make([]*Cluster, 0, n)
 	envs := make([]*sim.Env, 0, n)
 	parties := make([]int, 0, n)
@@ -143,14 +144,23 @@ func newSharded(cfg Config) (*Cluster, error) {
 		sub.Shards = 1
 		sub.Nodes = span
 		sub.nodeOffset = off
-		sub.rankOffset = off * cfg.CoresPerNode
+		sub.rankOffset = bases[off]
+		if len(cfg.Shapes) > 0 {
+			sub.Shapes = cfg.Shapes[off : off+span]
+		}
+		if len(cfg.NodeStart) > 0 {
+			sub.NodeStart = cfg.NodeStart[off : off+span]
+		}
+		if cfg.Topo != nil {
+			sub.Topo = cfg.Topo.Slice(off, off+span)
+		}
 		c, err := New(sub)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
 		subs = append(subs, c)
 		envs = append(envs, c.Env)
-		parties = append(parties, span*cfg.CoresPerNode)
+		parties = append(parties, bases[off+span]-bases[off])
 		off += span
 	}
 	group := sim.NewShardGroup(envs...)
@@ -213,7 +223,7 @@ func (c *Cluster) collectSharded() Result {
 	obs.MergeShards(c.Obs, shardObs)
 
 	cfg := c.Cfg
-	ranks := cfg.Nodes * cfg.CoresPerNode
+	ranks := cfg.totalRanks()
 	res := Result{Ranks: ranks}
 	var ckptTotal time.Duration
 	h := fnv.New64a()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nvmcp/internal/sim"
+	"nvmcp/internal/topo"
 )
 
 func TestParseKind(t *testing.T) {
@@ -23,25 +24,101 @@ func TestParseKind(t *testing.T) {
 	}
 }
 
-func TestEventValidate(t *testing.T) {
-	good := Event{At: time.Second, Node: 1, Kind: Hard}
-	if err := good.Validate(4); err != nil {
-		t.Errorf("valid event rejected: %v", err)
+// testTopo is 8 nodes over 1 provider × 2 zones × 2 racks/zone (2 per rack).
+func testTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.Uniform(8, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	bad := []Event{
-		{At: 0, Node: 0, Kind: Soft},                                       // non-positive time
-		{At: time.Second, Node: 4, Kind: Soft},                             // node out of range
-		{At: time.Second, Node: -1, Kind: Soft},                            // negative node
-		{At: time.Second, Node: 0, Kind: "quantum"},                        // unknown kind
-		{At: time.Second, Node: 0, Kind: NVMCorrupt, Chunks: -1},           // negative chunks
-		{At: time.Second, Node: 0, Kind: LinkFlap, Factor: 1.0},            // factor not < 1
-		{At: time.Second, Node: 0, Kind: LinkFlap},                         // flap needs duration
-		{At: time.Second, Node: 0, Kind: LinkFlap, Duration: -time.Second}, // negative duration
+	return tp
+}
+
+// TestEventValidateAllKinds is the table-driven contract for every kind:
+// point kinds validate against the machine size, correlated kinds against
+// the fleet topology's domain coordinates.
+func TestEventValidateAllKinds(t *testing.T) {
+	tp := testTopo(t)
+	cases := []struct {
+		name string
+		ev   Event
+		topo *topo.Topology
+		ok   bool
+	}{
+		{"soft ok", Event{At: time.Second, Node: 1, Kind: Soft}, nil, true},
+		{"soft zero time", Event{Node: 1, Kind: Soft}, nil, false},
+		{"soft node out of range", Event{At: time.Second, Node: 4, Kind: Soft}, nil, false},
+		{"soft negative node", Event{At: time.Second, Node: -1, Kind: Soft}, nil, false},
+		{"hard ok", Event{At: time.Second, Node: 3, Kind: Hard}, nil, true},
+		{"unknown kind", Event{At: time.Second, Kind: "quantum"}, nil, false},
+		{"nvm-corrupt ok", Event{At: time.Second, Kind: NVMCorrupt, Chunks: 2, Torn: true}, nil, true},
+		{"nvm-corrupt negative chunks", Event{At: time.Second, Kind: NVMCorrupt, Chunks: -1}, nil, false},
+		{"link-flap ok", Event{At: time.Second, Kind: LinkFlap, Duration: time.Second, Factor: 0.1}, nil, true},
+		{"link-flap no duration", Event{At: time.Second, Kind: LinkFlap}, nil, false},
+		{"link-flap negative duration", Event{At: time.Second, Kind: LinkFlap, Duration: -time.Second}, nil, false},
+		{"link-flap factor not <1", Event{At: time.Second, Kind: LinkFlap, Duration: time.Second, Factor: 1.0}, nil, false},
+		{"buddy-loss ok", Event{At: time.Second, Node: 2, Kind: BuddyLoss}, nil, true},
+
+		{"rack-outage ok", Event{At: time.Second, Kind: RackOutage, Zone: 1, Rack: 1}, tp, true},
+		{"rack-outage no topology", Event{At: time.Second, Kind: RackOutage}, nil, false},
+		{"rack-outage empty domain", Event{At: time.Second, Kind: RackOutage, Rack: 9}, tp, false},
+		{"rack-outage with node target", Event{At: time.Second, Node: 3, Kind: RackOutage}, tp, false},
+		{"rack-outage negative coord", Event{At: time.Second, Kind: RackOutage, Rack: -1}, tp, false},
+		{"zone-outage ok", Event{At: time.Second, Kind: ZoneOutage, Zone: 1}, tp, true},
+		{"zone-outage soft ok", Event{At: time.Second, Kind: ZoneOutage, Zone: 0, Soft: true}, tp, true},
+		{"zone-outage empty domain", Event{At: time.Second, Kind: ZoneOutage, Zone: 5}, tp, false},
+		{"provider-outage ok", Event{At: time.Second, Kind: ProviderOutage}, tp, true},
+		{"provider-outage empty domain", Event{At: time.Second, Kind: ProviderOutage, Provider: 2}, tp, false},
+
+		{"link-storm ok", Event{At: time.Second, Node: 2, Kind: LinkStorm, Duration: time.Second, Waves: 2}, tp, true},
+		{"link-storm no topology", Event{At: time.Second, Kind: LinkStorm, Duration: time.Second}, nil, false},
+		{"link-storm no duration", Event{At: time.Second, Kind: LinkStorm}, tp, false},
+		{"link-storm negative waves", Event{At: time.Second, Kind: LinkStorm, Duration: time.Second, Waves: -1}, tp, false},
+		{"link-storm negative wave delay", Event{At: time.Second, Kind: LinkStorm, Duration: time.Second, WaveDelay: -time.Second}, tp, false},
 	}
-	for i, ev := range bad {
-		if err := ev.Validate(4); err == nil {
-			t.Errorf("bad event %d accepted: %+v", i, ev)
+	for _, tc := range cases {
+		err := tc.ev.Validate(4, tc.topo)
+		if tc.ok && err != nil {
+			t.Errorf("%s: valid event rejected: %v", tc.name, err)
 		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: bad event accepted: %+v", tc.name, tc.ev)
+		}
+	}
+}
+
+func TestVictimsResolveDomains(t *testing.T) {
+	tp := testTopo(t)
+	zone1 := Event{At: time.Second, Kind: ZoneOutage, Zone: 1}
+	v := zone1.Victims(tp)
+	if len(v) != 4 {
+		t.Fatalf("zone outage hits %d nodes, want 4", len(v))
+	}
+	for _, n := range v {
+		if got := tp.Coord(n).Zone; got != 1 {
+			t.Errorf("victim %d in zone %d", n, got)
+		}
+	}
+	rack := Event{At: time.Second, Kind: RackOutage, Zone: 0, Rack: 1}
+	if got := rack.Victims(tp); len(got) != 2 {
+		t.Fatalf("rack outage hits %d nodes, want 2", len(got))
+	}
+	provider := Event{At: time.Second, Kind: ProviderOutage}
+	if got := provider.Victims(tp); len(got) != 8 {
+		t.Fatalf("provider outage hits %d nodes, want 8", len(got))
+	}
+	point := Event{At: time.Second, Node: 3, Kind: Hard}
+	if got := point.Victims(tp); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("point victims = %v", got)
+	}
+}
+
+func TestEventLabels(t *testing.T) {
+	if got := (Event{At: time.Second, Node: 1, Kind: NVMCorrupt}).Label(); got != "nvm-corrupt@1s/node1" {
+		t.Errorf("point label = %q", got)
+	}
+	if got := (Event{At: 2 * time.Second, Kind: ZoneOutage, Zone: 1}).Label(); got != "zone-outage@2s/p0/z1" {
+		t.Errorf("domain label = %q", got)
 	}
 }
 
@@ -100,6 +177,47 @@ func TestModelScheduleDeterministicSortedBounded(t *testing.T) {
 	}
 }
 
+// TestModelCorrelatedKindsValidate is the satellite contract: every event a
+// correlated model draws must pass Event.Validate, exactly like the point
+// kinds — domain coordinates round-robin over real domains only.
+func TestModelCorrelatedKindsValidate(t *testing.T) {
+	tp := testTopo(t)
+	m := Model{
+		MTBFSoft: 30 * time.Second,
+		MTBFHard: 90 * time.Second,
+		MTBFRack: 60 * time.Second,
+		MTBFZone: 2 * time.Minute,
+		Horizon:  10 * time.Minute,
+		Seed:     7,
+		Nodes:    8,
+		Topo:     tp,
+	}
+	events := m.Schedule()
+	var rack, zone int
+	for i, ev := range events {
+		if err := ev.Validate(m.Nodes, tp); err != nil {
+			t.Fatalf("scheduled event %d fails validation: %+v: %v", i, ev, err)
+		}
+		switch ev.Kind {
+		case RackOutage:
+			rack++
+		case ZoneOutage:
+			zone++
+		}
+	}
+	if rack == 0 || zone == 0 {
+		t.Fatalf("rack=%d zone=%d, want both correlated classes present", rack, zone)
+	}
+	// Without a topology the correlated classes draw nothing rather than
+	// emitting invalid events.
+	m.Topo = nil
+	for i, ev := range m.Schedule() {
+		if ev.Kind.Correlated() {
+			t.Fatalf("event %d is %s despite nil topology", i, ev.Kind)
+		}
+	}
+}
+
 func TestModelDisabledClassDrawsNothing(t *testing.T) {
 	m := Model{MTBFHard: 30 * time.Second, Horizon: 5 * time.Minute, Nodes: 2}
 	for _, ev := range m.Schedule() {
@@ -112,6 +230,46 @@ func TestModelDisabledClassDrawsNothing(t *testing.T) {
 	}
 }
 
+func TestExpandStormDeterministicCascade(t *testing.T) {
+	tp := testTopo(t) // 4 racks of 2 nodes
+	storm := Event{At: 10 * time.Second, Node: 2, Kind: LinkStorm,
+		Duration: time.Second, Factor: 0.1, Waves: 2, WaveDelay: time.Second}
+	a := ExpandStorm(storm, tp, 99)
+	b := ExpandStorm(storm, tp, 99)
+	if len(a) == 0 {
+		t.Fatal("storm expanded to nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed expanded %d then %d flaps", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flap %d differs across same-seed expansions", i)
+		}
+		if a[i].Kind != LinkFlap {
+			t.Fatalf("expansion produced %s", a[i].Kind)
+		}
+		if err := a[i].Validate(tp.Nodes(), tp); err != nil {
+			t.Fatalf("expanded flap %d invalid: %v", i, err)
+		}
+		if a[i].At < storm.At {
+			t.Fatalf("flap %d fires before the storm", i)
+		}
+	}
+	// Origin node 2 is in rack p0/z0/r1 (rack index 1 of 4); waves 0..2
+	// reach racks {1}, {0,2}, {3} — the whole fleet.
+	hit := map[int]bool{}
+	for _, f := range a {
+		hit[f.Node] = true
+	}
+	if len(hit) != 8 {
+		t.Fatalf("2-wave storm from mid-fleet hit %d nodes, want all 8", len(hit))
+	}
+	if c := ExpandStorm(storm, tp, 100); len(c) == len(a) && c[0] == a[0] && c[len(c)-1] == a[len(a)-1] {
+		t.Error("different seeds expanded identical storms")
+	}
+}
+
 func TestInjectorDispatchesByKindAtScheduledTime(t *testing.T) {
 	e := sim.NewEnv()
 	type hit struct {
@@ -119,7 +277,7 @@ func TestInjectorDispatchesByKindAtScheduledTime(t *testing.T) {
 		at   time.Duration
 	}
 	var hits []hit
-	in := NewInjector(e, 7, Surfaces{
+	in := NewInjector(e, 7, nil, Surfaces{
 		Kill: func(ev Event) { hits = append(hits, hit{ev.Kind, e.Now()}) },
 		CorruptNVM: func(rng *rand.Rand, ev Event) int {
 			if rng == nil {
@@ -148,5 +306,31 @@ func TestInjectorDispatchesByKindAtScheduledTime(t *testing.T) {
 		if hits[i] != want[i] {
 			t.Errorf("dispatch %d = %+v, want %+v", i, hits[i], want[i])
 		}
+	}
+}
+
+func TestInjectorExpandsStormsAndResolvesOutages(t *testing.T) {
+	tp := testTopo(t)
+	e := sim.NewEnv()
+	var flaps int
+	var killed []Event
+	in := NewInjector(e, 7, tp, Surfaces{
+		Kill:     func(ev Event) { killed = append(killed, ev) },
+		FlapLink: func(ev Event) { flaps++ },
+	})
+	in.ScheduleAll([]Event{
+		{At: time.Second, Node: 0, Kind: LinkStorm, Duration: time.Second, Waves: 1},
+		{At: 5 * time.Second, Kind: ZoneOutage, Zone: 1},
+	})
+	e.Run()
+	// Wave 0 = rack 0 (2 nodes), wave 1 = rack 1 (2 nodes).
+	if flaps != 4 {
+		t.Fatalf("storm produced %d flaps, want 4", flaps)
+	}
+	if len(killed) != 1 || killed[0].Kind != ZoneOutage {
+		t.Fatalf("kill surface saw %+v, want one zone-outage", killed)
+	}
+	if got := killed[0].Victims(tp); len(got) != 4 {
+		t.Fatalf("outage resolves %d victims, want 4", len(got))
 	}
 }

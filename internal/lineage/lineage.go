@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"nvmcp/internal/obs"
@@ -528,18 +529,37 @@ func (t *Tracer) observeRecovered(ev obs.Event) {
 }
 
 // observeFailure invalidates every copy a hard node loss takes with it: the
-// local copies of chunks owned by the failed node, and the remote copies it
-// held for its buddy sources.
+// local copies of chunks owned by the failed node(s), and the remote copies
+// they held for their buddy sources. Correlated domain outages carry their
+// full victim set in the event's "victims" attribute (the whole rack/zone
+// fails atomically) plus a "hard" flag (soft outages keep NVM intact).
 func (t *Tracer) observeFailure(ev obs.Event) {
 	kind := ev.Attrs["kind"]
-	if kind != "hard" && kind != "buddy-loss" {
+	hard := kind == "hard" || kind == "buddy-loss"
+	if h, ok := ev.Attrs["hard"]; ok {
+		hard = h == "true"
+	}
+	if !hard {
 		return
 	}
+	// Domain outages carry their whole victim set; their ev.Node is the
+	// spec-mandated zero and must not be read as a victim. Point faults
+	// have no victims attribute — their single victim is ev.Node.
+	dead := map[int]bool{}
+	if vs := ev.Attrs["victims"]; vs != "" {
+		for _, s := range strings.Split(vs, ",") {
+			if n, err := strconv.Atoi(s); err == nil {
+				dead[n] = true
+			}
+		}
+	} else {
+		dead[ev.Node] = true
+	}
 	for _, st := range t.chunks {
-		if st.node == ev.Node {
+		if dead[st.node] {
 			st.localValid = false
 		}
-		if st.remoteValid && st.remoteHolder == ev.Node {
+		if st.remoteValid && dead[st.remoteHolder] {
 			st.remoteValid = false
 			st.remoteSeq = 0
 		}

@@ -66,7 +66,7 @@ func (lp localPolicy) NewEngine(s *core.Store, o LocalOptions) LocalEngine {
 // noneRemote disables the remote level by building a nil tier.
 type noneRemote struct{}
 
-func (noneRemote) ExtraNodes(int) int                                       { return 0 }
+func (noneRemote) ExtraNodes(int, RemoteOptions) int                        { return 0 }
 func (noneRemote) NewTier(RemoteRuntime, RemoteOptions) (RemoteTier, error) { return nil, nil }
 
 // A disabled remote level trivially stays inside any node group.
@@ -82,11 +82,12 @@ func (noneBottom) NewTier(*sim.Env, BottomOptions) (BottomTier, error) { return 
 // a buddy node holding a two-version copy (remote.Mesh + per-node Agents).
 type buddyPolicy struct{ scheme remote.Scheme }
 
-func (buddyPolicy) ExtraNodes(int) int { return 0 }
+func (buddyPolicy) ExtraNodes(int, RemoteOptions) int { return 0 }
 
-// The buddy ring is (n+1) mod N over whatever node set the tier is built
-// with, so a partitioned cluster that builds one tier per node group keeps
-// every ship intra-group; a ring needs at least two nodes to have a buddy.
+// The buddy ring is rung over whatever node set the tier is built with
+// (spread placement rings over the group's own sub-topology), so a
+// partitioned cluster that builds one tier per node group keeps every ship
+// intra-group; a ring needs at least two nodes to have a buddy.
 func (buddyPolicy) ShardLocal() bool   { return true }
 func (buddyPolicy) MinShardNodes() int { return 2 }
 
@@ -94,9 +95,15 @@ func (bp buddyPolicy) NewTier(rt RemoteRuntime, o RemoteOptions) (RemoteTier, er
 	if o.Group != 0 {
 		return nil, fmt.Errorf("buddy policies take no redundancy group size (got %d)", o.Group)
 	}
+	placement, err := ParsePlacement(o.Placement)
+	if err != nil {
+		return nil, err
+	}
+	plan, honored := BuddyPlan(rt.Topo, rt.ComputeNodes, placement)
 	mesh := remote.NewMesh(rt.Env, rt.Fabric, rt.NVMs)
 	mesh.SetRecorder(rt.Recorder(0, "mesh"))
-	return &buddyTier{rt: rt, o: o, scheme: bp.scheme, mesh: mesh}, nil
+	return &buddyTier{rt: rt, o: o, scheme: bp.scheme, mesh: mesh,
+		placement: placement, plan: plan, honored: honored}, nil
 }
 
 type buddyTier struct {
@@ -104,6 +111,11 @@ type buddyTier struct {
 	o      RemoteOptions
 	scheme remote.Scheme
 	mesh   *remote.Mesh
+
+	placement string
+	plan      []int // buddy[n]: who holds node n's remote copies
+	honored   bool
+	warned    bool
 }
 
 // BuddyMesh unwraps a buddy tier's remote.Mesh for callers that need the
@@ -117,9 +129,15 @@ func BuddyMesh(t RemoteTier) *remote.Mesh {
 }
 
 func (t *buddyTier) BeginEpoch() {
+	if !t.honored && !t.warned {
+		t.warned = true
+		t.rt.Recorder(0, "placement").Emit(obs.EvEngineWarn,
+			"zone anti-affinity not satisfiable for buddy ring; replicas spread at best effort", 0,
+			map[string]string{"placement": "buddy/" + t.placement, "fallback": "true"})
+	}
 	for n := 0; n < t.rt.ComputeNodes; n++ {
 		t.mesh.RemoveAgent(n)
-		t.mesh.AddAgent(n, (n+1)%t.rt.ComputeNodes, remote.Config{
+		t.mesh.AddAgent(n, t.plan[n], remote.Config{
 			Scheme:  t.scheme,
 			RateCap: t.o.RateCap,
 			Delay:   t.o.Delay,
@@ -127,6 +145,18 @@ func (t *buddyTier) BeginEpoch() {
 		})
 	}
 }
+
+// SupportSets: node n's remote recovery depends on its planned buddy.
+func (t *buddyTier) SupportSets() [][]int {
+	out := make([][]int, t.rt.ComputeNodes)
+	for n := range out {
+		out[n] = []int{t.plan[n]}
+	}
+	return out
+}
+
+func (t *buddyTier) PlacementHonored() bool { return t.honored }
+func (t *buddyTier) PlacementDesc() string  { return "buddy/" + t.placement }
 
 func (t *buddyTier) Register(node int, s *core.Store) { t.mesh.Agent(node).Register(s) }
 func (t *buddyTier) BeginInterval(node int)           { t.mesh.Agent(node).BeginRemoteInterval() }
@@ -179,60 +209,86 @@ func (t *buddyTier) Shutdown() {
 	}
 }
 
-// erasurePolicy composes the erasure package as a remote tier: one XOR parity
-// group over all compute nodes, with the parity held on one extra fabric node.
+// erasurePolicy composes the erasure package as a remote tier: XOR parity
+// groups over the compute nodes, each group's parity held on its own extra
+// fabric node. Group 0 keeps the legacy single group over everything;
+// spread placement deals group members across zones so a zone loss costs
+// at most one member per group — the single loss XOR parity tolerates.
 type erasurePolicy struct{}
 
-func (erasurePolicy) ExtraNodes(int) int { return 1 }
+func (erasurePolicy) ExtraNodes(computeNodes int, o RemoteOptions) int {
+	return ErasureGroupCount(computeNodes, o.Group)
+}
 
 func (erasurePolicy) NewTier(rt RemoteRuntime, o RemoteOptions) (RemoteTier, error) {
-	if o.Group != 0 && o.Group != rt.ComputeNodes {
-		return nil, fmt.Errorf("erasure: only a single parity group over all %d compute nodes is supported (got group size %d)",
-			rt.ComputeNodes, o.Group)
+	placement, err := ParsePlacement(o.Placement)
+	if err != nil {
+		return nil, err
 	}
-	if rt.ComputeNodes < 2 {
-		return nil, fmt.Errorf("erasure: needs at least 2 compute nodes, got %d", rt.ComputeNodes)
+	plan, honored, err := ErasureGroupsPlan(rt.Topo, rt.ComputeNodes, o.Group, placement)
+	if err != nil {
+		return nil, err
 	}
-	members := make([]int, rt.ComputeNodes)
-	for i := range members {
-		members[i] = i
+	t := &erasureTier{
+		rt:        rt,
+		cur:       make(map[int][]*core.Store),
+		groupOf:   make([]int, rt.ComputeNodes),
+		rec:       rt.Recorder(rt.ComputeNodes, "parity"),
+		placement: placement,
+		honored:   honored,
 	}
-	parityNode := rt.ComputeNodes // the tier-requested extra fabric node
-	return &erasureTier{
-		rt:  rt,
-		g:   erasure.NewGroup(rt.Env, rt.Fabric, rt.NVMs, members, parityNode),
-		cur: make(map[int][]*core.Store),
-		rec: rt.Recorder(parityNode, "parity"),
-	}, nil
+	for gi, members := range plan {
+		parityNode := rt.ComputeNodes + gi // the tier-requested extra fabric nodes
+		t.groups = append(t.groups, erasure.NewGroup(rt.Env, rt.Fabric, rt.NVMs, members, parityNode))
+		for _, m := range members {
+			t.groupOf[m] = gi
+		}
+	}
+	t.active = make([]*sim.Completion, len(t.groups))
+	t.meters = make([]trace.Meter, len(t.groups))
+	return t, nil
 }
 
 type erasureTier struct {
-	rt  RemoteRuntime
-	g   *erasure.Group
-	rec *obs.Recorder
+	rt      RemoteRuntime
+	groups  []*erasure.Group
+	groupOf []int // compute node -> index into groups
+	rec     *obs.Recorder
+
+	placement string
+	honored   bool
+	warned    bool
 
 	// cur collects the epoch's store registrations; they are flushed into
-	// the group only at the first Trigger, so a post-failure recovery can
+	// the groups only at the first Trigger, so a post-failure recovery can
 	// still reconstruct from the previous epoch's survivor stores.
 	cur     map[int][]*core.Store
 	flushed bool
 
-	// active is the in-flight parity round's completion, shared by every
-	// node's trigger in that round.
-	active *sim.Completion
+	// active is each group's in-flight parity round completion, shared by
+	// every member's trigger in that round.
+	active []*sim.Completion
 
-	// Meter tracks parity-build busy time (the tier's helper utilization).
-	meter trace.Meter
+	// meters track per-group parity-build busy time (helper utilization).
+	meters []trace.Meter
 }
 
 func (t *erasureTier) BeginEpoch() {
+	if !t.honored && !t.warned {
+		t.warned = true
+		t.rt.Recorder(0, "placement").Emit(obs.EvEngineWarn,
+			"zone anti-affinity not satisfiable for erasure groups; members spread at best effort", 0,
+			map[string]string{"placement": "erasure/" + t.placement, "fallback": "true"})
+	}
 	t.cur = make(map[int][]*core.Store)
 	t.flushed = false
-	if t.active != nil {
-		// A round abandoned by a failure must not strand the driver's
-		// end-of-run await.
-		t.active.Complete()
-		t.active = nil
+	for gi, done := range t.active {
+		if done != nil {
+			// A round abandoned by a failure must not strand the driver's
+			// end-of-run await.
+			done.Complete()
+			t.active[gi] = nil
+		}
 	}
 }
 
@@ -245,29 +301,31 @@ func (t *erasureTier) BeginInterval(int) {}
 func (t *erasureTier) Trigger(p *sim.Proc, node int) *sim.Completion {
 	if !t.flushed {
 		for m, ss := range t.cur {
-			t.g.SetStores(m, ss)
+			t.groups[t.groupOf[m]].SetStores(m, ss)
 		}
 		t.flushed = true
 	}
-	if t.active != nil && !t.active.Completed() {
-		// A parity round is already draining; this node's trigger joins it
-		// (all leaders trigger at the same coordinated checkpoint).
-		return t.active
+	gi := t.groupOf[node]
+	if t.active[gi] != nil && !t.active[gi].Completed() {
+		// The group's parity round is already draining; this node's trigger
+		// joins it (all leaders trigger at the same coordinated checkpoint).
+		return t.active[gi]
 	}
 	done := sim.NewCompletion(t.rt.Env)
-	t.active = done
-	t.rt.Env.Go("parity/commit", func(pp *sim.Proc) {
-		t.meter.Start(pp.Now())
-		err := t.g.CommitParity(pp)
-		t.meter.Stop(pp.Now())
+	t.active[gi] = done
+	g := t.groups[gi]
+	t.rt.Env.Go(fmt.Sprintf("parity%d/commit", gi), func(pp *sim.Proc) {
+		t.meters[gi].Start(pp.Now())
+		err := g.CommitParity(pp)
+		t.meters[gi].Stop(pp.Now())
 		if err != nil {
 			// A failure mid-round leaves stores unreadable; the round is
 			// simply lost, like an abandoned buddy burst.
 			t.rec.Emit(obs.EvHelperSleep, "parity round abandoned", 0,
-				map[string]string{"err": err.Error()})
+				map[string]string{"err": err.Error(), "group": fmt.Sprintf("%d", gi)})
 		} else {
 			t.rec.Emit(obs.EvRemoteCommit, "", 0,
-				map[string]string{"round": fmt.Sprintf("%d", t.g.Round())})
+				map[string]string{"round": fmt.Sprintf("%d", g.Round()), "group": fmt.Sprintf("%d", gi)})
 		}
 		done.Complete()
 	})
@@ -275,7 +333,7 @@ func (t *erasureTier) Trigger(p *sim.Proc, node int) *sim.Completion {
 }
 
 func (t *erasureTier) Fetch(p *sim.Proc, node, slot int, procName string, id uint64) ([]byte, int64, uint64, bool) {
-	data, size, err := t.g.FetchChunk(p, node, slot, id)
+	data, size, err := t.groups[t.groupOf[node]].FetchChunk(p, node, slot, id)
 	if err != nil {
 		return nil, 0, 0, false
 	}
@@ -286,7 +344,11 @@ func (t *erasureTier) Fetch(p *sim.Proc, node, slot int, procName string, id uin
 }
 
 func (t *erasureTier) Utilization(now time.Duration) []float64 {
-	return []float64{t.meter.Utilization(now)}
+	out := make([]float64, len(t.meters))
+	for i := range t.meters {
+		out[i] = t.meters[i].Utilization(now)
+	}
+	return out
 }
 
 func (t *erasureTier) DrainSource(int) pfs.Source { return nil }
@@ -299,10 +361,32 @@ func (t *erasureTier) NodeFailed(int, bool) {}
 func (t *erasureTier) NodeRecovered(int)    {}
 
 func (t *erasureTier) Shutdown() {
-	if t.active != nil {
-		t.active.Complete()
+	for _, done := range t.active {
+		if done != nil {
+			done.Complete()
+		}
 	}
 }
+
+// SupportSets: reconstructing node n needs every other member of its group
+// plus the group's parity holder (which lives outside the failure domains).
+func (t *erasureTier) SupportSets() [][]int {
+	out := make([][]int, t.rt.ComputeNodes)
+	for n := range out {
+		g := t.groups[t.groupOf[n]]
+		set := []int{t.rt.ComputeNodes + t.groupOf[n]}
+		for _, m := range g.Members() {
+			if m != n {
+				set = append(set, m)
+			}
+		}
+		out[n] = set
+	}
+	return out
+}
+
+func (t *erasureTier) PlacementHonored() bool { return t.honored }
+func (t *erasureTier) PlacementDesc() string  { return "erasure/" + t.placement }
 
 // pfsDrainPolicy builds the PFS bottom tier.
 type pfsDrainPolicy struct{}

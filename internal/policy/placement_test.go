@@ -1,0 +1,205 @@
+package policy
+
+import (
+	"testing"
+
+	"nvmcp/internal/topo"
+)
+
+// fleet16 is 16 nodes over 1 provider × 4 zones × 2 racks (2 nodes/rack).
+func fleet16(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.Uniform(16, 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestBuddyPlanNaiveIsPaperRing(t *testing.T) {
+	tp := fleet16(t)
+	plan, honored := BuddyPlan(tp, 16, PlacementNaive)
+	if !honored {
+		t.Error("naive placement asks for nothing, so it is honored")
+	}
+	for n, b := range plan {
+		if b != (n+1)%16 {
+			t.Fatalf("naive buddy[%d] = %d, want %d", n, b, (n+1)%16)
+		}
+	}
+	// Block-contiguous layout: node 0's naive buddy shares its zone — the
+	// vulnerability the spread plan removes.
+	if !tp.SameDomain(topo.LevelZone, 0, plan[0]) {
+		t.Error("expected the naive ring to co-locate node 0 with its buddy")
+	}
+}
+
+func TestBuddyPlanSpreadCrossesZones(t *testing.T) {
+	tp := fleet16(t)
+	plan, honored := BuddyPlan(tp, 16, PlacementSpread)
+	if !honored {
+		t.Fatal("4 balanced zones must honor zone anti-affinity")
+	}
+	seen := make(map[int]int)
+	for n, b := range plan {
+		if b == n {
+			t.Fatalf("node %d is its own buddy", n)
+		}
+		if tp.SameDomain(topo.LevelZone, n, b) {
+			t.Errorf("spread buddy[%d]=%d shares the zone", n, b)
+		}
+		seen[b]++
+	}
+	// A ring: every node holds exactly one other node's copies.
+	for n, c := range seen {
+		if c != 1 {
+			t.Errorf("node %d holds %d incoming buddies, want 1", n, c)
+		}
+	}
+	if len(seen) != 16 {
+		t.Errorf("%d distinct holders, want 16", len(seen))
+	}
+}
+
+func TestBuddyPlanSingleZoneFallsBack(t *testing.T) {
+	tp, err := topo.Uniform(8, 1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, honored := BuddyPlan(tp, 8, PlacementSpread)
+	if honored {
+		t.Error("a single-zone fleet cannot honor zone anti-affinity")
+	}
+	// The ring must still be a permutation covering everyone.
+	seen := make(map[int]bool)
+	for n, b := range plan {
+		if b == n {
+			t.Fatalf("node %d is its own buddy", n)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("fallback ring covers %d holders, want 8", len(seen))
+	}
+}
+
+func TestBuddyPlanNoTopology(t *testing.T) {
+	plan, honored := BuddyPlan(nil, 4, PlacementSpread)
+	if !honored {
+		t.Error("no topology means no anti-affinity goal")
+	}
+	for n, b := range plan {
+		if b != (n+1)%4 {
+			t.Fatalf("buddy[%d] = %d", n, b)
+		}
+	}
+}
+
+func TestErasureGroupCount(t *testing.T) {
+	cases := []struct{ nodes, group, want int }{
+		{16, 0, 1},  // legacy single group
+		{16, 16, 1}, // group covering everything
+		{16, 4, 4},
+		{16, 5, 3},  // 5+5+6: the remainder of 1 folds into the last group
+		{10, 4, 3},  // 4+4+2
+		{9, 4, 2},   // 4+5 (remainder 1 folded into the last)
+		{3, 2, 1},   // one group of 3: the lone remainder folds in
+		{16, 20, 1}, // group larger than the fleet clamps to one group
+	}
+	for _, c := range cases {
+		if got := ErasureGroupCount(c.nodes, c.group); got != c.want {
+			t.Errorf("ErasureGroupCount(%d, %d) = %d, want %d", c.nodes, c.group, got, c.want)
+		}
+	}
+}
+
+func TestErasureGroupsPlanSpread(t *testing.T) {
+	tp := fleet16(t)
+	groups, honored, err := ErasureGroupsPlan(tp, 16, 4, PlacementSpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("%d groups, want 4", len(groups))
+	}
+	if !honored {
+		t.Fatal("4 groups of 4 over 4 zones must be zone-disjoint")
+	}
+	covered := make(map[int]bool)
+	for gi, members := range groups {
+		if len(members) != 4 {
+			t.Fatalf("group %d has %d members", gi, len(members))
+		}
+		zones := make(map[topo.Coord]bool)
+		for _, m := range members {
+			if covered[m] {
+				t.Fatalf("node %d in two groups", m)
+			}
+			covered[m] = true
+			zones[tp.Coord(m).Key(topo.LevelZone)] = true
+		}
+		if len(zones) != 4 {
+			t.Errorf("group %d spans %d zones, want 4", gi, len(zones))
+		}
+	}
+	if len(covered) != 16 {
+		t.Fatalf("groups cover %d nodes", len(covered))
+	}
+}
+
+func TestErasureGroupsPlanNaiveConsecutive(t *testing.T) {
+	tp := fleet16(t)
+	groups, honored, err := ErasureGroupsPlan(tp, 16, 4, PlacementNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !honored {
+		t.Error("naive asks for nothing, so it is honored")
+	}
+	if got := groups[0]; got[0] != 0 || got[3] != 3 {
+		t.Errorf("naive group 0 = %v, want [0 1 2 3]", got)
+	}
+	// Consecutive ids share zones under the block layout — the naive plan
+	// is *not* zone-disjoint, which is the point of the demo.
+	zones := make(map[topo.Coord]bool)
+	for _, m := range groups[0] {
+		zones[tp.Coord(m).Key(topo.LevelZone)] = true
+	}
+	if len(zones) != 1 {
+		t.Errorf("naive group 0 spans %d zones, expected 1 under the block layout", len(zones))
+	}
+}
+
+func TestErasureGroupsPlanErrors(t *testing.T) {
+	if _, _, err := ErasureGroupsPlan(nil, 1, 0, PlacementNaive); err == nil {
+		t.Error("1 node accepted")
+	}
+	if _, _, err := ErasureGroupsPlan(nil, 8, 1, PlacementNaive); err == nil {
+		t.Error("group size 1 accepted")
+	}
+}
+
+func TestErasureGroupsPlanRemainderFolded(t *testing.T) {
+	groups, _, err := ErasureGroupsPlan(nil, 9, 4, PlacementNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("%d groups, want 2", len(groups))
+	}
+	if len(groups[0]) != 4 || len(groups[1]) != 5 {
+		t.Fatalf("group sizes %d/%d, want 4/5", len(groups[0]), len(groups[1]))
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	if p, err := ParsePlacement(""); err != nil || p != PlacementSpread {
+		t.Errorf("empty placement = %q, %v", p, err)
+	}
+	if p, err := ParsePlacement("naive"); err != nil || p != PlacementNaive {
+		t.Errorf("naive = %q, %v", p, err)
+	}
+	if _, err := ParsePlacement("chaotic"); err == nil {
+		t.Error("unknown placement accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"nvmcp/internal/obs"
 	"nvmcp/internal/pfs"
 	"nvmcp/internal/sim"
+	"nvmcp/internal/topo"
 )
 
 // Kind separates the three policy namespaces.
@@ -86,6 +87,9 @@ type RemoteRuntime struct {
 	// ComputeNodes is how many nodes run application ranks; extra nodes
 	// (e.g. an erasure parity holder) index from ComputeNodes upward.
 	ComputeNodes int
+	// Topo carries the fleet's failure-domain coordinates, or nil when the
+	// scenario assigned none. Tiers use it for anti-affinity placement.
+	Topo *topo.Topology
 	// Recorder mints per-(node, actor) observability recorders.
 	Recorder func(node int, actor string) *obs.Recorder
 }
@@ -100,6 +104,10 @@ type RemoteOptions struct {
 	// Group hints the redundancy group size (erasure parity group; 0 = all
 	// compute nodes).
 	Group int
+	// Placement selects replica placement over the fleet topology:
+	// PlacementSpread (the default) enforces zone anti-affinity,
+	// PlacementNaive keeps the paper's consecutive-id layout.
+	Placement string
 }
 
 // RemoteTier is the cluster's view of a running remote checkpoint level.
@@ -141,8 +149,9 @@ type RemoteTier interface {
 // RemotePolicy builds a remote tier for a run.
 type RemotePolicy interface {
 	// ExtraNodes is how many non-compute fabric nodes the tier needs (e.g.
-	// 1 parity holder for the single-group erasure tier).
-	ExtraNodes(computeNodes int) int
+	// one parity holder per erasure group); it may depend on the options
+	// (the erasure group size sets the group count).
+	ExtraNodes(computeNodes int, o RemoteOptions) int
 	// NewTier builds the tier; a nil tier (with nil error) disables the
 	// remote level entirely (the "none" policy).
 	NewTier(rt RemoteRuntime, o RemoteOptions) (RemoteTier, error)

@@ -20,6 +20,7 @@ import (
 	"nvmcp/internal/mem"
 	"nvmcp/internal/policy"
 	"nvmcp/internal/slo"
+	"nvmcp/internal/topo"
 	"nvmcp/internal/workload"
 )
 
@@ -128,6 +129,10 @@ type RemoteSpec struct {
 	Every int `json:"every,omitempty"`
 	// Group hints the redundancy group size (0 = tier default).
 	Group int `json:"group,omitempty"`
+	// Placement selects replica placement: spread (default, zone
+	// anti-affinity over the fleet topology) or naive (the paper's n+1
+	// ring / consecutive groups).
+	Placement string `json:"placement,omitempty"`
 }
 
 // BottomSpec configures the bottom storage level.
@@ -157,6 +162,46 @@ type FailureSpec struct {
 	// bandwidth fraction (0 = fully down, must be < 1).
 	DurationSecs float64 `json:"duration_secs,omitempty"`
 	Factor       float64 `json:"factor,omitempty"`
+	// Provider/Zone/Rack address the failure domain of a correlated kind
+	// (rack-outage, zone-outage, provider-outage). Requires a fleet
+	// topology.
+	Provider int `json:"provider,omitempty"`
+	Zone     int `json:"zone,omitempty"`
+	Rack     int `json:"rack,omitempty"`
+	// Soft makes a domain outage spare the victims' NVM (coordinated
+	// power-cycle instead of destruction).
+	Soft bool `json:"soft,omitempty"`
+	// Waves and WaveDelaySecs shape a link-storm's seeded cascade: how many
+	// rack-to-rack propagation rounds, and the virtual time between them.
+	Waves         int     `json:"waves,omitempty"`
+	WaveDelaySecs float64 `json:"wave_delay_secs,omitempty"`
+}
+
+// Event lowers the spec to a fault.Event (validation and injection share
+// this mapping).
+func (f FailureSpec) Event() (fault.Event, error) {
+	kind, err := fault.ParseKind(f.Kind)
+	if err != nil {
+		return fault.Event{}, err
+	}
+	if f.Kind == "" && f.Hard {
+		kind = fault.Hard
+	}
+	return fault.Event{
+		At:        time.Duration(f.AtSecs * float64(time.Second)),
+		Node:      f.Node,
+		Kind:      kind,
+		Chunks:    f.Chunks,
+		Torn:      f.Torn,
+		Duration:  time.Duration(f.DurationSecs * float64(time.Second)),
+		Factor:    f.Factor,
+		Provider:  f.Provider,
+		Zone:      f.Zone,
+		Rack:      f.Rack,
+		Soft:      f.Soft,
+		Waves:     f.Waves,
+		WaveDelay: time.Duration(f.WaveDelaySecs * float64(time.Second)),
+	}, nil
 }
 
 // FaultModelSpec adds stochastic failures on top of the explicit schedule:
@@ -164,6 +209,10 @@ type FailureSpec struct {
 type FaultModelSpec struct {
 	MTBFSoftSecs float64 `json:"mtbf_soft_secs,omitempty"`
 	MTBFHardSecs float64 `json:"mtbf_hard_secs,omitempty"`
+	// MTBFRackSecs / MTBFZoneSecs draw correlated rack-outage and
+	// zone-outage events over the fleet topology (fleet scenarios only).
+	MTBFRackSecs float64 `json:"mtbf_rack_secs,omitempty"`
+	MTBFZoneSecs float64 `json:"mtbf_zone_secs,omitempty"`
 	HorizonSecs  float64 `json:"horizon_secs"`
 	Seed         int64   `json:"seed,omitempty"`
 }
@@ -186,6 +235,11 @@ type Scenario struct {
 	NVMPerNode   int64   `json:"nvm_per_node,omitempty"`
 	NVMPerCoreBW float64 `json:"nvm_per_core_bw,omitempty"`
 	LinkBW       float64 `json:"link_bw,omitempty"`
+
+	// Fleet generates the machine shape instead: a heterogeneous fleet of
+	// templated nodes over a failure-domain topology. Mutually exclusive
+	// with Nodes/CoresPerNode.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
 
 	Workload   WorkloadSpec `json:"workload"`
 	Iterations int          `json:"iterations"`
@@ -252,11 +306,21 @@ func (sc *Scenario) Marshal() ([]byte, error) {
 // Validate checks the scenario, returning actionable errors: unknown names
 // list the valid alternatives, out-of-range numbers say the range.
 func (sc *Scenario) Validate() error {
-	if sc.Nodes < 1 {
-		return fmt.Errorf("scenario %s: nodes must be >= 1, got %d", sc.label(), sc.Nodes)
-	}
-	if sc.CoresPerNode < 1 {
-		return fmt.Errorf("scenario %s: cores_per_node must be >= 1, got %d", sc.label(), sc.CoresPerNode)
+	if sc.Fleet != nil {
+		if sc.Nodes != 0 || sc.CoresPerNode != 0 {
+			return fmt.Errorf("scenario %s: fleet generates the machine shape; drop nodes/cores_per_node",
+				sc.label())
+		}
+		if err := sc.Fleet.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.label(), err)
+		}
+	} else {
+		if sc.Nodes < 1 {
+			return fmt.Errorf("scenario %s: nodes must be >= 1, got %d", sc.label(), sc.Nodes)
+		}
+		if sc.CoresPerNode < 1 {
+			return fmt.Errorf("scenario %s: cores_per_node must be >= 1, got %d", sc.label(), sc.CoresPerNode)
+		}
 	}
 	if sc.Iterations < 1 {
 		return fmt.Errorf("scenario %s: iterations must be >= 1, got %d", sc.label(), sc.Iterations)
@@ -301,17 +365,22 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("scenario %s: rate caps must be >= 0 (local %g, remote %g)",
 			sc.label(), sc.Local.RateCap, sc.Remote.RateCap)
 	}
+	if _, err := policy.ParsePlacement(sc.Remote.Placement); err != nil {
+		return fmt.Errorf("scenario %s: remote: %w", sc.label(), err)
+	}
+	nodes := sc.EffectiveNodes()
+	tp := sc.Topology()
 	for i, f := range sc.Failures {
-		if f.Node < 0 || f.Node >= sc.Nodes {
-			return fmt.Errorf("scenario %s: failure %d targets node %d, cluster has nodes 0..%d",
-				sc.label(), i, f.Node, sc.Nodes-1)
-		}
-		if f.AtSecs <= 0 {
-			return fmt.Errorf("scenario %s: failure %d at %gs; must be after t=0", sc.label(), i, f.AtSecs)
-		}
 		kind, err := fault.ParseKind(f.Kind)
 		if err != nil {
 			return fmt.Errorf("scenario %s: failure %d: %w", sc.label(), i, err)
+		}
+		if !kind.Correlated() && (f.Node < 0 || f.Node >= nodes) {
+			return fmt.Errorf("scenario %s: failure %d targets node %d, cluster has nodes 0..%d",
+				sc.label(), i, f.Node, nodes-1)
+		}
+		if f.AtSecs <= 0 {
+			return fmt.Errorf("scenario %s: failure %d at %gs; must be after t=0", sc.label(), i, f.AtSecs)
 		}
 		if f.Hard && f.Kind != "" && kind != fault.Hard {
 			return fmt.Errorf("scenario %s: failure %d sets hard but kind %q", sc.label(), i, f.Kind)
@@ -325,17 +394,27 @@ func (sc *Scenario) Validate() error {
 		if kind == fault.LinkFlap && f.DurationSecs <= 0 {
 			return fmt.Errorf("scenario %s: failure %d: link-flap needs duration_secs > 0", sc.label(), i)
 		}
+		ev, err := f.Event()
+		if err != nil {
+			return fmt.Errorf("scenario %s: failure %d: %w", sc.label(), i, err)
+		}
+		if err := ev.Validate(nodes, tp); err != nil {
+			return fmt.Errorf("scenario %s: failure %d: %w", sc.label(), i, err)
+		}
 	}
 	if m := sc.FaultModel; m != nil {
 		if m.HorizonSecs <= 0 {
 			return fmt.Errorf("scenario %s: fault_model.horizon_secs must be > 0, got %g", sc.label(), m.HorizonSecs)
 		}
-		if m.MTBFSoftSecs < 0 || m.MTBFHardSecs < 0 {
-			return fmt.Errorf("scenario %s: fault_model MTBFs must be >= 0 (soft %g, hard %g)",
-				sc.label(), m.MTBFSoftSecs, m.MTBFHardSecs)
+		if m.MTBFSoftSecs < 0 || m.MTBFHardSecs < 0 || m.MTBFRackSecs < 0 || m.MTBFZoneSecs < 0 {
+			return fmt.Errorf("scenario %s: fault_model MTBFs must be >= 0 (soft %g, hard %g, rack %g, zone %g)",
+				sc.label(), m.MTBFSoftSecs, m.MTBFHardSecs, m.MTBFRackSecs, m.MTBFZoneSecs)
 		}
-		if m.MTBFSoftSecs == 0 && m.MTBFHardSecs == 0 {
+		if m.MTBFSoftSecs == 0 && m.MTBFHardSecs == 0 && m.MTBFRackSecs == 0 && m.MTBFZoneSecs == 0 {
 			return fmt.Errorf("scenario %s: fault_model needs at least one positive MTBF", sc.label())
+		}
+		if (m.MTBFRackSecs > 0 || m.MTBFZoneSecs > 0) && tp == nil {
+			return fmt.Errorf("scenario %s: fault_model rack/zone MTBFs need a fleet topology", sc.label())
 		}
 	}
 	if sc.SLO != nil {
@@ -344,6 +423,27 @@ func (sc *Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// EffectiveNodes is the compute-node count, fleet-aware.
+func (sc *Scenario) EffectiveNodes() int {
+	if sc.Fleet != nil {
+		return sc.Fleet.Nodes
+	}
+	return sc.Nodes
+}
+
+// Topology is the fleet's failure-domain layout, or nil for fixed-shape
+// scenarios (which have no provider/zone/rack coordinates).
+func (sc *Scenario) Topology() *topo.Topology {
+	if sc.Fleet == nil {
+		return nil
+	}
+	tp, err := sc.Fleet.Topology()
+	if err != nil {
+		return nil
+	}
+	return tp
 }
 
 func (sc *Scenario) label() string {
@@ -403,7 +503,17 @@ func (sc *Scenario) ResolvedRemoteRateCap() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return AutoRemoteRateCap(app.CheckpointSize(), sc.CoresPerNode, app.IterTime, sc.Remote.Every), nil
+	cores := sc.CoresPerNode
+	if sc.Fleet != nil {
+		// Heterogeneous fleet: cap for the largest template so no node's
+		// shipping starves.
+		for _, tm := range sc.Fleet.Templates {
+			if tm.Cores > cores {
+				cores = tm.Cores
+			}
+		}
+	}
+	return AutoRemoteRateCap(app.CheckpointSize(), cores, app.IterTime, sc.Remote.Every), nil
 }
 
 // Base returns the canonical scenario skeleton for an app at a scale and

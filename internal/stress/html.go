@@ -1,0 +1,328 @@
+package stress
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteHTML renders the report as a single self-contained page: run
+// metadata, the survivability verdicts, MTTR and availability curves over
+// fleet size (one line per severity × placement series), and the full cell
+// table. No external assets, no wall-clock content — the output is
+// byte-stable for a deterministic run.
+func WriteHTML(w io.Writer, rep Report) error {
+	var b strings.Builder
+	b.WriteString(stressHTMLHead)
+	writeStressHeader(&b, rep)
+	writeSurvivability(&b, rep)
+	writeCurves(&b, rep)
+	writeCellTable(&b, rep)
+	b.WriteString(stressHTMLTail)
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("stress: write html report: %w", err)
+	}
+	return nil
+}
+
+// Design tokens follow the SLO report's palette: light surfaces with dark
+// steps under both the media query and an explicit data-theme scope,
+// categorical series colors, reserved red for data-loss verdicts.
+const stressHTMLHead = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>Fleet stress report</title>
+<style>
+.viz-root {
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --gridline: #e1e0d9;
+  --axis: #c3c2b7;
+  --series-1: #2a78d6;
+  --series-2: #d07c2a;
+  --series-3: #2aa053;
+  --series-4: #9a5bd0;
+  --series-5: #d0492a;
+  --series-6: #2ab2c4;
+  --status-critical: #d03b3b;
+  --status-good: #0ca30c;
+}
+@media (prefers-color-scheme: dark) {
+  :where(.viz-root) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --gridline: #2c2c2a;
+    --axis: #383835;
+    --series-1: #3987e5;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --gridline: #2c2c2a;
+  --axis: #383835;
+  --series-1: #3987e5;
+}
+.viz-root {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 14px; font-weight: 600; margin: 28px 0 8px; }
+.meta { color: var(--text-secondary); font-size: 13px; margin-bottom: 20px; }
+.verdict { font-size: 14px; font-weight: 600; margin: 6px 0; }
+.verdict.ok { color: var(--status-good); }
+.verdict.bad { color: var(--status-critical); }
+table.data {
+  border-collapse: collapse; font-size: 13px;
+  background: var(--surface-1); border: 1px solid var(--gridline); border-radius: 8px;
+}
+table.data th, table.data td { padding: 6px 12px; text-align: left; border-bottom: 1px solid var(--gridline); }
+table.data th { color: var(--text-secondary); font-weight: 600; }
+table.data tr:last-child td { border-bottom: none; }
+table.data td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.pass { color: var(--status-good); }
+.fail { color: var(--status-critical); font-weight: 600; }
+.chart-card {
+  background: var(--surface-1); border: 1px solid var(--gridline);
+  border-radius: 8px; padding: 12px 16px 8px; margin-bottom: 14px; max-width: 720px;
+}
+.chart-card .t { font-size: 13px; font-weight: 600; margin-bottom: 4px; }
+.legend { font-size: 12px; color: var(--text-secondary); margin: 4px 0 8px; }
+.legend .sw { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin: 0 4px 0 12px; vertical-align: baseline; }
+</style>
+</head>
+<body class="viz-root">
+`
+
+const stressHTMLTail = "</body>\n</html>\n"
+
+func writeStressHeader(b *strings.Builder, rep Report) {
+	b.WriteString("<h1>Fleet stress report</h1>\n<div class=\"meta\">")
+	fmt.Fprintf(b, "tool %s", html.EscapeString(rep.Tool))
+	if rep.Scenario != "" {
+		fmt.Fprintf(b, " · scenario %s", html.EscapeString(rep.Scenario))
+	}
+	if rep.Seed != 0 {
+		fmt.Fprintf(b, " · seed %d", rep.Seed)
+	}
+	fmt.Fprintf(b, " · %d cell(s)", len(rep.Cells))
+	b.WriteString("</div>\n")
+}
+
+func writeSurvivability(b *strings.Builder, rep Report) {
+	if len(rep.Survivability) == 0 {
+		return
+	}
+	b.WriteString("<h2>Survivability</h2>\n")
+	for _, s := range rep.Survivability {
+		if s == nil {
+			continue
+		}
+		cls, mark := "ok", "✓"
+		if !s.ZoneSurvivable {
+			cls, mark = "bad", "✗"
+		}
+		fmt.Fprintf(b, "<div class=\"verdict %s\">%s %s</div>\n", cls, mark, html.EscapeString(s.Verdict()))
+		b.WriteString("<table class=\"data\"><tr><th>level</th><th>domains</th><th>at-risk nodes</th><th>worst domain</th><th>verdict</th></tr>\n")
+		for _, lvl := range s.Levels {
+			worst := "—"
+			if len(lvl.Risks) > 0 {
+				w := lvl.Risks[0]
+				for _, r := range lvl.Risks[1:] {
+					if r.AtRisk > w.AtRisk {
+						w = r
+					}
+				}
+				worst = fmt.Sprintf("%s (%d)", w.Domain, w.AtRisk)
+			}
+			verdict := "<span class=\"pass\">survivable</span>"
+			if !lvl.Survivable {
+				verdict = "<span class=\"fail\">data loss</span>"
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(lvl.Level), lvl.Domains, lvl.AtRiskNodes, html.EscapeString(worst), verdict)
+		}
+		b.WriteString("</table>\n")
+	}
+}
+
+// seriesKey groups cells into chart lines.
+func seriesKey(c Cell) string {
+	if c.Placement == "" {
+		return c.Severity
+	}
+	return c.Severity + "/" + c.Placement
+}
+
+func writeCurves(b *strings.Builder, rep Report) {
+	if len(rep.Cells) == 0 {
+		return
+	}
+	sizes := uniqueSizes(rep.Cells)
+	b.WriteString("<h2>Curves over fleet size</h2>\n")
+	writeChart(b, rep, sizes, "MTTR (s)", func(c Cell) float64 { return c.MTTRSecs })
+	writeChart(b, rep, sizes, "Availability (%)", func(c Cell) float64 { return c.AvailabilityPct })
+}
+
+func uniqueSizes(cells []Cell) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range cells {
+		if !seen[c.FleetNodes] {
+			seen[c.FleetNodes] = true
+			out = append(out, c.FleetNodes)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// writeChart renders one categorical-x line chart: x positions are the
+// sorted unique fleet sizes, one polyline per (severity, placement) series.
+func writeChart(b *strings.Builder, rep Report, sizes []int, title string, value func(Cell) float64) {
+	const w, h = 680, 240
+	const ml, mr, mt, mb = 56, 16, 12, 32
+	iw, ih := float64(w-ml-mr), float64(h-mt-mb)
+
+	series := map[string][]Cell{}
+	var names []string
+	for _, c := range rep.Cells {
+		k := seriesKey(c)
+		if _, ok := series[k]; !ok {
+			names = append(names, k)
+		}
+		series[k] = append(series[k], c)
+	}
+	sort.Strings(names)
+
+	ymin, ymax := 0.0, 0.0
+	first := true
+	for _, c := range rep.Cells {
+		v := value(c)
+		if first || v < ymin {
+			ymin = v
+		}
+		if first || v > ymax {
+			ymax = v
+		}
+		first = false
+	}
+	pad := (ymax - ymin) * 0.15
+	if pad == 0 {
+		pad = 1
+	}
+	ymin -= pad
+	ymax += pad
+	if ymin < 0 {
+		ymin = 0
+	}
+
+	xpos := func(size int) float64 {
+		for i, s := range sizes {
+			if s == size {
+				if len(sizes) == 1 {
+					return float64(ml) + iw/2
+				}
+				return float64(ml) + iw*float64(i)/float64(len(sizes)-1)
+			}
+		}
+		return float64(ml)
+	}
+	ypos := func(v float64) float64 {
+		return float64(mt) + ih*(1-(v-ymin)/(ymax-ymin))
+	}
+
+	fmt.Fprintf(b, "<div class=\"chart-card\"><div class=\"t\">%s</div>\n", html.EscapeString(title))
+	b.WriteString("<div class=\"legend\">")
+	for i, name := range names {
+		fmt.Fprintf(b, "<span class=\"sw\" style=\"background:var(--series-%d)\"></span>%s",
+			i%6+1, html.EscapeString(name))
+	}
+	b.WriteString("</div>\n")
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" width=\"100%%\" role=\"img\">\n", w, h)
+	// Gridlines + y labels at min/mid/max.
+	for _, v := range []float64{ymin, (ymin + ymax) / 2, ymax} {
+		y := ypos(v)
+		fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"var(--gridline)\"/>\n", ml, y, w-mr, y)
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%.1f\" font-size=\"10\" fill=\"var(--text-muted)\" text-anchor=\"end\">%s</text>\n",
+			ml-6, y+3, trimFloat(v))
+	}
+	// X labels: the fleet sizes.
+	for _, s := range sizes {
+		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%d\" font-size=\"10\" fill=\"var(--text-muted)\" text-anchor=\"middle\">%d</text>\n",
+			xpos(s), h-mb+16, s)
+	}
+	fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"var(--axis)\"/>\n", ml, h-mb, w-mr, h-mb)
+	for i, name := range names {
+		cells := append([]Cell(nil), series[name]...)
+		sort.Slice(cells, func(a, b int) bool { return cells[a].FleetNodes < cells[b].FleetNodes })
+		color := fmt.Sprintf("var(--series-%d)", i%6+1)
+		var pts []string
+		for _, c := range cells {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpos(c.FleetNodes), ypos(value(c))))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(b, "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\"/>\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, c := range cells {
+			fmt.Fprintf(b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" fill=\"%s\"><title>%s @ %d nodes: %s</title></circle>\n",
+				xpos(c.FleetNodes), ypos(value(c)), color,
+				html.EscapeString(name), c.FleetNodes, trimFloat(value(c)))
+		}
+	}
+	b.WriteString("</svg></div>\n")
+}
+
+func writeCellTable(b *strings.Builder, rep Report) {
+	if len(rep.Cells) == 0 {
+		return
+	}
+	b.WriteString("<h2>Cells</h2>\n<table class=\"data\">\n")
+	b.WriteString("<tr><th>name</th><th>fleet</th><th>topology</th><th>severity</th><th>placement</th><th>MTTR (s)</th><th>avail (%)</th><th>local</th><th>remote</th><th>bottom</th><th>lost</th><th>checksum</th></tr>\n")
+	for _, c := range rep.Cells {
+		check := "—"
+		if c.ChecksumOK != nil {
+			if *c.ChecksumOK {
+				check = "<span class=\"pass\">match</span>"
+			} else {
+				check = "<span class=\"fail\">MISMATCH</span>"
+			}
+		}
+		lost := fmt.Sprintf("%d", c.RecoveryLost)
+		if c.RecoveryLost > 0 {
+			lost = fmt.Sprintf("<span class=\"fail\">%d</span>", c.RecoveryLost)
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"num\">%d</td><td>%s</td><td>%s</td><td>%s</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td>%s</td></tr>\n",
+			html.EscapeString(c.Name), c.FleetNodes, html.EscapeString(c.Topology),
+			html.EscapeString(c.Severity), html.EscapeString(c.Placement),
+			trimFloat(c.MTTRSecs), trimFloat(c.AvailabilityPct),
+			c.RecoveryLocal, c.RecoveryRemote, c.RecoveryBottom, lost, check)
+	}
+	b.WriteString("</table>\n")
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

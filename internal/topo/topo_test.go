@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestUniformBlockContiguous(t *testing.T) {
+	tp, err := Uniform(16, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Nodes() != 16 {
+		t.Fatalf("nodes = %d", tp.Nodes())
+	}
+	// 8 racks, 2 nodes each; consecutive ids share a rack.
+	for n := 0; n < 16; n += 2 {
+		if !tp.SameDomain(LevelRack, n, n+1) {
+			t.Errorf("nodes %d and %d should share a rack", n, n+1)
+		}
+	}
+	// The naive ring buddy (n+1) of node 0 is in the same zone — the layout
+	// that makes the naive-placement loss demo meaningful.
+	if !tp.SameDomain(LevelZone, 0, 1) {
+		t.Error("block layout should put node 0 and 1 in one zone")
+	}
+	if got := len(tp.Domains(LevelProvider)); got != 2 {
+		t.Errorf("providers = %d, want 2", got)
+	}
+	if got := len(tp.Domains(LevelZone)); got != 4 {
+		t.Errorf("zones = %d, want 4", got)
+	}
+	if got := len(tp.Domains(LevelRack)); got != 8 {
+		t.Errorf("racks = %d, want 8", got)
+	}
+	if s := tp.Summary(); s != "2p/4z/8r" {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestUniformFewerNodesThanRacks(t *testing.T) {
+	tp, err := Uniform(3, 1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 2; n++ {
+		if tp.SameDomain(LevelRack, n, n+1) {
+			t.Errorf("sparse fleet should spread nodes %d,%d across racks", n, n+1)
+		}
+	}
+}
+
+func TestUniformRejectsBadShape(t *testing.T) {
+	if _, err := Uniform(0, 1, 1, 1); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := Uniform(4, 1, 0, 1); err == nil {
+		t.Error("0 zones accepted")
+	}
+}
+
+func TestNodesInAndHas(t *testing.T) {
+	tp, _ := Uniform(8, 1, 2, 2)
+	zone0 := tp.NodesIn(LevelZone, Coord{Zone: 0})
+	zone1 := tp.NodesIn(LevelZone, Coord{Zone: 1})
+	if len(zone0)+len(zone1) != 8 {
+		t.Fatalf("zones partition the fleet: %d + %d", len(zone0), len(zone1))
+	}
+	if !tp.Has(LevelZone, Coord{Zone: 1}) {
+		t.Error("zone 1 should exist")
+	}
+	if tp.Has(LevelZone, Coord{Zone: 2}) {
+		t.Error("zone 2 should not exist")
+	}
+	if tp.Has(LevelProvider, Coord{Provider: 1}) {
+		t.Error("provider 1 should not exist")
+	}
+}
+
+func TestSpreadOrderAlternatesZones(t *testing.T) {
+	tp, _ := Uniform(12, 1, 3, 2)
+	order := tp.SpreadOrder()
+	if len(order) != 12 {
+		t.Fatalf("order covers %d nodes", len(order))
+	}
+	seen := make(map[int]bool)
+	for i, n := range order {
+		if seen[n] {
+			t.Fatalf("node %d appears twice", n)
+		}
+		seen[n] = true
+		next := order[(i+1)%len(order)]
+		if tp.SameDomain(LevelZone, n, next) {
+			t.Errorf("order[%d]=%d and successor %d share a zone", i, n, next)
+		}
+	}
+}
+
+func TestSpreadOrderUnbalanced(t *testing.T) {
+	// 2 zones with uneven populations: the order must still cover all nodes
+	// exactly once.
+	coords := []Coord{
+		{Zone: 0}, {Zone: 0}, {Zone: 0}, {Zone: 0}, {Zone: 1},
+	}
+	tp := New(coords)
+	order := tp.SpreadOrder()
+	if len(order) != 5 {
+		t.Fatalf("order covers %d nodes, want 5", len(order))
+	}
+	seen := make(map[int]bool)
+	for _, n := range order {
+		seen[n] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("order repeats nodes: %v", order)
+	}
+}
+
+func TestSliceRenumbers(t *testing.T) {
+	tp, _ := Uniform(8, 2, 1, 2)
+	sub := tp.Slice(4, 8)
+	if sub.Nodes() != 4 {
+		t.Fatalf("slice nodes = %d", sub.Nodes())
+	}
+	if got, want := sub.Coord(0), tp.Coord(4); got != want {
+		t.Errorf("slice coord 0 = %+v, want %+v", got, want)
+	}
+	if sub.Contains(4) {
+		t.Error("slice should not contain node 4")
+	}
+}
+
+func TestOutsideNodesBelongNowhere(t *testing.T) {
+	tp, _ := Uniform(4, 1, 2, 1)
+	if tp.Contains(4) {
+		t.Error("node 4 is outside")
+	}
+	if tp.SameDomain(LevelZone, 0, 4) {
+		t.Error("outside node shares no domain")
+	}
+}
+
+func TestCoordLabels(t *testing.T) {
+	c := Coord{Provider: 1, Zone: 2, Rack: 3}
+	if got := c.Label(LevelRack); got != "p1/z2/r3" {
+		t.Errorf("rack label = %q", got)
+	}
+	if got := c.Label(LevelZone); got != "p1/z2" {
+		t.Errorf("zone label = %q", got)
+	}
+	if got := c.Label(LevelProvider); got != "p1" {
+		t.Errorf("provider label = %q", got)
+	}
+	if got := c.Key(LevelZone); got != (Coord{Provider: 1, Zone: 2}) {
+		t.Errorf("zone key = %+v", got)
+	}
+}
