@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check ci presets faults invariants slo fleet clean bench bench-check bench-shards
+.PHONY: all build test race vet fmt lint check ci presets faults invariants slo fleet serve clean bench bench-check bench-shards
 
 all: build
 
@@ -76,6 +76,15 @@ fleet:
 	$(GO) test -race -short -run 'TestFleet|TestZoneOutage' ./internal/cluster/
 	$(GO) run -race ./cmd/nvmcp-sim -scenario docs/scenarios/zone-outage.json -invariants -stress-report-out bench/fleet-check.html
 
+# serve is the control-plane gate: the admission/backpressure and HTTP API
+# suites under the race detector, then the end-to-end serve tests, which
+# build the real nvmcp-sim binary, boot `-serve` on an ephemeral port, drive
+# it over HTTP, and hold the served checksum to the batch run plus the live
+# zone-outage injection to a lossless replanned recovery.
+serve:
+	$(GO) test -race ./internal/controlplane/
+	$(GO) test -count=1 -run 'TestServe' ./cmd/nvmcp-sim/
+
 # slo runs the SLO engine gate: the evaluator/report/diff test suite, both
 # SLO presets in strict mode (any objective breach fails the command), a
 # regression diff of a fresh slo-paper report against the checked-in
@@ -93,9 +102,9 @@ slo:
 # ci is the gate the workflow runs: lint (fmt + vet + grep idioms), the full
 # test suite under the race detector (obs publication crosses host
 # goroutines), the preset and fault-cascade smoke sweeps, the lineage
-# invariant gate, the SLO gate, the fleet-scale chaos gate, and the perf
-# regression check against the checked-in baseline.
-ci: lint race presets faults invariants slo fleet bench-check
+# invariant gate, the SLO gate, the fleet-scale chaos gate, the control-plane
+# serve gate, and the perf regression check against the checked-in baseline.
+ci: lint race presets faults invariants slo fleet serve bench-check
 
 # bench refreshes the perf records: the testing.B suites (sim kernel,
 # resource layer, paper end-to-end) plus the nvmcp-perf probes, which write

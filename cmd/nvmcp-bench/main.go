@@ -201,7 +201,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nvmcp-bench: %v\n", err)
 			os.Exit(2)
 		}
-		defer srv.Close()
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "nvmcp-bench: %v\n", err)
+			}
+		}()
 		fmt.Printf("introspection listening on http://%s\n", srv.Addr())
 	}
 
@@ -314,7 +318,7 @@ func writeStressReport(path string, rep stress.Report) error {
 		return err
 	}
 	if err := stress.WriteJSON(jf, rep); err != nil {
-		jf.Close()
+		_ = jf.Close() // the write error is the one worth reporting
 		return err
 	}
 	if err := jf.Close(); err != nil {
@@ -325,7 +329,7 @@ func writeStressReport(path string, rep stress.Report) error {
 		return err
 	}
 	if err := stress.WriteHTML(hf, rep); err != nil {
-		hf.Close()
+		_ = hf.Close() // the write error is the one worth reporting
 		return err
 	}
 	if err := hf.Close(); err != nil {

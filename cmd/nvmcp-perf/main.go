@@ -52,6 +52,12 @@ type perfRecord struct {
 	// the sweep's serial run.
 	Shards   int     `json:"shards,omitempty"`
 	SpeedupX float64 `json:"speedup_x,omitempty"`
+	// PeakWindowBytes is the staggered run's peak 5s-window checkpoint
+	// fabric volume (the stagger-peak probe sets it); PeakReductionFrac is
+	// how far below the unstaggered baseline it landed. Check mode requires
+	// the reduction to stay strictly positive.
+	PeakWindowBytes   float64 `json:"peak_window_bytes,omitempty"`
+	PeakReductionFrac float64 `json:"peak_reduction_frac,omitempty"`
 }
 
 // probe is one timed workload. run returns the number of simulation events
@@ -222,6 +228,26 @@ var probes = []probe{
 		},
 	},
 	{
+		// Drain staggering on a burst-shaped fleet: the control plane's
+		// headline effect. The timed run is the staggered one; extra re-runs
+		// the same scenario unstaggered and records how far staggering cut
+		// the Figure 10 peak-window quantity. Check mode fails if the
+		// reduction ever drops to zero.
+		id: "stagger-peak", reps: 3, shards: 1,
+		run: func() uint64 {
+			res, c := cluster.MustRun(staggerClusterCfg(true))
+			staggerPeakBytes = res.PeakCkptWindowBytes
+			return c.EventsFired()
+		},
+		extra: func(rec *perfRecord) {
+			base, _ := cluster.MustRun(staggerClusterCfg(false))
+			rec.PeakWindowBytes = staggerPeakBytes
+			if base.PeakCkptWindowBytes > 0 {
+				rec.PeakReductionFrac = 1 - staggerPeakBytes/base.PeakCkptWindowBytes
+			}
+		},
+	},
+	{
 		// The full Figure 9 sweep at paper scale — the acceptance metric
 		// the optimization work is held to.
 		id: "fig9-paper", reps: 1,
@@ -260,6 +286,41 @@ func fleetClusterCfg(shards int) cluster.Config {
 	cfg.Shards = shards
 	return cfg
 }
+
+// staggerClusterCfg is the stagger-peak probe's fleet: eight nodes whose
+// only remote round is a burst-mode buddy drain on the same coordinated
+// checkpoint, so every node hits the fabric inside one peak window unless
+// the drain gate spreads them out. (Pre-copy buddies ship continuously at
+// the rate cap, which makes trigger staggering a no-op — the probe must
+// stay burst-shaped to measure anything.)
+func staggerClusterCfg(staggered bool) cluster.Config {
+	sc := &scenario.Scenario{
+		Name:         "stagger-peak",
+		Nodes:        8,
+		CoresPerNode: 2,
+		NVMPerCoreBW: 400e6,
+		LinkBW:       250e6,
+		Workload:     scenario.WorkloadSpec{App: "cm1", CkptMB: 24, IterSecs: 2},
+		Iterations:   4,
+		Local:        scenario.LocalSpec{Policy: "dcpcp"},
+		Remote:       scenario.RemoteSpec{Policy: "buddy-burst", AutoRateCap: true, Every: 4},
+		PayloadCap:   1024,
+	}
+	if staggered {
+		sc.Remote.StaggerMax = 1
+		sc.Remote.StaggerSlotSecs = 1.5
+	}
+	cfg, err := cluster.FromScenario(sc)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Shards = 1
+	return cfg
+}
+
+// staggerPeakBytes is the staggered run's peak window volume, stashed by
+// the stagger-peak probe's timed run for its extra pass.
+var staggerPeakBytes float64
 
 // fleetSerialMS is the fleet sweep's serial wall time, stashed by the
 // fleet-shards-1 probe so later shard counts can report their speedup.
@@ -344,7 +405,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nvmcp-perf: %v\n", err)
 			os.Exit(2)
 		}
-		defer srv.Close()
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "nvmcp-perf: %v\n", err)
+			}
+		}()
 		fmt.Printf("introspection listening on http://%s\n", srv.Addr())
 	}
 
@@ -373,6 +438,15 @@ func main() {
 				fmt.Fprintf(os.Stderr,
 					"nvmcp-perf: REGRESSION %s: subsystem overhead %.1f%% exceeds %.0f%% limit\n",
 					rec.ID, 100*rec.OverheadFrac, 100*overheadLimit)
+				regressed = true
+			}
+			// The stagger gate is directional, not baseline-relative:
+			// staggered drains must keep the peak window strictly below the
+			// unstaggered run, whatever this host's speed.
+			if rec.PeakWindowBytes > 0 && rec.PeakReductionFrac <= 0 {
+				fmt.Fprintf(os.Stderr,
+					"nvmcp-perf: REGRESSION %s: staggering no longer lowers the peak window (reduction %.1f%%)\n",
+					rec.ID, 100*rec.PeakReductionFrac)
 				regressed = true
 			}
 			base, err := readRecord(filepath.Join(*checkDir, "BENCH_"+rec.ID+".json"))

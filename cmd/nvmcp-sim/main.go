@@ -26,9 +26,11 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"nvmcp/internal/cluster"
+	"nvmcp/internal/controlplane"
 	"nvmcp/internal/introspect"
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/obs"
@@ -79,6 +81,11 @@ func main() {
 		stressOut    = flag.String("stress-report-out", "", "write the run's stress report (survivability + MTTR/availability cell) to <path>.html and <path>.json")
 		shardsFlag   = flag.String("shards", "auto", "event-engine shards: auto = min(GOMAXPROCS, topology), or a count (1 = serial engine)")
 		sweepPath    = flag.String("sweep", "", "run every cell of a sweep JSON file sequentially")
+		serveMode    = flag.Bool("serve", false, "resident control-plane mode: serve the job API on -http and run submitted scenarios")
+		serveRunning = flag.Int("serve-max-running", 2, "serve: max concurrently running jobs")
+		serveQueue   = flag.Int("serve-queue", 8, "serve: max queued jobs before submissions are rejected")
+		serveFabric  = flag.Float64("serve-fabric-budget", 0, "serve: aggregate declared remote-drain demand across running jobs, bytes/sec (0 = unlimited)")
+		serveWindow  = flag.Float64("serve-window-budget", 0, "serve: live ckpt fabric bytes per 5s window across running jobs (0 = unlimited)")
 		httpAddr     = flag.String("http", "", "serve live introspection (/healthz /metrics /progress /lineage, pprof) on this address, e.g. :8080")
 		httpHold     = flag.Bool("http-hold", false, "keep the introspection server up after the run until interrupted")
 		eventsOut    = flag.String("events-out", "", "write the typed event log as JSONL to this file")
@@ -94,6 +101,14 @@ func main() {
 	}
 	if *sweepPath != "" {
 		os.Exit(runSweep(*sweepPath, *sloStrict, *sloReportOut))
+	}
+	if *serveMode {
+		os.Exit(runServe(*httpAddr, controlplane.Config{
+			MaxRunning:   *serveRunning,
+			QueueDepth:   *serveQueue,
+			FabricBudget: *serveFabric,
+			WindowBudget: *serveWindow,
+		}))
 	}
 
 	sc, err := resolveScenario(*scenarioPath, *presetName, *scaleName, func() *scenario.Scenario {
@@ -197,7 +212,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
 			os.Exit(2)
 		}
-		defer srv.Close()
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+			}
+		}()
 		fmt.Printf("introspection listening on http://%s (try /progress, /metrics, /lineage)\n", srv.Addr())
 	}
 
@@ -329,6 +348,45 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+}
+
+// runServe is the resident control-plane mode: one process holding the job
+// API open, each submitted scenario executing on its own virtual clock under
+// the plane's admission policy. The process stays up — and the finished
+// jobs' results stay queryable — until an interrupt, when the plane drains
+// (queued jobs canceled, live ones aborted at their next control tick) and
+// the HTTP server shuts down with its usual grace period.
+func runServe(addr string, cfg controlplane.Config) int {
+	if addr == "" {
+		addr = "127.0.0.1:8080"
+	}
+	pl := controlplane.New(cfg)
+	srv, err := introspect.Serve(addr, introspect.Source{
+		Tool:   "nvmcp-sim",
+		Status: func() string { return "serving" },
+		API:    pl.Handler(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+		return 2
+	}
+	fmt.Printf("control plane listening on http://%s (POST /api/jobs, GET /api/plane)\n", srv.Addr())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	code := 0
+	select {
+	case <-ch:
+	case err := <-srv.ServeErr():
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+			code = 1
+		}
+	}
+	pl.Close()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+	}
+	return code
 }
 
 // resolveScenario picks the run's scenario: an explicit file, a named preset,
@@ -474,7 +532,11 @@ func runSweep(path string, sloStrict bool, sloReportOut string) int {
 		return 2
 	}
 	sw, err := scenario.LoadSweep(f)
-	f.Close()
+	// Same Close-error-propagation convention as writeFile below: a failed
+	// Close is the sweep's problem unless the load already failed louder.
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
 		return 2

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nvmcp/internal/controlplane"
+	"nvmcp/internal/scenario"
+)
+
+// The serve gate drives the real binary end to end: build nvmcp-sim, boot
+// -serve on an ephemeral port, submit jobs over HTTP, and hold the served
+// results to the same answers the batch CLI gives.
+
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+func simBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "nvmcp-sim-e2e")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin = filepath.Join(dir, "nvmcp-sim")
+		out, err := exec.Command("go", "build", "-o", builtBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtBin
+}
+
+// startServe boots `nvmcp-sim -serve` on an ephemeral port and returns the
+// base URL. The server is interrupted (graceful drain) at test cleanup.
+func startServe(t *testing.T, extraFlags ...string) string {
+	t.Helper()
+	bin := simBinary(t)
+	args := append([]string{"-serve", "-http", "127.0.0.1:0"}, extraFlags...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { _ = cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	})
+
+	sc := bufio.NewScanner(stdout)
+	re := regexp.MustCompile(`listening on (http://\S+)`)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if m := re.FindStringSubmatch(sc.Text()); m != nil {
+				lineCh <- m[1]
+				break
+			}
+		}
+		close(lineCh)
+	}()
+	select {
+	case url, ok := <-lineCh:
+		if !ok {
+			t.Fatal("serve exited before announcing its address")
+		}
+		return url
+	case <-time.After(20 * time.Second):
+		t.Fatal("serve never announced its address")
+	}
+	return ""
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func pollJobDone(t *testing.T, base string, id int) controlplane.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	var st controlplane.JobStatus
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/api/jobs/%d", base, id))
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("poll decode: %v", err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d stuck in %s", id, st.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestServeChecksumParityWithBatch is the serving mode's core promise: the
+// quick preset submitted over HTTP produces the same workload checksum as
+// `nvmcp-sim -preset quick` run in batch on the serial engine.
+func TestServeChecksumParityWithBatch(t *testing.T) {
+	base := startServe(t)
+
+	var st controlplane.JobStatus
+	code := postJSON(t, base+"/api/jobs",
+		controlplane.SubmitRequest{Preset: "quick", Scale: "tiny", Label: "parity"}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code = %d, want 202", code)
+	}
+	st = pollJobDone(t, base, st.ID)
+	if st.State != controlplane.StateDone || st.Result == nil {
+		t.Fatalf("served job ended %s (%s)", st.State, st.Reason)
+	}
+
+	out, err := exec.Command(simBinary(t), "-preset", "quick", "-scale", "tiny", "-shards", "1").Output()
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	m := regexp.MustCompile(`workload checksum\s+([0-9a-f]{16})`).FindSubmatch(out)
+	if m == nil {
+		t.Fatalf("no checksum in batch output:\n%s", out)
+	}
+	if got, want := st.Result.WorkloadChecksum, string(m[1]); got != want {
+		t.Fatalf("served checksum %s != batch checksum %s", got, want)
+	}
+}
+
+// TestServeLiveZoneOutageReplans drives the full control-plane story over
+// the wire: a fleet scenario submitted held, a zone outage injected through
+// the API, the run released — and it must re-plan placement off the dead
+// zone and converge with zero lost chunks.
+func TestServeLiveZoneOutageReplans(t *testing.T) {
+	base := startServe(t)
+
+	p, ok := scenario.PresetByID("fleet-zone")
+	if !ok {
+		t.Fatal("fleet-zone preset missing")
+	}
+	sc := p.Build(scenario.ScaleTiny)
+	sc.Failures = nil // the outage arrives over the API instead
+	sc.Name = "fleet-live-outage"
+
+	var st controlplane.JobStatus
+	code := postJSON(t, base+"/api/jobs",
+		controlplane.SubmitRequest{Scenario: sc, Hold: true, Replan: true}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code = %d, want 202", code)
+	}
+	if st.State != controlplane.StateHeld {
+		t.Fatalf("state = %s, want held", st.State)
+	}
+	jobURL := fmt.Sprintf("%s/api/jobs/%d", base, st.ID)
+
+	if code := postJSON(t, jobURL+"/events",
+		scenario.FailureSpec{AtSecs: 5, Kind: "zone-outage", Zone: 1}, nil); code != http.StatusAccepted {
+		t.Fatalf("inject code = %d, want 202", code)
+	}
+	if code := postJSON(t, jobURL+"/start", struct{}{}, &st); code != http.StatusOK {
+		t.Fatalf("start code = %d, want 200", code)
+	}
+
+	st = pollJobDone(t, base, st.ID)
+	if st.State != controlplane.StateDone {
+		t.Fatalf("job ended %s (%s), notes %v", st.State, st.Reason, st.Notes)
+	}
+	r := st.Result
+	if r.FailuresInjected != 1 {
+		t.Fatalf("failures injected = %d, want 1", r.FailuresInjected)
+	}
+	if r.Replans != 1 {
+		t.Fatalf("replans = %d, want 1 — the live outage never re-planned placement", r.Replans)
+	}
+	if r.RecoveryLost != 0 {
+		t.Fatalf("lost %d chunks recovering from the live zone outage, want 0", r.RecoveryLost)
+	}
+	if strings.Join(st.Notes, ";") != "" {
+		t.Fatalf("injection left notes: %v", st.Notes)
+	}
+}

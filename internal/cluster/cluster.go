@@ -205,6 +205,21 @@ type Config struct {
 	// breach.
 	SLO *slo.Config
 
+	// Stagger, when enabled, gates remote (buddy) drains behind an
+	// admission gate: at most MaxConcurrent node drains in flight, grants
+	// Slot apart — the control plane's cap on peak interconnect usage
+	// (Fig 9/10's ckpt_window_bytes). Global coupling: pins the serial
+	// engine.
+	Stagger policy.StaggerSpec
+	// ReplanOnFailure re-homes remote replica placement away from the
+	// victims of a hard or correlated failure during recovery (needs a
+	// Replanner-capable remote tier, i.e. the buddy policies).
+	ReplanOnFailure bool
+	// Control, when set, hooks an external controller (the checkpoint
+	// control plane) into the run: live injection, cancellation, ticks.
+	// Global coupling: pins the serial engine.
+	Control *Control
+
 	// Shards partitions the node set onto N independent event engines run in
 	// conservative lockstep (see DESIGN.md §12). 0 leaves the choice to the
 	// process-wide DefaultShards (which itself defaults to the classic serial
@@ -340,6 +355,10 @@ func (cfg *Config) Validate() error {
 	if _, err := policy.ParsePlacement(cfg.Placement); err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
+	if cfg.Stagger.MaxConcurrent < 0 || cfg.Stagger.Slot < 0 {
+		return fmt.Errorf("cluster: stagger fields must be non-negative (max %d, slot %v)",
+			cfg.Stagger.MaxConcurrent, cfg.Stagger.Slot)
+	}
 	for i, f := range cfg.Failures {
 		if !f.EffectiveKind().Correlated() && (f.Node < 0 || f.Node >= cfg.Nodes) {
 			return fmt.Errorf("cluster: failure %d targets node %d, cluster has nodes 0..%d",
@@ -454,6 +473,12 @@ type Result struct {
 	WorkloadChecksum uint64
 	// Ranks is the total rank count.
 	Ranks int
+	// DrainGrants / DrainMaxQueued report the stagger gate's admissions and
+	// deepest backlog (zero when staggering is off).
+	DrainGrants    int
+	DrainMaxQueued int
+	// Replans counts placement re-plans applied during recovery.
+	Replans int
 }
 
 // Cluster is a running (or finished) simulation instance.
@@ -508,6 +533,18 @@ type Cluster struct {
 	localCount int
 	remCount   int
 	failCount  int
+
+	// control-plane machinery
+	drainGate *policy.DrainGate
+	injector  *fault.Injector
+	// epochGen counts epoch spawns so deferred drain-admit processes can
+	// detect that the epoch they queued for died.
+	epochGen int
+	// driveDone flips when the driver finishes teardown; the control tick
+	// stops re-arming on it so the event queue can drain.
+	driveDone   bool
+	aborted     string
+	replanCount int
 
 	// degraded-mode bookkeeping
 	skipCount     int
@@ -680,6 +717,7 @@ func New(cfg Config) (*Cluster, error) {
 		lastRemote: make(map[int]*sim.Completion),
 		lastDrain:  make(map[int]*sim.Completion),
 		ckptTime:   make([]time.Duration, rankBase[cfg.Nodes]),
+		drainGate:  policy.NewDrainGate(env, cfg.Stagger),
 	}, nil
 }
 
@@ -775,16 +813,24 @@ func (c *Cluster) Execute() (Result, error) {
 		}
 		events = append(events, mm.Schedule()...)
 	}
-	if len(events) > 0 {
-		fault.NewInjector(c.Env, c.Cfg.FaultSeed, c.Cfg.Topo, fault.Surfaces{
+	// A Control-enabled run keeps the injector around even with no
+	// pre-scheduled events, so commands arriving over the API can inject
+	// failures mid-flight.
+	if len(events) > 0 || c.Cfg.Control != nil {
+		c.injector = fault.NewInjector(c.Env, c.Cfg.FaultSeed, c.Cfg.Topo, fault.Surfaces{
 			Kill:       c.injectFailure,
 			CorruptNVM: c.corruptNVM,
 			FlapLink:   c.flapLink,
-		}).ScheduleAll(events)
+		})
+		c.injector.ScheduleAll(events)
 	}
+	c.startControl()
 	c.Env.Go("driver", c.drive)
 	c.Env.Run()
 	res := c.collect()
+	if c.aborted != "" {
+		return res, fmt.Errorf("cluster: run aborted: %s", c.aborted)
+	}
 	if c.Lineage != nil && c.Cfg.Lineage.Strict {
 		if err := c.Lineage.Err(); err != nil {
 			return res, err
@@ -822,7 +868,7 @@ func (c *Cluster) drive(p *sim.Proc) {
 			p.Join(rp)
 		}
 		c.ranksLive = false
-		if c.pendingFailure == nil {
+		if c.pendingFailure == nil || c.aborted != "" {
 			break
 		}
 		f := *c.pendingFailure
@@ -845,6 +891,7 @@ func (c *Cluster) drive(p *sim.Proc) {
 	}
 	c.drainBottom(p)
 	c.shutdown()
+	c.driveDone = true
 }
 
 // drainBottom flushes every remote holder's committed objects to the bottom
@@ -893,6 +940,7 @@ func (c *Cluster) spawnEpoch(p *sim.Proc) []*sim.Proc {
 	}
 	c.engines = nil
 	c.epochStores = nil
+	c.epochGen++
 	if c.remoteTier != nil {
 		c.remoteTier.BeginEpoch()
 	}
@@ -1093,7 +1141,7 @@ func (c *Cluster) rankBody(p *sim.Proc, rank, startIter int) {
 			c.localCount++
 		}
 		if c.remoteTier != nil && leader && (iter+1)%cfg.RemoteEvery == 0 {
-			c.lastRemote[node] = c.remoteTier.Trigger(p, node)
+			c.lastRemote[node] = c.triggerRemote(p, node)
 			rec.Instant("remote trigger", "remote", lane, p.Now(), nil)
 			rec.Emit(obs.EvRemoteTrigger, "", 0,
 				map[string]string{"iter": fmt.Sprintf("%d", iter)})
@@ -1290,6 +1338,24 @@ func (c *Cluster) recover(p *sim.Proc, f fault.Event) {
 			k.SoftReset()
 		}
 	}
+	// Re-home replica placement away from the victims before the next
+	// epoch's BeginEpoch rebuilds the helper agents: a hard or correlated
+	// loss took (or will keep taking) the copies those nodes held, so the
+	// re-rung plan stops routing anyone's remote copies at them.
+	if c.Cfg.ReplanOnFailure && c.remoteTier != nil && (hard || f.Kind.Correlated()) {
+		if rp, ok := c.remoteTier.(policy.Replanner); ok && rp.Replan(victims) {
+			c.replanCount++
+			ids := make([]string, len(victims))
+			for i, n := range victims {
+				ids[i] = strconv.Itoa(n)
+			}
+			c.Obs.Recorder(f.Node, "cluster").Emit(obs.EvReplan, "", 0,
+				map[string]string{
+					"kind":  string(f.Kind),
+					"avoid": strings.Join(ids, ","),
+				})
+		}
+	}
 	c.recoverWait = c.rankBase[c.Cfg.Nodes]
 	p.Sleep(RelaunchDelay)
 	if c.remoteTier != nil {
@@ -1391,6 +1457,11 @@ func (c *Cluster) collect() Result {
 	res.WorkloadChecksum = c.workSum
 	reg.Gauge("mttr_seconds", nil).Set(res.MTTR.Seconds())
 	reg.Gauge("degraded_seconds_total", nil).Set(res.DegradedTime.Seconds())
+	if c.drainGate != nil {
+		res.DrainGrants = c.drainGate.Grants
+		res.DrainMaxQueued = c.drainGate.MaxQueued
+	}
+	res.Replans = c.replanCount
 	return res
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"nvmcp/internal/fault"
+	"nvmcp/internal/policy"
 	"nvmcp/internal/scenario"
 	"nvmcp/internal/slo"
 )
@@ -47,6 +48,11 @@ func FromScenario(sc *scenario.Scenario) (Config, error) {
 		RemoteDelay:   time.Duration(sc.Remote.DelaySecs * float64(time.Second)),
 		RemoteEvery:   sc.Remote.Every,
 		RemoteGroup:   sc.Remote.Group,
+		Stagger: policy.StaggerSpec{
+			MaxConcurrent: sc.Remote.StaggerMax,
+			Slot:          time.Duration(sc.Remote.StaggerSlotSecs * float64(time.Second)),
+		},
+		ReplanOnFailure: sc.Remote.Replan,
 
 		Bottom:            sc.Bottom.Policy,
 		BottomAggregateBW: sc.Bottom.AggregateBW,
@@ -81,22 +87,7 @@ func FromScenario(sc *scenario.Scenario) (Config, error) {
 		}
 	}
 	for _, f := range sc.Failures {
-		cfg.Failures = append(cfg.Failures, FailureEvent{
-			After:     time.Duration(f.AtSecs * float64(time.Second)),
-			Node:      f.Node,
-			Hard:      f.Hard,
-			Kind:      fault.Kind(f.Kind),
-			Chunks:    f.Chunks,
-			Torn:      f.Torn,
-			Duration:  time.Duration(f.DurationSecs * float64(time.Second)),
-			Factor:    f.Factor,
-			Provider:  f.Provider,
-			Zone:      f.Zone,
-			Rack:      f.Rack,
-			Soft:      f.Soft,
-			Waves:     f.Waves,
-			WaveDelay: time.Duration(f.WaveDelaySecs * float64(time.Second)),
-		})
+		cfg.Failures = append(cfg.Failures, FailureFromSpec(f))
 	}
 	if m := sc.FaultModel; m != nil {
 		cfg.FaultModel = &fault.Model{
@@ -117,6 +108,29 @@ func FromScenario(sc *scenario.Scenario) (Config, error) {
 		cfg.SLO = &slo.Config{Enabled: true, Spec: sc.SLO}
 	}
 	return cfg, nil
+}
+
+// FailureFromSpec lowers one declarative failure into the cluster's event
+// form — shared by scenario lowering above and the control plane's live
+// injection API, so a fault described over HTTP means exactly what the same
+// JSON means in a scenario file.
+func FailureFromSpec(f scenario.FailureSpec) FailureEvent {
+	return FailureEvent{
+		After:     time.Duration(f.AtSecs * float64(time.Second)),
+		Node:      f.Node,
+		Hard:      f.Hard,
+		Kind:      fault.Kind(f.Kind),
+		Chunks:    f.Chunks,
+		Torn:      f.Torn,
+		Duration:  time.Duration(f.DurationSecs * float64(time.Second)),
+		Factor:    f.Factor,
+		Provider:  f.Provider,
+		Zone:      f.Zone,
+		Rack:      f.Rack,
+		Soft:      f.Soft,
+		Waves:     f.Waves,
+		WaveDelay: time.Duration(f.WaveDelaySecs * float64(time.Second)),
+	}
 }
 
 // RunScenario builds and runs a scenario end to end.

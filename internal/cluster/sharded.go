@@ -77,6 +77,12 @@ func shardBlocker(cfg *Config) string {
 	if cfg.Tracer != nil {
 		return "span tracing records into one externally-owned recorder"
 	}
+	if cfg.Control != nil {
+		return "external control hooks couple the whole cluster to one controller"
+	}
+	if cfg.Stagger.Enabled() {
+		return "drain staggering gates every node behind one admission gate"
+	}
 	return ""
 }
 

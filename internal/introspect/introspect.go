@@ -3,7 +3,8 @@
 // metrics, liveness, simulation progress, per-chunk lineage queries, and the
 // standard pprof handlers. The CLIs mount it behind a `-http :PORT` flag, so
 // a long paper-scale run can be watched — and profiled — while the virtual
-// clock is still advancing.
+// clock is still advancing. With an API handler attached (nvmcp-sim -serve),
+// the same listener also fronts the checkpoint control plane under /api/.
 //
 // Every read goes through race-safe snapshots (obs.Progress, the metrics
 // registry's own locking, and the lineage tracer's mutex); the server never
@@ -12,6 +13,7 @@
 package introspect
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -41,6 +43,9 @@ type Source struct {
 	Tool string
 	// Status, when set, reports the run phase ("running", "done", ...).
 	Status func() string
+	// API, when set, is mounted under /api/ (the control plane's job
+	// surface in serving mode; nil for plain batch-run introspection).
+	API http.Handler
 }
 
 // Progress is the /progress response body.
@@ -52,8 +57,9 @@ type Progress struct {
 	VirtualUS int64 `json:"virtual_us"`
 	// Events is the total event count published so far.
 	Events int `json:"events"`
-	// EventsPerSec is the event rate between this poll and the previous
-	// one, measured in host wall time (0 on the first poll).
+	// EventsPerSec is the recent event rate in host wall time, derived from
+	// a shared monotonic sample history (0 on the first poll), so any number
+	// of concurrent scrapers observe the same rate.
 	EventsPerSec float64 `json:"events_per_sec"`
 	// Epoch is the current recovery epoch (lineage tracer; 0 without one).
 	Epoch int `json:"epoch"`
@@ -61,21 +67,49 @@ type Progress struct {
 	Violations int `json:"violations"`
 }
 
+// rateLookback bounds how far back the rate computation reaches: the rate is
+// measured against the oldest retained sample, and samples age out once a
+// newer one is itself lookback-old. Heavy scraping therefore converges on a
+// smoothed ~lookback-wide window instead of poller-pair deltas.
+const rateLookback = 10 * time.Second
+
+// maxRateSamples hard-caps the sample history so pathological scrape storms
+// cannot grow it without bound inside one lookback window.
+const maxRateSamples = 256
+
+// rateSample is one (wall time, cumulative events) observation.
+type rateSample struct {
+	t      time.Time
+	events int
+}
+
 // Server wraps the HTTP listener for clean shutdown.
 type Server struct {
-	http *http.Server
-	addr net.Addr
+	http  *http.Server
+	addr  net.Addr
+	errc  chan error
+	drain time.Duration
 
-	mu         sync.Mutex
-	lastPoll   time.Time
-	lastEvents int
+	// now is the wall clock (swapped for a fake in tests).
+	now func() time.Time
+
+	mu sync.Mutex
+	// samples is the shared monotonic poll history the event rate derives
+	// from. Every poller appends and reads the same series, so concurrent
+	// scrapers cannot steal each other's baseline (the old single
+	// lastPoll/lastEvents pair handed one scraper ~2x the rate and the
+	// other ~0).
+	samples []rateSample
+}
+
+func newServer() *Server {
+	return &Server{now: time.Now, drain: drainTimeout}
 }
 
 // NewMux builds the introspection routing table (exported separately so
 // tests drive handlers without a listener).
 func NewMux(src Source) *http.ServeMux {
-	s := &Server{}
-	return s.mux(src)
+	return newServer().mux(src)
 }
 
 func (s *Server) mux(src Source) *http.ServeMux {
@@ -147,6 +181,9 @@ func (s *Server) mux(src Source) *http.ServeMux {
 			"windows": src.SLO.Windows(),
 		})
 	})
+	if src.API != nil {
+		mux.Handle("/api/", src.API)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -167,18 +204,33 @@ func (s *Server) progress(src Source) Progress {
 		p.Epoch = src.Lineage.Epoch()
 		p.Violations = src.Lineage.ViolationCount()
 	}
-	// The rate is host-side: events accrued since the previous poll over the
-	// wall time between the polls.
-	now := time.Now()
+	p.EventsPerSec = s.observeRate(p.Events)
+	return p
+}
+
+// observeRate folds one poll into the shared sample history and returns the
+// event rate against the oldest retained sample. The history is monotonic
+// and shared by all pollers: a new scraper joining mid-run measures against
+// the same baseline as everyone else instead of resetting it.
+func (s *Server) observeRate(events int) float64 {
+	now := s.now()
 	s.mu.Lock()
-	if !s.lastPoll.IsZero() {
-		if dt := now.Sub(s.lastPoll).Seconds(); dt > 0 {
-			p.EventsPerSec = float64(p.Events-s.lastEvents) / dt
+	defer s.mu.Unlock()
+	// Age out leading samples: once the *next* sample is itself old enough
+	// to anchor the lookback, the current base carries no extra information.
+	for len(s.samples) > 1 &&
+		(now.Sub(s.samples[1].t) >= rateLookback || len(s.samples) > maxRateSamples) {
+		s.samples = s.samples[1:]
+	}
+	rate := 0.0
+	if len(s.samples) > 0 {
+		base := s.samples[0]
+		if dt := now.Sub(base.t).Seconds(); dt > 0 {
+			rate = float64(events-base.events) / dt
 		}
 	}
-	s.lastPoll, s.lastEvents = now, p.Events
-	s.mu.Unlock()
-	return p
+	s.samples = append(s.samples, rateSample{t: now, events: events})
+	return rate
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -190,21 +242,42 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// Serving limits. ReadHeaderTimeout bounds how long a connection may dribble
+// its request head (the slowloris hole a resident control plane cannot
+// leave open); WriteTimeout must outlast the longest legitimate response —
+// /debug/pprof/profile blocks for its full sample window (30s by default) —
+// so it is generous rather than tight. drainTimeout is how long Close waits
+// for in-flight requests before dropping the stragglers.
+const (
+	readHeaderTimeout = 5 * time.Second
+	writeTimeout      = 2 * time.Minute
+	idleTimeout       = 2 * time.Minute
+	drainTimeout      = 5 * time.Second
+)
+
 // Serve starts the introspection server on addr (e.g. ":8080" or
 // "127.0.0.1:0") in a background goroutine and returns once the listener is
 // bound, so callers can print the resolved address before the run starts.
+// Asynchronous serve failures are published on ServeErr.
 func Serve(addr string, src Source) (*Server, error) {
-	s := &Server{}
+	s := newServer()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("introspect: listen %s: %w", addr, err)
 	}
 	s.addr = ln.Addr()
-	s.http = &http.Server{Handler: s.mux(src)}
+	s.http = &http.Server{
+		Handler:           s.mux(src),
+		ReadHeaderTimeout: readHeaderTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	s.errc = make(chan error, 1)
 	go func() {
-		// ErrServerClosed is the clean-shutdown path; anything else would
-		// have surfaced at Listen time.
-		_ = s.http.Serve(ln)
+		if err := s.http.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.errc <- fmt.Errorf("introspect: serve %s: %w", s.addr, err)
+		}
+		close(s.errc)
 	}()
 	return s, nil
 }
@@ -212,10 +285,26 @@ func Serve(addr string, src Source) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() net.Addr { return s.addr }
 
-// Close stops the listener.
+// ServeErr reports asynchronous failures from the serve loop. The channel
+// closes when the loop exits; a clean shutdown closes it without a value.
+func (s *Server) ServeErr() <-chan error { return s.errc }
+
+// Close gracefully shuts the server down: the listener closes immediately,
+// in-flight requests get a drain deadline to finish, and only stragglers
+// past the deadline are dropped.
 func (s *Server) Close() error {
 	if s.http == nil {
 		return nil
 	}
-	return s.http.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), s.drain)
+	defer cancel()
+	if err := s.http.Shutdown(ctx); err != nil {
+		// The drain deadline expired with requests still in flight: fall
+		// back to the hard drop, but report that the drain was cut short.
+		if cerr := s.http.Close(); cerr != nil && cerr != http.ErrServerClosed {
+			return cerr
+		}
+		return fmt.Errorf("introspect: drain cut short after %v: %w", s.drain, err)
+	}
+	return nil
 }

@@ -117,6 +117,12 @@ const (
 	// system by a drain pass (version-gated rewrites are skipped, so the
 	// stream mirrors PFS contents); Attrs carry the object version/seq.
 	EvPFSDrain Type = "pfs_drain"
+	// EvReplan records a remote-placement re-plan applied during recovery;
+	// Attrs carry the failure kind and the avoided holder set.
+	EvReplan Type = "replan"
+	// EvAbort records a control-plane cancellation of the run; Attrs carry
+	// the reason.
+	EvAbort Type = "abort"
 )
 
 // Event is one structured occurrence on the bus. Times are virtual

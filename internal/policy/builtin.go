@@ -12,6 +12,7 @@ import (
 	"nvmcp/internal/precopy"
 	"nvmcp/internal/remote"
 	"nvmcp/internal/sim"
+	"nvmcp/internal/topo"
 	"nvmcp/internal/trace"
 )
 
@@ -157,6 +158,36 @@ func (t *buddyTier) SupportSets() [][]int {
 
 func (t *buddyTier) PlacementHonored() bool { return t.honored }
 func (t *buddyTier) PlacementDesc() string  { return "buddy/" + t.placement }
+
+// Replan re-rings the buddy plan so none of the avoided nodes holds remote
+// copies; the next BeginEpoch rebuilds the agents from the new plan and the
+// mesh's per-holder residency makes re-homed copies re-ship in full.
+func (t *buddyTier) Replan(avoid []int) bool {
+	plan := BuddyReplan(t.rt.Topo, t.rt.ComputeNodes, t.placement, avoid)
+	if plan == nil {
+		return false
+	}
+	changed := false
+	for n := range plan {
+		if plan[n] != t.plan[n] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return false
+	}
+	t.plan = plan
+	if t.rt.Topo != nil {
+		t.honored = true
+		for n := 0; n < t.rt.ComputeNodes; n++ {
+			if t.rt.Topo.SameDomain(topo.LevelZone, n, t.plan[n]) {
+				t.honored = false
+			}
+		}
+	}
+	return true
+}
 
 func (t *buddyTier) Register(node int, s *core.Store) { t.mesh.Agent(node).Register(s) }
 func (t *buddyTier) BeginInterval(node int)           { t.mesh.Agent(node).BeginRemoteInterval() }

@@ -47,6 +47,19 @@ type PlacementInfo interface {
 	PlacementDesc() string
 }
 
+// Replanner is an optional capability a RemoteTier implements so the
+// cluster (or a control plane) can re-home replica placement after a
+// correlated failure: Replan recomputes the tier's plan so that none of the
+// avoided nodes holds anyone's remote copies. The new plan takes effect at
+// the next BeginEpoch (the epoch respawn that follows recovery rebuilds the
+// helper agents from it); per-holder residency tracking means re-homed
+// copies fully re-ship on the next trigger.
+type Replanner interface {
+	// Replan reports whether the plan changed. It returns false when the
+	// avoid set leaves too few candidate holders to re-ring.
+	Replan(avoid []int) bool
+}
+
 // BuddyPlan computes the buddy ring over nodes compute nodes. Under
 // PlacementSpread with a topology it rings over topo.SpreadOrder, so a
 // node's buddy sits in a different zone whenever the fleet has more than
@@ -73,6 +86,50 @@ func BuddyPlan(t *topo.Topology, nodes int, placement string) (buddy []int, hono
 		}
 	}
 	return buddy, honored
+}
+
+// BuddyReplan recomputes a buddy ring avoiding the given nodes as holders:
+// every node (including the avoided ones, which will recover and need a live
+// buddy) is assigned the next non-avoided node along the placement order.
+// Returns nil when fewer than two candidate holders remain — a ring needs a
+// buddy distinct from its source for at least the avoided nodes' sources.
+func BuddyReplan(t *topo.Topology, nodes int, placement string, avoid []int) []int {
+	order := make([]int, nodes)
+	for i := range order {
+		order[i] = i
+	}
+	if placement == PlacementSpread && t != nil {
+		order = spreadOrderWithin(t, nodes)
+	}
+	avoided := make(map[int]bool, len(avoid))
+	for _, n := range avoid {
+		avoided[n] = true
+	}
+	holders := 0
+	for _, n := range order {
+		if !avoided[n] {
+			holders++
+		}
+	}
+	if holders < 2 {
+		return nil
+	}
+	pos := make(map[int]int, nodes)
+	for i, n := range order {
+		pos[n] = i
+	}
+	buddy := make([]int, nodes)
+	for n := 0; n < nodes; n++ {
+		j := pos[n]
+		for k := 1; k <= len(order); k++ {
+			cand := order[(j+k)%len(order)]
+			if cand != n && !avoided[cand] {
+				buddy[n] = cand
+				break
+			}
+		}
+	}
+	return buddy
 }
 
 // ErasureGroupCount is how many parity groups (and so parity nodes) an

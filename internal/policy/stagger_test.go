@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"nvmcp/internal/sim"
+)
+
+func TestDrainGateDisabledIsNil(t *testing.T) {
+	if g := NewDrainGate(sim.NewEnv(), StaggerSpec{}); g != nil {
+		t.Fatalf("disabled spec built a gate: %+v", g)
+	}
+	if (StaggerSpec{MaxConcurrent: 2}).Enabled() != true {
+		t.Fatal("MaxConcurrent alone must enable staggering")
+	}
+	if (StaggerSpec{Slot: time.Second}).Enabled() != true {
+		t.Fatal("Slot alone must enable staggering")
+	}
+}
+
+func TestDrainGateCapsConcurrencyFIFO(t *testing.T) {
+	env := sim.NewEnv()
+	g := NewDrainGate(env, StaggerSpec{MaxConcurrent: 2})
+	var inflight, peak int
+	var order []int
+	for i := 0; i < 6; i++ {
+		env.Go("drain", func(p *sim.Proc) {
+			g.Acquire(p)
+			order = append(order, i)
+			inflight++
+			if inflight > peak {
+				peak = inflight
+			}
+			p.Sleep(time.Second)
+			inflight--
+			g.Release()
+		})
+	}
+	env.Run()
+	if peak != 2 {
+		t.Fatalf("peak concurrent drains = %d, want exactly 2", peak)
+	}
+	if g.Grants != 6 {
+		t.Fatalf("grants = %d, want 6", g.Grants)
+	}
+	if g.MaxQueued < 3 {
+		t.Fatalf("max queued = %d, want >= 3 (four waiters behind two tokens)", g.MaxQueued)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v is not FIFO", order)
+		}
+	}
+}
+
+func TestDrainGateSlotSpacing(t *testing.T) {
+	env := sim.NewEnv()
+	g := NewDrainGate(env, StaggerSpec{MaxConcurrent: 2, Slot: time.Second})
+	var grants []time.Duration
+	for i := 0; i < 4; i++ {
+		env.Go("drain", func(p *sim.Proc) {
+			g.Acquire(p)
+			grants = append(grants, p.Now())
+			p.Sleep(3 * time.Second)
+			g.Release()
+		})
+	}
+	env.Run()
+	if len(grants) != 4 {
+		t.Fatalf("got %d grants, want 4", len(grants))
+	}
+	for i := 1; i < len(grants); i++ {
+		if gap := grants[i] - grants[i-1]; gap < time.Second {
+			t.Fatalf("grants %v: gap %v between #%d and #%d violates the 1s slot",
+				grants, gap, i-1, i)
+		}
+	}
+}

@@ -133,6 +133,16 @@ type RemoteSpec struct {
 	// anti-affinity over the fleet topology) or naive (the paper's n+1
 	// ring / consecutive groups).
 	Placement string `json:"placement,omitempty"`
+	// StaggerMax, when positive, gates remote drains behind an admission
+	// gate admitting at most this many node drains at once — the control
+	// plane's cap on peak interconnect usage (Fig 9/10).
+	StaggerMax int `json:"stagger_max,omitempty"`
+	// StaggerSlotSecs spaces consecutive drain grants this far apart
+	// (usable alone or with StaggerMax).
+	StaggerSlotSecs float64 `json:"stagger_slot_secs,omitempty"`
+	// Replan re-homes replica placement away from the victims of hard or
+	// correlated failures during recovery (buddy tiers only).
+	Replan bool `json:"replan_on_failure,omitempty"`
 }
 
 // BottomSpec configures the bottom storage level.
@@ -367,6 +377,10 @@ func (sc *Scenario) Validate() error {
 	}
 	if _, err := policy.ParsePlacement(sc.Remote.Placement); err != nil {
 		return fmt.Errorf("scenario %s: remote: %w", sc.label(), err)
+	}
+	if sc.Remote.StaggerMax < 0 || sc.Remote.StaggerSlotSecs < 0 {
+		return fmt.Errorf("scenario %s: remote stagger fields must be >= 0 (max %d, slot %gs)",
+			sc.label(), sc.Remote.StaggerMax, sc.Remote.StaggerSlotSecs)
 	}
 	nodes := sc.EffectiveNodes()
 	tp := sc.Topology()
