@@ -99,12 +99,26 @@ slo:
 		echo "slo-breach scenario passed strict mode — the gate is not gating"; exit 1; \
 	else echo "slo-breach correctly fails strict mode"; fi
 
+# drift runs the model-drift observatory gate: the estimator/report test
+# suite under the race detector, the slo-paper preset with its drift limits
+# in strict mode at paper scale (the measured estimators must stay within
+# the preset's tolerance of the offline §III model), and a must-fire check:
+# a phase-shifting workload whose re-dirty regime breaks the model's
+# assumptions must trip the drift gate with a non-zero exit.
+drift:
+	$(GO) test -race ./internal/drift/
+	$(GO) run ./cmd/nvmcp-sim -preset slo-paper -scale paper -drift-strict -drift-report-out bench/drift-check.html
+	@if $(GO) run ./cmd/nvmcp-sim -scenario docs/scenarios/drift-breach.json -drift-strict >/dev/null 2>&1; then \
+		echo "drift-breach scenario passed strict mode — the gate is not gating"; exit 1; \
+	else echo "drift-breach correctly fails strict mode"; fi
+
 # ci is the gate the workflow runs: lint (fmt + vet + grep idioms), the full
 # test suite under the race detector (obs publication crosses host
 # goroutines), the preset and fault-cascade smoke sweeps, the lineage
-# invariant gate, the SLO gate, the fleet-scale chaos gate, the control-plane
-# serve gate, and the perf regression check against the checked-in baseline.
-ci: lint race presets faults invariants slo fleet serve bench-check
+# invariant gate, the SLO gate, the model-drift gate, the fleet-scale chaos
+# gate, the control-plane serve gate, and the perf regression check against
+# the checked-in baseline.
+ci: lint race presets faults invariants slo drift fleet serve bench-check
 
 # bench refreshes the perf records: the testing.B suites (sim kernel,
 # resource layer, paper end-to-end) plus the nvmcp-perf probes, which write

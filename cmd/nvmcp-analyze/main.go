@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"nvmcp/internal/drift"
 	"nvmcp/internal/experiments"
 	"nvmcp/internal/model"
 	"nvmcp/internal/slo"
@@ -32,6 +33,11 @@ import (
 func main() {
 	bw := flag.Float64("bw", 400e6, "effective NVM bandwidth per core, bytes/sec")
 	interval := flag.Duration("interval", 40*time.Second, "local checkpoint interval")
+	rbw := flag.Float64("rbw", 0, "effective remote bandwidth per core, bytes/sec (0 = local tier only)")
+	intervalRemote := flag.Duration("interval-remote", 0, "remote checkpoint interval (0 = same as -interval)")
+	tcompute := flag.Duration("tcompute", time.Hour, "total compute time for the efficiency prediction")
+	mtbfLocal := flag.Duration("mtbf-local", 0, "mean time between soft failures (0 = failure-free)")
+	mtbfRemote := flag.Duration("mtbf-remote", 0, "mean time between hard failures (0 = failure-free)")
 	asJSON := flag.Bool("json", false, "emit the analysis as JSON instead of tables")
 	out := flag.String("o", "", "write the analysis to this file instead of stdout")
 	diffMode := flag.Bool("diff", false, "compare two SLO run reports: -diff baseline.json new.json")
@@ -58,11 +64,21 @@ func main() {
 		}
 	}
 
+	params := model.Params{
+		TCompute:        *tcompute,
+		MTBFLocal:       *mtbfLocal,
+		MTBFRemote:      *mtbfRemote,
+		IntervalLocal:   *interval,
+		IntervalRemote:  *intervalRemote,
+		NVMBWPerCore:    *bw,
+		RemoteBWPerCore: *rbw,
+	}
+
 	render := func(w io.Writer) error {
 		if *asJSON {
 			rows := make([]appAnalysis, len(specs))
 			for i, spec := range specs {
-				rows[i] = analyzeJSON(spec, *bw, *interval)
+				rows[i] = analyzeJSON(spec, params)
 			}
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
@@ -156,7 +172,11 @@ func writeFile(path string, render func(io.Writer) error) (err error) {
 	return render(f)
 }
 
-// appAnalysis is the machine-readable form of one workload's analysis.
+// appAnalysis is the machine-readable form of one workload's analysis: the
+// chunk profile plus the §III closed-form predictions (t_lcl, t_rmt, T_p,
+// efficiency) that the drift observatory uses as its declared baseline.
+// The two must agree — the cross-check test holds this export to
+// drift.BaselineFor on identical inputs.
 type appAnalysis struct {
 	App            string  `json:"app"`
 	Chunks         int     `json:"chunks"`
@@ -165,18 +185,26 @@ type appAnalysis struct {
 	BWPerCore      float64 `json:"bw_per_core"`
 	ThresholdUS    int64   `json:"threshold_us"`
 	HotChunks      int     `json:"hot_chunks"`
+	TLclUS         int64   `json:"t_lcl_us"`
+	TRmtUS         int64   `json:"t_rmt_us,omitempty"`
+	Efficiency     float64 `json:"efficiency"`
 }
 
-func analyzeJSON(spec workload.AppSpec, bw float64, interval time.Duration) appAnalysis {
-	tp := model.PreCopyThreshold(interval, spec.CheckpointSize(), bw)
+func analyzeJSON(spec workload.AppSpec, p model.Params) appAnalysis {
+	p.CkptSize = spec.CheckpointSize()
+	b := drift.BaselineFor(drift.Inputs{Params: p, Ranks: 1})
+	tp := time.Duration(b.PrecopyTpUS) * time.Microsecond
 	return appAnalysis{
 		App:            spec.Name,
 		Chunks:         len(spec.Chunks),
 		CheckpointSize: spec.CheckpointSize(),
-		IntervalUS:     interval.Microseconds(),
-		BWPerCore:      bw,
-		ThresholdUS:    tp.Microseconds(),
-		HotChunks:      hotChunks(spec, interval, tp),
+		IntervalUS:     p.IntervalLocal.Microseconds(),
+		BWPerCore:      p.NVMBWPerCore,
+		ThresholdUS:    b.PrecopyTpUS,
+		HotChunks:      hotChunks(spec, p.IntervalLocal, tp),
+		TLclUS:         b.TLclUS,
+		TRmtUS:         b.TRmtUS,
+		Efficiency:     b.Efficiency,
 	}
 }
 

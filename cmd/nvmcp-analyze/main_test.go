@@ -1,0 +1,91 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nvmcp/internal/drift"
+	"nvmcp/internal/model"
+	"nvmcp/internal/workload"
+)
+
+// TestAnalyzeJSONMatchesDriftBaseline is the offline/online cross-check:
+// the predictions nvmcp-analyze exports must equal what the drift
+// observatory computes as its declared baseline from identical inputs, and
+// both must match the §III closed forms evaluated directly.
+func TestAnalyzeJSONMatchesDriftBaseline(t *testing.T) {
+	params := model.Params{
+		TCompute:        time.Hour,
+		MTBFLocal:       6 * time.Hour,
+		MTBFRemote:      24 * time.Hour,
+		IntervalLocal:   40 * time.Second,
+		IntervalRemote:  160 * time.Second,
+		NVMBWPerCore:    400e6,
+		RemoteBWPerCore: 50e6,
+	}
+	for _, spec := range workload.Specs() {
+		p := params
+		p.CkptSize = spec.CheckpointSize()
+		base := drift.BaselineFor(drift.Inputs{Params: p, Ranks: 1})
+		got := analyzeJSON(spec, params)
+
+		if got.TLclUS != base.TLclUS || got.TRmtUS != base.TRmtUS ||
+			got.ThresholdUS != base.PrecopyTpUS || got.Efficiency != base.Efficiency {
+			t.Errorf("%s: analyze export diverges from drift baseline:\n  analyze  t_lcl=%d t_rmt=%d T_p=%d eff=%g\n  baseline t_lcl=%d t_rmt=%d T_p=%d eff=%g",
+				spec.Name, got.TLclUS, got.TRmtUS, got.ThresholdUS, got.Efficiency,
+				base.TLclUS, base.TRmtUS, base.PrecopyTpUS, base.Efficiency)
+		}
+
+		// Independent evaluation of the closed forms.
+		wantTLcl := p.LocalCkptTime().Microseconds()
+		wantTRmt := p.RemoteCkptTime().Microseconds()
+		wantTp := model.PreCopyThreshold(p.IntervalLocal, p.CkptSize, p.NVMBWPerCore).Microseconds()
+		if got.TLclUS != wantTLcl {
+			t.Errorf("%s: t_lcl_us = %d, want D/NVMBW = %d", spec.Name, got.TLclUS, wantTLcl)
+		}
+		if got.TRmtUS != wantTRmt {
+			t.Errorf("%s: t_rmt_us = %d, want D/RemoteBW = %d", spec.Name, got.TRmtUS, wantTRmt)
+		}
+		if got.ThresholdUS != wantTp {
+			t.Errorf("%s: threshold_us = %d, want T_p = %d", spec.Name, got.ThresholdUS, wantTp)
+		}
+		if got.Efficiency != p.Efficiency() {
+			t.Errorf("%s: efficiency = %g, want model %g", spec.Name, got.Efficiency, p.Efficiency())
+		}
+		if got.Efficiency <= 0 || got.Efficiency >= 1 {
+			t.Errorf("%s: efficiency = %g, want in (0, 1)", spec.Name, got.Efficiency)
+		}
+	}
+}
+
+// TestAnalyzeJSONLocalOnly: without a remote tier, t_rmt is absent and the
+// efficiency prediction still evaluates under the failure-free guards.
+func TestAnalyzeJSONLocalOnly(t *testing.T) {
+	params := model.Params{
+		TCompute:      time.Hour,
+		IntervalLocal: 40 * time.Second,
+		NVMBWPerCore:  400e6,
+	}
+	spec, ok := workload.SpecByName("gtc")
+	if !ok {
+		t.Fatal("gtc workload missing")
+	}
+	got := analyzeJSON(spec, params)
+	if got.TRmtUS != 0 {
+		t.Errorf("t_rmt_us = %d without a remote tier, want 0 (omitted)", got.TRmtUS)
+	}
+	if got.Efficiency <= 0 || got.Efficiency >= 1 {
+		t.Errorf("efficiency = %g, want in (0, 1) under failure-free guards", got.Efficiency)
+	}
+	// Failure-free local-only efficiency is bounded above by I/(I+t_lcl).
+	iSecs := params.IntervalLocal.Seconds()
+	tLcl := float64(spec.CheckpointSize()) / params.NVMBWPerCore
+	upper := iSecs / (iSecs + tLcl)
+	if got.Efficiency > upper+1e-9 {
+		t.Errorf("efficiency %g exceeds the checkpoint-only bound %g", got.Efficiency, upper)
+	}
+	if math.Abs(got.Efficiency-upper) > 0.05 {
+		t.Errorf("failure-free efficiency %g far from I/(I+t_lcl) = %g", got.Efficiency, upper)
+	}
+}

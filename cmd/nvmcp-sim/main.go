@@ -31,6 +31,7 @@ import (
 
 	"nvmcp/internal/cluster"
 	"nvmcp/internal/controlplane"
+	"nvmcp/internal/drift"
 	"nvmcp/internal/introspect"
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/obs"
@@ -78,6 +79,9 @@ func main() {
 		sloOn        = flag.Bool("slo", false, "record SLO flight-recorder time series (report summary + /slo endpoints)")
 		sloStrict    = flag.Bool("slo-strict", false, "fail the run on the first SLO objective breach (implies -slo)")
 		sloReportOut = flag.String("slo-report-out", "", "write the SLO run report to <path>.html and <path>.json (implies -slo)")
+		driftOn      = flag.Bool("drift", false, "record the model-drift observatory: §III predictions vs measured series (report summary + /drift endpoints)")
+		driftStrict  = flag.Bool("drift-strict", false, "fail the run on the first drift limit breach (implies -drift)")
+		driftOut     = flag.String("drift-report-out", "", "write the model-drift report to <path>.html and <path>.json (implies -drift)")
 		stressOut    = flag.String("stress-report-out", "", "write the run's stress report (survivability + MTTR/availability cell) to <path>.html and <path>.json")
 		shardsFlag   = flag.String("shards", "auto", "event-engine shards: auto = min(GOMAXPROCS, topology), or a count (1 = serial engine)")
 		sweepPath    = flag.String("sweep", "", "run every cell of a sweep JSON file sequentially")
@@ -86,6 +90,7 @@ func main() {
 		serveQueue   = flag.Int("serve-queue", 8, "serve: max queued jobs before submissions are rejected")
 		serveFabric  = flag.Float64("serve-fabric-budget", 0, "serve: aggregate declared remote-drain demand across running jobs, bytes/sec (0 = unlimited)")
 		serveWindow  = flag.Float64("serve-window-budget", 0, "serve: live ckpt fabric bytes per 5s window across running jobs (0 = unlimited)")
+		serveAdmit   = flag.String("serve-admission", "declared", "serve: admission mode: declared (projected demand) or burn-rate (live SLO burn + drift window forecasts)")
 		httpAddr     = flag.String("http", "", "serve live introspection (/healthz /metrics /progress /lineage, pprof) on this address, e.g. :8080")
 		httpHold     = flag.Bool("http-hold", false, "keep the introspection server up after the run until interrupted")
 		eventsOut    = flag.String("events-out", "", "write the typed event log as JSONL to this file")
@@ -103,11 +108,17 @@ func main() {
 		os.Exit(runSweep(*sweepPath, *sloStrict, *sloReportOut))
 	}
 	if *serveMode {
+		admission, err := controlplane.ParseAdmission(*serveAdmit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
+			os.Exit(2)
+		}
 		os.Exit(runServe(*httpAddr, controlplane.Config{
 			MaxRunning:   *serveRunning,
 			QueueDepth:   *serveQueue,
 			FabricBudget: *serveFabric,
 			WindowBudget: *serveWindow,
+			Admission:    admission,
 		}))
 	}
 
@@ -192,6 +203,17 @@ func main() {
 	if cfg.SLO != nil && *sloStrict {
 		cfg.SLO.Strict = true
 	}
+	// Same shape for the drift observatory: a scenario with a drift block is
+	// already enabled, the flags cover bare runs and make breaches fatal.
+	if (*driftOn || *driftStrict || *driftOut != "") && cfg.Drift == nil {
+		cfg.Drift = &drift.Config{Enabled: true}
+		if sc.Drift != nil {
+			cfg.Drift.Spec = *sc.Drift
+		}
+	}
+	if cfg.Drift != nil && *driftStrict {
+		cfg.Drift.Strict = true
+	}
 
 	c, err := cluster.New(cfg)
 	if err != nil {
@@ -205,6 +227,7 @@ func main() {
 			Obs:     c.Obs,
 			Lineage: c.Lineage,
 			SLO:     c.SLO,
+			Drift:   c.Drift,
 			Tool:    "nvmcp-sim",
 			Status:  func() string { return status.Load().(string) },
 		})
@@ -224,8 +247,9 @@ func main() {
 	status.Store("done")
 	if err != nil {
 		// A strict breach still leaves a sealed recorder behind — write the
-		// report first so the failing run can be inspected, then fail.
+		// reports first so the failing run can be inspected, then fail.
 		writeSLOReport(*sloReportOut, c, sc)
+		writeDriftReport(*driftOut, c, sc)
 		fmt.Fprintf(os.Stderr, "nvmcp-sim: %v\n", err)
 		os.Exit(1)
 	}
@@ -314,6 +338,19 @@ func main() {
 		tb.AddRow("slo availability", trace.FmtPct(sum.Availability))
 		tb.AddRow("slo violations", fmt.Sprintf("%d", res.SLOViolations))
 	}
+	if c.Drift != nil {
+		sum := c.Drift.Summary()
+		tb.AddRow("drift windows", fmt.Sprintf("%d x %v", sum.Windows, c.Drift.WindowDuration()))
+		worst := 0.0
+		for _, q := range sum.Quantities {
+			if q.Evaluated > 0 && q.MaxRelErr > worst {
+				worst = q.MaxRelErr
+			}
+		}
+		tb.AddRow("drift worst rel err", trace.FmtPct(worst))
+		tb.AddRow("drift phase shifts", fmt.Sprintf("%d", sum.PhaseShifts))
+		tb.AddRow("drift violations", fmt.Sprintf("%d", res.DriftViolations))
+	}
 	tb.AddRow("workload checksum", fmt.Sprintf("%016x", res.WorkloadChecksum))
 	tb.Write(os.Stdout)
 
@@ -338,6 +375,7 @@ func main() {
 		return obs.WriteReport(w, rep)
 	})
 	writeSLOReport(*sloReportOut, c, sc)
+	writeDriftReport(*driftOut, c, sc)
 	writeStressReport(*stressOut, sc, c, res, surv)
 
 	if *httpAddr != "" && *httpHold {
@@ -489,12 +527,40 @@ func writeSLOReport(path string, c *cluster.Cluster, sc *scenario.Scenario) {
 		Scenario: sc.Name,
 		Seed:     sc.FaultSeed,
 	})
+	if c.Drift != nil {
+		// A run recording both gets one combined artifact: the drift section
+		// rides in the SLO report (JSON field + an HTML section).
+		dr := drift.BuildReport(c.Drift, drift.Meta{
+			Tool: "nvmcp-sim", Scenario: sc.Name, Seed: sc.FaultSeed,
+		})
+		rep.Drift = &dr
+	}
 	base := strings.TrimSuffix(path, filepath.Ext(path))
 	writeArtifact(base+".html", "slo report (html)", func(w io.Writer) error {
 		return slo.WriteHTML(w, rep)
 	})
 	writeArtifact(base+".json", "slo report (json)", func(w io.Writer) error {
 		return slo.WriteJSON(w, rep)
+	})
+}
+
+// writeDriftReport renders the model-drift observatory as the same report
+// pair convention: <base>.html and <base>.json.
+func writeDriftReport(path string, c *cluster.Cluster, sc *scenario.Scenario) {
+	if path == "" || c.Drift == nil {
+		return
+	}
+	rep := drift.BuildReport(c.Drift, drift.Meta{
+		Tool:     "nvmcp-sim",
+		Scenario: sc.Name,
+		Seed:     sc.FaultSeed,
+	})
+	base := strings.TrimSuffix(path, filepath.Ext(path))
+	writeArtifact(base+".html", "drift report (html)", func(w io.Writer) error {
+		return drift.WriteHTML(w, rep)
+	})
+	writeArtifact(base+".json", "drift report (json)", func(w io.Writer) error {
+		return drift.WriteJSON(w, rep)
 	})
 }
 

@@ -22,10 +22,12 @@ import (
 	"time"
 
 	"nvmcp/internal/core"
+	"nvmcp/internal/drift"
 	"nvmcp/internal/fault"
 	"nvmcp/internal/interconnect"
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/mem"
+	"nvmcp/internal/model"
 	"nvmcp/internal/nvmkernel"
 	"nvmcp/internal/obs"
 	"nvmcp/internal/pfs"
@@ -204,6 +206,14 @@ type Config struct {
 	// event bus. Strict mode makes Run fail loudly on the first objective
 	// breach.
 	SLO *slo.Config
+
+	// Drift, when set and enabled, attaches the model-drift observatory to
+	// the run's event bus: windowed online estimators of the §III model
+	// inputs, per-window model re-evaluation with measured values, drift
+	// gauges and phase-change detection. Strict mode makes Run fail loudly
+	// when a drift limit is violated. Sharding-compatible: sharded runs
+	// replay the merged event stream through the same fold after the run.
+	Drift *drift.Config
 
 	// Stagger, when enabled, gates remote (buddy) drains behind an
 	// admission gate: at most MaxConcurrent node drains in flight, grants
@@ -468,6 +478,9 @@ type Result struct {
 	// SLOViolations counts objective breach episodes from the SLO flight
 	// recorder (zero when SLO recording is disabled).
 	SLOViolations int
+	// DriftViolations counts drift-limit breach episodes from the model-drift
+	// observatory (zero when drift recording is disabled).
+	DriftViolations int
 	// WorkloadChecksum fingerprints the final epoch's application memory; a
 	// faulted run must match its fault-free twin.
 	WorkloadChecksum uint64
@@ -493,6 +506,10 @@ type Cluster struct {
 	Lineage *lineage.Tracer
 	// SLO is the run's flight recorder (nil unless Cfg.SLO enables it).
 	SLO *slo.Recorder
+	// Drift is the run's model-drift observatory (nil unless Cfg.Drift
+	// enables it). On sharded runs it is populated at collect time from the
+	// merged event stream.
+	Drift *drift.Observatory
 
 	kernels []*nvmkernel.Kernel
 	// rankBase is the prefix-sum rank numbering over this instance's nodes
@@ -572,6 +589,13 @@ func New(cfg Config) (*Cluster, error) {
 	cfg.setDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Drift != nil && cfg.Drift.Enabled {
+		// Validate here, before the shard branch: the sharded coordinator
+		// builds its observatory only at collect time.
+		if err := cfg.Drift.Spec.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if want := cfg.Shards; want == 0 {
 		want = DefaultShards
@@ -700,6 +724,10 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		recorder = slo.Attach(o, *cfg.SLO)
 	}
+	var observatory *drift.Observatory
+	if cfg.Drift != nil && cfg.Drift.Enabled {
+		observatory = drift.Attach(o, *cfg.Drift, driftInputs(&cfg))
+	}
 
 	rankBase := cfg.rankBases()
 	return &Cluster{
@@ -709,6 +737,7 @@ func New(cfg Config) (*Cluster, error) {
 		Obs:        o,
 		Lineage:    tracer,
 		SLO:        recorder,
+		Drift:      observatory,
 		kernels:    kernels,
 		rankBase:   rankBase,
 		localPol:   localEntry.Local(),
@@ -719,6 +748,38 @@ func New(cfg Config) (*Cluster, error) {
 		ckptTime:   make([]time.Duration, rankBase[cfg.Nodes]),
 		drainGate:  policy.NewDrainGate(env, cfg.Stagger),
 	}, nil
+}
+
+// driftInputs lowers the declared configuration to the §III model inputs the
+// drift observatory predicts from: the analyze-time parameters an operator
+// would compute offline, before any telemetry corrects them.
+func driftInputs(cfg *Config) drift.Inputs {
+	re, _ := policy.Parse(policy.KindRemote, cfg.Remote)
+	remoteOn := re != nil && re.Name != "none"
+	p := model.Params{
+		TCompute:      cfg.App.IterTime * time.Duration(cfg.Iterations),
+		CkptSize:      cfg.App.CheckpointSize(),
+		NVMBWPerCore:  cfg.NVMPerCoreBW,
+		IntervalLocal: cfg.App.IterTime * time.Duration(cfg.LocalEvery),
+	}
+	if remoteOn {
+		p.IntervalRemote = cfg.App.IterTime * time.Duration(cfg.LocalEvery*cfg.RemoteEvery)
+		p.RemoteBWPerCore = cfg.RemoteRateCap
+		if p.RemoteBWPerCore <= 0 && cfg.CoresPerNode > 0 {
+			// No explicit drain cap: a node's ranks share the fabric link.
+			p.RemoteBWPerCore = cfg.LinkBW / float64(cfg.CoresPerNode)
+		}
+	}
+	if m := cfg.FaultModel; m != nil {
+		p.MTBFLocal = m.MTBFSoft
+		p.MTBFRemote = m.MTBFHard
+	}
+	return drift.Inputs{
+		Params:   p,
+		Ranks:    cfg.totalRanks(),
+		IterTime: cfg.App.IterTime,
+		RemoteOn: remoteOn,
+	}
 }
 
 // nodeOfRank resolves a rank to its owning node through the prefix sums.
@@ -838,6 +899,11 @@ func (c *Cluster) Execute() (Result, error) {
 	}
 	if c.SLO != nil && c.SLO.Strict() {
 		if err := c.SLO.Err(); err != nil {
+			return res, err
+		}
+	}
+	if c.Drift != nil && c.Drift.Strict() {
+		if err := c.Drift.Err(); err != nil {
 			return res, err
 		}
 	}
@@ -1453,6 +1519,12 @@ func (c *Cluster) collect() Result {
 		// checks and report building read it.
 		c.SLO.Finalize(c.Env.Now())
 		res.SLOViolations = c.SLO.ViolationCount()
+	}
+	if c.Drift != nil {
+		// Same sealing order as the SLO recorder: close the tail window
+		// before strict checks and report building read the observatory.
+		c.Drift.Finalize(c.Env.Now())
+		res.DriftViolations = c.Drift.ViolationCount()
 	}
 	res.WorkloadChecksum = c.workSum
 	reg.Gauge("mttr_seconds", nil).Set(res.MTTR.Seconds())

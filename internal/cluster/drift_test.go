@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvmcp/internal/drift"
+	"nvmcp/internal/scenario"
+)
+
+// loadDriftBreach loads the checked-in must-fire artifact: a
+// phase-shifting workload whose post-shift re-dirty regime breaks the
+// model's staging assumptions.
+func loadDriftBreach(t *testing.T) Config {
+	t.Helper()
+	sc, err := scenario.LoadFile(filepath.Join("..", "..", "docs", "scenarios", "drift-breach.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := FromScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestDriftBreachScenarioMustFire pins docs/scenarios/drift-breach.json
+// as a gate that gates: the seeded workload phase shift must trip the
+// phase detector exactly once (the shift window, not the settled
+// post-shift regime), and the scenario's drift limits — clean before the
+// shift — must fire violations after it.
+func TestDriftBreachScenarioMustFire(t *testing.T) {
+	cfg := loadDriftBreach(t)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Drift == nil {
+		t.Fatal("drift-breach.json attached no observatory — the drift block stopped lowering")
+	}
+	if res.DriftViolations == 0 {
+		t.Fatal("drift-breach.json fired no violations — the must-fail gate is vacuous")
+	}
+	shifts := c.Drift.PhaseShifts()
+	if len(shifts) != 1 {
+		t.Fatalf("phase detector fired %d times, want exactly once at the seeded shift: %+v",
+			len(shifts), shifts)
+	}
+	if shifts[0].To <= shifts[0].From {
+		t.Fatalf("detected shift is not an up-shift in re-dirty regime: %+v", shifts[0])
+	}
+	// Every violation must come after (or at) the detected shift: the
+	// pre-shift windows are the scenario's proof that the limits are sane.
+	for _, v := range c.Drift.Violations() {
+		if v.Window < shifts[0].Window {
+			t.Errorf("violation at window %d predates the phase shift at window %d: %+v",
+				v.Window, shifts[0].Window, v)
+		}
+	}
+}
+
+// TestDriftStrictFailsBreachScenario drives the same artifact through the
+// strict gate the Makefile uses: Execute must return the drift error.
+func TestDriftStrictFailsBreachScenario(t *testing.T) {
+	cfg := loadDriftBreach(t)
+	cfg.Drift.Strict = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(); err == nil {
+		t.Fatal("strict drift run passed on the must-fire breach scenario")
+	} else if !strings.Contains(err.Error(), "drift violation") {
+		t.Fatalf("strict failure is not a drift violation: %v", err)
+	}
+}
+
+// TestDriftObserveOnlyNeverFails holds observe-only semantics: with no
+// limits declared the observatory estimates and predicts but can never
+// fail a run, whatever the workload does.
+func TestDriftObserveOnlyNeverFails(t *testing.T) {
+	cfg := loadDriftBreach(t)
+	cfg.Drift = &drift.Config{Enabled: true, Strict: true} // strict but limitless
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute()
+	if err != nil {
+		t.Fatalf("observe-only drift failed the run: %v", err)
+	}
+	if res.DriftViolations != 0 {
+		t.Fatalf("observe-only run reported %d violations", res.DriftViolations)
+	}
+	if len(c.Drift.Windows()) == 0 {
+		t.Fatal("observe-only observatory recorded no windows")
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"nvmcp/internal/drift"
 	"nvmcp/internal/fault"
 	"nvmcp/internal/policy"
 	"nvmcp/internal/scenario"
@@ -106,6 +107,11 @@ func FromScenario(sc *scenario.Scenario) (Config, error) {
 		// A scenario that declares objectives gets the flight recorder
 		// automatically; strict mode stays a caller decision (-slo-strict).
 		cfg.SLO = &slo.Config{Enabled: true, Spec: sc.SLO}
+	}
+	if sc.Drift != nil {
+		// Same shape for drift limits: declaring them turns the observatory
+		// on; strict stays a caller decision (-drift-strict).
+		cfg.Drift = &drift.Config{Enabled: true, Spec: *sc.Drift}
 	}
 	return cfg, nil
 }

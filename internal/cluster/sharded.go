@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"nvmcp/internal/drift"
 	"nvmcp/internal/obs"
 	"nvmcp/internal/policy"
 	"nvmcp/internal/sim"
@@ -149,6 +150,9 @@ func newSharded(cfg Config) (*Cluster, error) {
 		sub := cfg
 		sub.Shards = 1
 		sub.Nodes = span
+		// One global observatory replays the merged stream at collect time;
+		// per-shard live taps would each see only a slice of the cluster.
+		sub.Drift = nil
 		sub.nodeOffset = off
 		sub.rankOffset = bases[off]
 		if len(cfg.Shapes) > 0 {
@@ -211,7 +215,13 @@ func (c *Cluster) executeSharded() (Result, error) {
 	// Align the merge clock with the slowest shard so the merged report's
 	// virtual end time covers every shard's events.
 	c.Env.RunUntil(se.group.MaxNow())
-	return c.collectSharded(), nil
+	res := c.collectSharded()
+	if c.Drift != nil && c.Drift.Strict() {
+		if err := c.Drift.Err(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 // collectSharded folds the shards into one Result and merges their
@@ -293,5 +303,17 @@ func (c *Cluster) collectSharded() Result {
 	reg.Gauge("degraded_seconds_total", nil).Set(0)
 	res.ShipRetries = reg.Counter("helper_ship_retries", nil).Get()
 	res.BuddyFailovers = reg.Counter("helper_buddy_failovers", nil).Get()
+
+	// The drift observatory folds from events alone, so the sharded path
+	// replays the deterministic merged stream through the same fold the
+	// serial path taps live — reports come out byte-identical at any
+	// GOMAXPROCS for a fixed shard count.
+	if cfg.Drift != nil && cfg.Drift.Enabled {
+		d := drift.New(*cfg.Drift, driftInputs(&cfg), reg)
+		d.Replay(c.Obs.Events())
+		d.Finalize(c.Env.Now())
+		c.Drift = d
+		res.DriftViolations = d.ViolationCount()
+	}
 	return res
 }

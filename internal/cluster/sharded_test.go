@@ -3,9 +3,11 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"testing"
 
+	"nvmcp/internal/drift"
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/obs"
 	"nvmcp/internal/scenario"
@@ -82,6 +84,64 @@ func TestShardDeterminismAcrossGOMAXPROCS(t *testing.T) {
 		if !bytes.Equal(arts[0], arts[i]) {
 			t.Fatalf("sharded artifacts differ between GOMAXPROCS runs 0 and %d (%d vs %d bytes)",
 				i, len(arts[0]), len(arts[i]))
+		}
+	}
+}
+
+// driftShardCfg widens the buddy fleet to eight nodes (four shard groups)
+// and attaches the drift observatory with every quantity under a loose
+// limit, so the whole estimator/limit path runs on both engines.
+func driftShardCfg(shards int) Config {
+	cfg := shardCfg(shards)
+	cfg.Nodes = 8
+	cfg.Drift = &drift.Config{Enabled: true, Spec: drift.Spec{
+		Limits: []drift.Limit{
+			{Quantity: drift.QtyCkptTime, MaxRelErr: 1},
+			{Quantity: drift.QtyEfficiency, MaxRelErr: 1},
+			{Quantity: drift.QtyPrecopyTp, MaxRelErr: 1},
+			{Quantity: drift.QtyWindowBytes, MaxRelErr: 1},
+		},
+	}}
+	return cfg
+}
+
+// driftArtifacts executes cfg and serializes the full drift report — the
+// windows with every estimator value, phase shifts, violations, summary.
+func driftArtifacts(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Drift == nil {
+		t.Fatal("drift observatory not attached")
+	}
+	var buf bytes.Buffer
+	if err := drift.WriteJSON(&buf, drift.BuildReport(c.Drift, drift.Meta{Tool: "shard-test"})); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "violations=%d\n", res.DriftViolations)
+	return buf.Bytes()
+}
+
+// TestShardDeterminismDriftReport holds the observatory to the partitioned
+// engine's determinism contract: at a fixed shard count — serial tap or
+// four-shard replay over the merged stream — the drift report is
+// byte-identical no matter how many host cores execute the run.
+func TestShardDeterminismDriftReport(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		arts := atGOMAXPROCS(t, []int{1, 2, 8}, func(int) []byte {
+			return driftArtifacts(t, driftShardCfg(shards))
+		})
+		for i := 1; i < len(arts); i++ {
+			if !bytes.Equal(arts[0], arts[i]) {
+				t.Fatalf("shards=%d: drift reports differ between GOMAXPROCS runs 0 and %d (%d vs %d bytes)",
+					shards, i, len(arts[0]), len(arts[i]))
+			}
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"nvmcp/internal/cluster"
+	"nvmcp/internal/drift"
 	"nvmcp/internal/obs"
 	"nvmcp/internal/scenario"
 )
@@ -48,6 +49,43 @@ type Config struct {
 	// how often the scheduler re-reads live window load for jobs parked
 	// on "window-slo" or "fabric-budget".
 	Tick time.Duration
+	// Admission selects what the window check charges: AdmissionDeclared
+	// (default) projects each candidate's declared demand against the live
+	// window load; AdmissionBurnRate consults running jobs' live SLO
+	// error-budget burn (holding admission with reason "slo-burn" while any
+	// running job burns budget) and their drift-corrected window forecasts
+	// instead of raw fabric reads. Burn-rate mode force-enables the drift
+	// observatory on submitted jobs so the forecast exists.
+	Admission string
+}
+
+// Admission modes.
+const (
+	AdmissionDeclared = "declared"
+	AdmissionBurnRate = "burn-rate"
+)
+
+// burnHoldThreshold is the MaxBurn level at which burn-rate admission
+// parks queued jobs: half of some objective's breach horizon violating.
+const burnHoldThreshold = 0.5
+
+// ParseAdmission validates an admission mode name ("" = declared).
+func ParseAdmission(s string) (string, error) {
+	switch s {
+	case "", AdmissionDeclared:
+		return AdmissionDeclared, nil
+	case AdmissionBurnRate:
+		return AdmissionBurnRate, nil
+	}
+	return "", fmt.Errorf("controlplane: unknown admission mode %q (valid: %s, %s)",
+		s, AdmissionDeclared, AdmissionBurnRate)
+}
+
+func (c Config) admission() string {
+	if c.Admission == AdmissionBurnRate {
+		return AdmissionBurnRate
+	}
+	return AdmissionDeclared
 }
 
 func (c Config) maxRunning() int {
@@ -222,6 +260,12 @@ func (pl *Plane) Submit(sc *scenario.Scenario, opts SubmitOptions) (JobStatus, e
 	// keeps the event stream free of fallback warnings and byte-identical
 	// to a `-shards 1` batch run of the same scenario.
 	cfg.Shards = 1
+	if pl.cfg.admission() == AdmissionBurnRate && cfg.Drift == nil {
+		// Burn-rate admission steers on each run's drift-corrected window
+		// forecast, so the observatory must be live even for scenarios that
+		// declare no drift limits of their own.
+		cfg.Drift = &drift.Config{Enabled: true}
+	}
 	demand := declaredDemand(cfg)
 	if pl.cfg.FabricBudget > 0 && demand > pl.cfg.FabricBudget {
 		return JobStatus{}, &RejectError{
@@ -301,8 +345,13 @@ func declaredDemand(cfg cluster.Config) float64 {
 func (pl *Plane) pump() {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	burnMode := pl.cfg.admission() == AdmissionBurnRate
 	for len(pl.queue) > 0 {
 		j := pl.queue[0]
+		windowLoad := pl.liveWindowLoadLocked
+		if burnMode {
+			windowLoad = pl.forecastWindowLoadLocked
+		}
 		switch {
 		case pl.running >= pl.cfg.maxRunning():
 			j.waitReason = "max-running"
@@ -311,8 +360,11 @@ func (pl *Plane) pump() {
 			pl.runningDemand+j.Demand > pl.cfg.FabricBudget:
 			j.waitReason = "fabric-budget"
 			return
+		case burnMode && pl.running > 0 && pl.maxBurnLocked() >= burnHoldThreshold:
+			j.waitReason = "slo-burn"
+			return
 		case pl.cfg.WindowBudget > 0 && pl.running > 0 &&
-			pl.liveWindowLoadLocked()+j.Demand*cluster.PeakWindow.Seconds() > pl.cfg.WindowBudget:
+			windowLoad()+j.Demand*cluster.PeakWindow.Seconds() > pl.cfg.WindowBudget:
 			j.waitReason = "window-slo"
 			return
 		}
@@ -344,6 +396,43 @@ func (pl *Plane) liveWindowLoadLocked() float64 {
 		sum += liveWindowBytes(j.cluster)
 	}
 	return sum
+}
+
+// forecastWindowLoadLocked is the burn-rate variant of the window check: it
+// charges each running job its drift observatory's per-window bytes forecast
+// (the larger of the §III model's prediction and the last measured window,
+// both corrected by live estimator state) instead of a raw fabric read. Runs
+// whose observatory has not closed a window yet fall back to the live read.
+func (pl *Plane) forecastWindowLoadLocked() float64 {
+	var sum float64
+	for _, j := range pl.jobs {
+		if j.state != StateRunning || j.cluster == nil {
+			continue
+		}
+		if d := j.cluster.Drift; d != nil {
+			if fc, ok := d.ForecastWindowBytes(); ok {
+				sum += fc
+				continue
+			}
+		}
+		sum += liveWindowBytes(j.cluster)
+	}
+	return sum
+}
+
+// maxBurnLocked is the worst live SLO error-budget burn fraction across
+// running jobs; runs without a flight recorder contribute zero.
+func (pl *Plane) maxBurnLocked() float64 {
+	var burn float64
+	for _, j := range pl.jobs {
+		if j.state != StateRunning || j.cluster == nil || j.cluster.SLO == nil {
+			continue
+		}
+		if b := j.cluster.SLO.MaxBurn(); b > burn {
+			burn = b
+		}
+	}
+	return burn
 }
 
 // liveWindowBytes reads one run's trailing-window checkpoint fabric volume.

@@ -7,7 +7,10 @@ import (
 	"time"
 
 	"nvmcp/internal/cluster"
+	"nvmcp/internal/obs"
 	"nvmcp/internal/scenario"
+	"nvmcp/internal/sim"
+	"nvmcp/internal/slo"
 )
 
 // tinyScenario builds a fresh quick-preset scenario at tiny scale — small
@@ -189,6 +192,91 @@ func TestWindowBudgetParksUntilHeadroom(t *testing.T) {
 	mustDone(t, pl, a.ID)
 	if st := mustDone(t, pl, b.ID); st.State != StateDone {
 		t.Fatalf("b finished %s (%s), want done", st.State, st.Reason)
+	}
+}
+
+func TestParseAdmission(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{"", AdmissionDeclared, false},
+		{AdmissionDeclared, AdmissionDeclared, false},
+		{AdmissionBurnRate, AdmissionBurnRate, false},
+		{"burnrate", "", true},
+	} {
+		got, err := ParseAdmission(tc.in)
+		if (err != nil) != tc.wantErr || got != tc.want {
+			t.Errorf("ParseAdmission(%q) = %q, %v; want %q, err=%v", tc.in, got, err, tc.want, tc.wantErr)
+		}
+	}
+}
+
+func TestBurnRateAdmissionEnablesDriftAndRuns(t *testing.T) {
+	pl := New(Config{Admission: AdmissionBurnRate})
+	defer pl.Close()
+
+	st, err := pl.Submit(tinyScenario(t), SubmitOptions{Label: "burn"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Burn mode steers on drift forecasts, so the observatory must be live
+	// even though the quick preset declares no drift limits.
+	pl.mu.Lock()
+	d := pl.jobs[st.ID].cluster.Drift
+	pl.mu.Unlock()
+	if d == nil {
+		t.Fatal("burn-rate admission did not enable the drift observatory")
+	}
+	if got := pl.PlaneStatus().Admission; got != AdmissionBurnRate {
+		t.Fatalf("plane status admission = %q, want %q", got, AdmissionBurnRate)
+	}
+	if st = mustDone(t, pl, st.ID); st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Reason)
+	}
+}
+
+func TestBurnRateAdmissionHoldsWhileBudgetBurns(t *testing.T) {
+	// Synthetic burning recorder: an at-least objective over a 4-window
+	// horizon that two empty windows violate — burn 2/4 = the hold threshold.
+	spec := &slo.Spec{Objectives: []slo.Objective{{
+		Name: "drain", Series: "ckpt_window_bytes",
+		Direction: slo.AtLeast, Threshold: 1, Over: 4,
+	}}}
+	rec := slo.New(slo.Config{Enabled: true, Spec: spec}, obs.NewRegistry())
+	rec.Observe(obs.Event{TUS: (11 * time.Second).Microseconds(), Type: "tick"})
+	if b := rec.MaxBurn(); b < burnHoldThreshold {
+		t.Fatalf("synthetic burn = %g, want >= %g", b, burnHoldThreshold)
+	}
+
+	// White-box plane (no ticker): one running job burning budget parks the
+	// queued candidate with reason "slo-burn"; the burn clearing admits it.
+	pl := &Plane{
+		cfg:  Config{Admission: AdmissionBurnRate, MaxRunning: 4},
+		jobs: map[int]*Job{},
+	}
+	burning := &Job{ID: 1, state: StateRunning,
+		cluster: &cluster.Cluster{SLO: rec, Obs: obs.New(sim.NewEnv())}}
+	pl.jobs[1] = burning
+	pl.running = 1
+	cand := &Job{ID: 2, state: StateQueued, hold: true,
+		started: make(chan struct{}), done: make(chan struct{})}
+	pl.jobs[2] = cand
+	pl.queue = []*Job{cand}
+
+	pl.pump()
+	if cand.state != StateQueued || cand.waitReason != "slo-burn" {
+		t.Fatalf("candidate = %s/%q, want queued/slo-burn", cand.state, cand.waitReason)
+	}
+	if st := pl.PlaneStatus(); st.MaxBurn < burnHoldThreshold {
+		t.Fatalf("plane status max burn = %g, want >= %g", st.MaxBurn, burnHoldThreshold)
+	}
+
+	burning.state = StateDone
+	pl.running = 0
+	pl.pump()
+	if cand.state != StateHeld || cand.waitReason != "" {
+		t.Fatalf("candidate = %s/%q after burn clears, want held", cand.state, cand.waitReason)
 	}
 }
 

@@ -16,7 +16,7 @@ type JobStatus struct {
 	// Reason explains a terminal state ("" for done).
 	Reason string `json:"reason,omitempty"`
 	// WaitReason explains why a queued job is parked: "max-running",
-	// "fabric-budget", or "window-slo".
+	// "fabric-budget", "window-slo", or (burn-rate admission) "slo-burn".
 	WaitReason string `json:"wait_reason,omitempty"`
 	// CancelRequested marks a live job whose abort is queued but has not
 	// yet landed on the virtual clock.
@@ -60,17 +60,24 @@ type PlaneStatus struct {
 	QueueDepth   int     `json:"queue_depth"`
 	FabricBudget float64 `json:"fabric_budget,omitempty"`
 	WindowBudget float64 `json:"window_budget,omitempty"`
-	Running      int     `json:"running"`
-	Queued       int     `json:"queued"`
+	// Admission is the active admission mode: "declared" or "burn-rate".
+	Admission string `json:"admission"`
+	Running   int    `json:"running"`
+	Queued    int    `json:"queued"`
 	// RunningDemand / WindowLoad are the two live quantities admission
 	// charges against the budgets above.
 	RunningDemand float64 `json:"running_demand_bytes_per_sec"`
 	WindowLoad    float64 `json:"window_load_bytes"`
-	Submitted     int     `json:"submitted"`
-	Done          int     `json:"done"`
-	Failed        int     `json:"failed"`
-	Canceled      int     `json:"canceled"`
-	Rejected      int     `json:"rejected"`
+	// MaxBurn / ForecastLoad are the burn-rate mode's live inputs: the worst
+	// SLO error-budget burn across running jobs and the drift-corrected
+	// window-bytes forecast admission charges instead of WindowLoad.
+	MaxBurn      float64 `json:"max_slo_burn,omitempty"`
+	ForecastLoad float64 `json:"forecast_window_load_bytes,omitempty"`
+	Submitted    int     `json:"submitted"`
+	Done         int     `json:"done"`
+	Failed       int     `json:"failed"`
+	Canceled     int     `json:"canceled"`
+	Rejected     int     `json:"rejected"`
 }
 
 // Status snapshots one job.
@@ -104,12 +111,17 @@ func (pl *Plane) PlaneStatus() PlaneStatus {
 		QueueDepth:    pl.cfg.queueDepth(),
 		FabricBudget:  pl.cfg.FabricBudget,
 		WindowBudget:  pl.cfg.WindowBudget,
+		Admission:     pl.cfg.admission(),
 		Running:       pl.running,
 		Queued:        len(pl.queue),
 		RunningDemand: pl.runningDemand,
 		WindowLoad:    pl.liveWindowLoadLocked(),
 		Submitted:     len(pl.jobs),
 		Rejected:      pl.rejected,
+	}
+	if pl.cfg.admission() == AdmissionBurnRate {
+		st.MaxBurn = pl.maxBurnLocked()
+		st.ForecastLoad = pl.forecastWindowLoadLocked()
 	}
 	for _, j := range pl.jobs {
 		switch j.state {

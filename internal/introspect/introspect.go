@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"nvmcp/internal/drift"
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/obs"
 	"nvmcp/internal/slo"
@@ -39,6 +40,8 @@ type Source struct {
 	Lineage *lineage.Tracer
 	// SLO is the run's flight recorder (nil when disabled).
 	SLO *slo.Recorder
+	// Drift is the run's model-drift observatory (nil when disabled).
+	Drift *drift.Observatory
 	// Tool names the binary serving (e.g. "nvmcp-sim").
 	Tool string
 	// Status, when set, reports the run phase ("running", "done", ...).
@@ -163,7 +166,6 @@ func (s *Server) mux(src Source) *http.ServeMux {
 			http.Error(w, "SLO recording disabled (run with -slo)", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
 		writeJSON(w, map[string]any{
 			"summary":    src.SLO.Summary(),
 			"objectives": src.SLO.Objectives(),
@@ -175,10 +177,31 @@ func (s *Server) mux(src Source) *http.ServeMux {
 			http.Error(w, "SLO recording disabled (run with -slo)", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
 		writeJSON(w, map[string]any{
 			"series":  slo.SeriesNames(),
 			"windows": src.SLO.Windows(),
+		})
+	})
+	mux.HandleFunc("GET /drift", func(w http.ResponseWriter, r *http.Request) {
+		if src.Drift == nil {
+			http.Error(w, "drift recording disabled (run with -drift)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"baseline":     src.Drift.Baseline(),
+			"summary":      src.Drift.Summary(),
+			"phase_shifts": src.Drift.PhaseShifts(),
+			"violations":   src.Drift.Violations(),
+		})
+	})
+	mux.HandleFunc("GET /drift/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		if src.Drift == nil {
+			http.Error(w, "drift recording disabled (run with -drift)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"window_us": src.Drift.WindowDuration().Microseconds(),
+			"windows":   src.Drift.Windows(),
 		})
 	})
 	if src.API != nil {

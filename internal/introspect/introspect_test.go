@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"nvmcp/internal/drift"
 	"nvmcp/internal/lineage"
 	"nvmcp/internal/obs"
 	"nvmcp/internal/sim"
@@ -178,6 +179,135 @@ func TestConcurrentPollsWhilePublishing(t *testing.T) {
 	env.Run()
 	close(stop)
 	wg.Wait()
+}
+
+func TestDriftDisabledIs404WithHint(t *testing.T) {
+	o, _ := rig(t)
+	mux := NewMux(Source{Obs: o, Tool: "test"})
+	for _, path := range []string{"/drift", "/drift/timeseries"} {
+		rec := get(t, mux, path)
+		if rec.Code != 404 || !strings.Contains(rec.Body.String(), "-drift") {
+			t.Fatalf("%s without observatory = %d %q, want 404 with the -drift hint",
+				path, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestDriftEndpoints(t *testing.T) {
+	env := sim.NewEnv()
+	o := obs.New(env)
+	in := drift.Inputs{Ranks: 2, IterTime: 2 * time.Second}
+	in.Params.TCompute = 20 * time.Second
+	in.Params.IntervalLocal = 4 * time.Second
+	in.Params.CkptSize = 64 << 20
+	in.Params.NVMBWPerCore = 100e6
+	d := drift.Attach(o, drift.Config{Enabled: true}, in)
+	r := o.Recorder(0, "rank0")
+	env.Go("emitter", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		r.Emit(obs.EvCheckpointCommit, "", 64<<20,
+			map[string]string{"dur_us": "700000", "copied": "4"})
+		p.Sleep(5 * time.Second) // crosses one 5s window boundary
+		r.Emit(obs.EvIteration, "", 0, nil)
+	})
+	env.Run()
+	d.Finalize(7 * time.Second)
+
+	mux := NewMux(Source{Obs: o, Drift: d, Tool: "test"})
+	rec := get(t, mux, "/drift")
+	if rec.Code != 200 {
+		t.Fatalf("/drift = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Baseline    drift.Baseline     `json:"baseline"`
+		Summary     drift.Summary      `json:"summary"`
+		PhaseShifts []drift.PhaseShift `json:"phase_shifts"`
+		Violations  []drift.Violation  `json:"violations"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad /drift body: %v\n%s", err, rec.Body.String())
+	}
+	if body.Summary.Windows != 2 {
+		t.Fatalf("summary windows = %d, want 1 full + 1 tail", body.Summary.Windows)
+	}
+	if body.Baseline.TLclUS == 0 {
+		t.Fatalf("baseline t_lcl missing: %+v", body.Baseline)
+	}
+
+	rec = get(t, mux, "/drift/timeseries")
+	if rec.Code != 200 {
+		t.Fatalf("/drift/timeseries = %d", rec.Code)
+	}
+	var ts struct {
+		WindowUS int64          `json:"window_us"`
+		Windows  []drift.Window `json:"windows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ts); err != nil {
+		t.Fatalf("bad timeseries body: %v", err)
+	}
+	if ts.WindowUS != drift.DefaultWindow.Microseconds() || len(ts.Windows) != 2 {
+		t.Fatalf("timeseries = window_us %d, %d windows; want %d, 2",
+			ts.WindowUS, len(ts.Windows), drift.DefaultWindow.Microseconds())
+	}
+	if _, ok := ts.Windows[0].Values["err_"+drift.QtyCkptTime]; !ok {
+		t.Fatalf("window 0 lacks the ckpt_time gauge: %v", ts.Windows[0].Values)
+	}
+}
+
+// TestAllRoutesContentType pins every introspection route to an explicit
+// Content-Type: the JSON surfaces must all declare application/json (so
+// curl | jq and browser tooling never sniff), the text surfaces text/plain.
+func TestAllRoutesContentType(t *testing.T) {
+	env := sim.NewEnv()
+	o := obs.New(env)
+	tr := lineage.Attach(o, lineage.Config{Enabled: true})
+	sr := slo.Attach(o, slo.Config{Enabled: true, Spec: &slo.Spec{Objectives: []slo.Objective{
+		{Name: "availability", Direction: slo.AtLeast, Threshold: 0},
+	}}})
+	d := drift.Attach(o, drift.Config{Enabled: true}, drift.Inputs{Ranks: 1})
+	r := o.Recorder(0, "rank0")
+	env.Go("emitter", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		r.Emit(obs.EvChunkStaged, "field", 64, map[string]string{"seq": "1"})
+		r.Emit(obs.EvChunkCommit, "field", 64, map[string]string{"seq": "1"})
+	})
+	env.Run()
+	sr.Finalize(2 * time.Second)
+	d.Finalize(2 * time.Second)
+	mux := NewMux(Source{Obs: o, Lineage: tr, SLO: sr, Drift: d, Tool: "test"})
+
+	jsonRoutes := []string{
+		"/progress",
+		"/lineage", "/lineage/rank0/field",
+		"/slo", "/slo/timeseries",
+		"/drift", "/drift/timeseries",
+	}
+	for _, path := range jsonRoutes {
+		rec := get(t, mux, path)
+		if rec.Code != 200 {
+			t.Errorf("%s = %d: %s", path, rec.Code, rec.Body.String())
+			continue
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s Content-Type = %q, want application/json", path, ct)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Errorf("%s body is not valid JSON: %.200s", path, rec.Body.String())
+		}
+	}
+	for path, want := range map[string]string{
+		"/healthz": "text/plain; charset=utf-8",
+		"/metrics": "text/plain; version=0.0.4",
+	} {
+		rec := get(t, mux, path)
+		if rec.Code != 200 {
+			t.Errorf("%s = %d", path, rec.Code)
+			continue
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != want {
+			t.Errorf("%s Content-Type = %q, want %q", path, ct, want)
+		}
+	}
 }
 
 func TestSLODisabledIs404WithHint(t *testing.T) {

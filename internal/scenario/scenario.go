@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"nvmcp/internal/drift"
 	"nvmcp/internal/fault"
 	"nvmcp/internal/mem"
 	"nvmcp/internal/policy"
@@ -99,6 +100,15 @@ type WorkloadSpec struct {
 	// IterSecs overrides the compute-iteration duration (0 keeps the
 	// profile's).
 	IterSecs float64 `json:"iter_secs,omitempty"`
+	// PhaseShiftIter, when > 0, changes the workload's write behaviour from
+	// that (0-based) iteration on: every non-init chunk gains
+	// PhaseShiftMods extra late-interval writes per iteration, jumping the
+	// re-dirty rate — a declarative workload phase change for the drift
+	// observatory's phase detector.
+	PhaseShiftIter int64 `json:"phase_shift_iter,omitempty"`
+	// PhaseShiftMods is the number of extra late writes per chunk per
+	// iteration after the shift (default 2 when PhaseShiftIter is set).
+	PhaseShiftMods int `json:"phase_shift_mods,omitempty"`
 }
 
 // LocalSpec configures the local checkpoint level.
@@ -277,6 +287,11 @@ type Scenario struct {
 	// SLO declares the run's service-level objectives, evaluated online by
 	// the flight recorder over fixed virtual-time windows.
 	SLO *slo.Spec `json:"slo,omitempty"`
+
+	// Drift declares the run's model-drift thresholds: the observatory
+	// re-evaluates the paper's §III model each window with measured inputs
+	// and bounds the predicted-vs-measured relative error per quantity.
+	Drift *drift.Spec `json:"drift,omitempty"`
 }
 
 // Load parses a scenario from JSON, rejecting unknown fields so typos
@@ -436,6 +451,15 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario %s: %w", sc.label(), err)
 		}
 	}
+	if sc.Drift != nil {
+		if err := sc.Drift.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.label(), err)
+		}
+	}
+	if sc.Workload.PhaseShiftIter < 0 || sc.Workload.PhaseShiftMods < 0 {
+		return fmt.Errorf("scenario %s: workload phase-shift fields must be >= 0 (iter %d, mods %d)",
+			sc.label(), sc.Workload.PhaseShiftIter, sc.Workload.PhaseShiftMods)
+	}
 	return nil
 }
 
@@ -489,6 +513,13 @@ func (sc *Scenario) AppSpec() (workload.AppSpec, error) {
 	}
 	if sc.Workload.IterSecs > 0 {
 		app.IterTime = time.Duration(sc.Workload.IterSecs * float64(time.Second))
+	}
+	if sc.Workload.PhaseShiftIter > 0 {
+		app.ShiftIter = sc.Workload.PhaseShiftIter
+		app.ShiftExtraMods = sc.Workload.PhaseShiftMods
+		if app.ShiftExtraMods == 0 {
+			app.ShiftExtraMods = 2
+		}
 	}
 	return app, nil
 }

@@ -6,7 +6,7 @@ import (
 )
 
 // report builds a minimal report with the given objective statuses.
-func report(objs ...ObjectiveStatus) Report {
+func mkReport(objs ...ObjectiveStatus) Report {
 	return Report{SchemaVersion: SchemaVersion, Summary: Summary{Objectives: objs}}
 }
 
@@ -31,7 +31,7 @@ func entryFor(t *testing.T, res DiffResult, name string) DiffEntry {
 }
 
 func TestDiffIdenticalPassesClean(t *testing.T) {
-	a := report(passObj("peak", AtMost, 100))
+	a := mkReport(passObj("peak", AtMost, 100))
 	res := Diff(a, a, 0.05)
 	if res.Regressed {
 		t.Fatalf("identical reports regressed: %+v", res)
@@ -42,7 +42,7 @@ func TestDiffIdenticalPassesClean(t *testing.T) {
 }
 
 func TestDiffNewlyFailingIsRegression(t *testing.T) {
-	res := Diff(report(passObj("avail", AtLeast, 1)), report(failObj("avail", 2, 5)), 0.05)
+	res := Diff(mkReport(passObj("avail", AtLeast, 1)), mkReport(failObj("avail", 2, 5)), 0.05)
 	e := entryFor(t, res, "avail")
 	if e.Verdict != VerdictRegressed || !e.Regression || !res.Regressed {
 		t.Fatalf("newly failing objective = %+v, want regression", e)
@@ -53,11 +53,11 @@ func TestDiffNewlyFailingIsRegression(t *testing.T) {
 }
 
 func TestDiffFailingBothOnlyRegressesWhenWorse(t *testing.T) {
-	same := Diff(report(failObj("x", 2, 4)), report(failObj("x", 2, 4)), 0.05)
+	same := Diff(mkReport(failObj("x", 2, 4)), mkReport(failObj("x", 2, 4)), 0.05)
 	if e := entryFor(t, same, "x"); e.Verdict != VerdictFailing || e.Regression {
 		t.Fatalf("equally failing = %+v, want failing without regression", e)
 	}
-	worse := Diff(report(failObj("x", 2, 4)), report(failObj("x", 3, 4)), 0.05)
+	worse := Diff(mkReport(failObj("x", 2, 4)), mkReport(failObj("x", 3, 4)), 0.05)
 	if e := entryFor(t, worse, "x"); e.Verdict != VerdictRegressed || !e.Regression {
 		t.Fatalf("failing and worse = %+v, want regression", e)
 	}
@@ -65,8 +65,8 @@ func TestDiffFailingBothOnlyRegressesWhenWorse(t *testing.T) {
 
 func TestDiffImprovedAndRemovedAndAdded(t *testing.T) {
 	res := Diff(
-		report(failObj("fixed", 1, 2), passObj("dropped", AtMost, 9)),
-		report(passObj("fixed", AtMost, 1), passObj("brand-new", AtMost, 3)),
+		mkReport(failObj("fixed", 1, 2), passObj("dropped", AtMost, 9)),
+		mkReport(passObj("fixed", AtMost, 1), passObj("brand-new", AtMost, 3)),
 		0.05)
 	if e := entryFor(t, res, "fixed"); e.Verdict != VerdictImproved || e.Regression {
 		t.Fatalf("fail→pass = %+v, want improved", e)
@@ -85,7 +85,7 @@ func TestDiffImprovedAndRemovedAndAdded(t *testing.T) {
 }
 
 func TestDiffAddedFailingIsRegression(t *testing.T) {
-	res := Diff(report(), report(failObj("new-bad", 1, 1)), 0.05)
+	res := Diff(mkReport(), mkReport(failObj("new-bad", 1, 1)), 0.05)
 	if e := entryFor(t, res, "new-bad"); !e.Regression || !res.Regressed {
 		t.Fatalf("new failing objective = %+v, want regression", e)
 	}
@@ -93,22 +93,22 @@ func TestDiffAddedFailingIsRegression(t *testing.T) {
 
 func TestDiffHeadroomErosion(t *testing.T) {
 	// at_most: bigger is worse. +10% move exceeds a 5% tolerance.
-	res := Diff(report(passObj("peak", AtMost, 100)), report(passObj("peak", AtMost, 110)), 0.05)
+	res := Diff(mkReport(passObj("peak", AtMost, 100)), mkReport(passObj("peak", AtMost, 110)), 0.05)
 	if e := entryFor(t, res, "peak"); e.Verdict != VerdictRegressed || !e.Regression {
 		t.Fatalf("10%% erosion at 5%% tolerance = %+v, want regression", e)
 	}
 	// +4% stays inside the tolerance.
-	res = Diff(report(passObj("peak", AtMost, 100)), report(passObj("peak", AtMost, 104)), 0.05)
+	res = Diff(mkReport(passObj("peak", AtMost, 100)), mkReport(passObj("peak", AtMost, 104)), 0.05)
 	if e := entryFor(t, res, "peak"); e.Verdict != VerdictOK {
 		t.Fatalf("4%% erosion at 5%% tolerance = %+v, want ok", e)
 	}
 	// at_least: smaller is worse.
-	res = Diff(report(passObj("hit", AtLeast, 0.5)), report(passObj("hit", AtLeast, 0.44)), 0.05)
+	res = Diff(mkReport(passObj("hit", AtLeast, 0.5)), mkReport(passObj("hit", AtLeast, 0.44)), 0.05)
 	if e := entryFor(t, res, "hit"); e.Verdict != VerdictRegressed {
 		t.Fatalf("at_least drop = %+v, want regression", e)
 	}
 	// Movement in the good direction reads as improvement, not regression.
-	res = Diff(report(passObj("peak", AtMost, 100)), report(passObj("peak", AtMost, 80)), 0.05)
+	res = Diff(mkReport(passObj("peak", AtMost, 100)), mkReport(passObj("peak", AtMost, 80)), 0.05)
 	if e := entryFor(t, res, "peak"); e.Verdict != VerdictImproved || e.Regression {
 		t.Fatalf("20%% gain = %+v, want improved", e)
 	}
@@ -118,7 +118,7 @@ func TestDiffUsesLastValueWhenNoFinal(t *testing.T) {
 	last := func(name string, v float64) ObjectiveStatus {
 		return ObjectiveStatus{Name: name, Direction: AtMost, Pass: true, LastValue: &v}
 	}
-	res := Diff(report(last("w", 10)), report(last("w", 20)), 0.05)
+	res := Diff(mkReport(last("w", 10)), mkReport(last("w", 20)), 0.05)
 	if e := entryFor(t, res, "w"); e.Verdict != VerdictRegressed {
 		t.Fatalf("windowed-value erosion = %+v, want regression", e)
 	}

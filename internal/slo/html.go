@@ -5,162 +5,38 @@ import (
 	"html"
 	"io"
 	"math"
-	"sort"
 	"strings"
+
+	"nvmcp/internal/report"
 )
 
 // WriteHTML renders the report as a single self-contained page: run
 // metadata, headline stat tiles, the objective verdict table, one inline
 // SVG time-series chart per windowed series (step line per window, dashed
-// threshold lines, violation markers), the violation log, and a collapsed
-// per-window data table. No external assets, no wall-clock content — the
-// output is byte-stable for a deterministic run.
+// threshold lines, violation markers), the violation log, a collapsed
+// per-window data table, and — when a drift report is embedded — the
+// predicted-vs-measured model-drift section. No external assets, no
+// wall-clock content — the output is byte-stable for a deterministic run.
+// The palette, chart geometry and tooltip script come from internal/report.
 func WriteHTML(w io.Writer, rep Report) error {
 	var b strings.Builder
-	b.WriteString(htmlHead)
+	report.WriteHead(&b, "SLO run report")
 	writeHeader(&b, rep)
 	writeTiles(&b, rep)
 	writeObjectiveTable(&b, rep)
 	writeCharts(&b, rep)
 	writeViolations(&b, rep)
 	writeWindowTable(&b, rep)
-	b.WriteString(htmlTail)
+	if rep.Drift != nil {
+		rep.Drift.WriteHTMLSection(&b)
+	}
+	report.WriteTail(&b)
 	_, err := io.WriteString(w, b.String())
 	if err != nil {
 		return fmt.Errorf("slo: write html report: %w", err)
 	}
 	return nil
 }
-
-// Design tokens per the reference palette: chart surfaces, ink hierarchy,
-// hairline grid, categorical slot 1 (blue) for the single data series, and
-// the reserved status-critical red for violations — declared once as custom
-// properties with the dark steps under both the media query and an explicit
-// data-theme scope.
-const htmlHead = `<!DOCTYPE html>
-<html lang="en">
-<head>
-<meta charset="utf-8">
-<meta name="viewport" content="width=device-width, initial-scale=1">
-<title>SLO run report</title>
-<style>
-.viz-root {
-  --surface-1: #fcfcfb;
-  --page: #f9f9f7;
-  --text-primary: #0b0b0b;
-  --text-secondary: #52514e;
-  --text-muted: #898781;
-  --gridline: #e1e0d9;
-  --axis: #c3c2b7;
-  --series-1: #2a78d6;
-  --status-critical: #d03b3b;
-  --status-good: #0ca30c;
-}
-@media (prefers-color-scheme: dark) {
-  :where(.viz-root) {
-    color-scheme: dark;
-    --surface-1: #1a1a19;
-    --page: #0d0d0d;
-    --text-primary: #ffffff;
-    --text-secondary: #c3c2b7;
-    --text-muted: #898781;
-    --gridline: #2c2c2a;
-    --axis: #383835;
-    --series-1: #3987e5;
-  }
-}
-:root[data-theme="dark"] .viz-root {
-  color-scheme: dark;
-  --surface-1: #1a1a19;
-  --page: #0d0d0d;
-  --text-primary: #ffffff;
-  --text-secondary: #c3c2b7;
-  --text-muted: #898781;
-  --gridline: #2c2c2a;
-  --axis: #383835;
-  --series-1: #3987e5;
-}
-.viz-root {
-  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
-  background: var(--page);
-  color: var(--text-primary);
-  margin: 0;
-  padding: 24px;
-}
-.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
-.viz-root h2 { font-size: 14px; font-weight: 600; margin: 28px 0 8px; color: var(--text-primary); }
-.meta { color: var(--text-secondary); font-size: 13px; margin-bottom: 20px; }
-.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 8px; }
-.tile {
-  background: var(--surface-1); border: 1px solid var(--gridline);
-  border-radius: 8px; padding: 12px 16px; min-width: 130px;
-}
-.tile .k { font-size: 12px; color: var(--text-secondary); }
-.tile .v { font-size: 22px; font-weight: 600; margin-top: 2px; }
-.tile .v.bad { color: var(--status-critical); }
-table.data {
-  border-collapse: collapse; font-size: 13px;
-  background: var(--surface-1); border: 1px solid var(--gridline); border-radius: 8px;
-}
-table.data th, table.data td { padding: 6px 12px; text-align: left; border-bottom: 1px solid var(--gridline); }
-table.data th { color: var(--text-secondary); font-weight: 600; }
-table.data tr:last-child td { border-bottom: none; }
-table.data td.num { text-align: right; font-variant-numeric: tabular-nums; }
-.pass { color: var(--status-good); }
-.fail { color: var(--status-critical); font-weight: 600; }
-.chart-card {
-  background: var(--surface-1); border: 1px solid var(--gridline);
-  border-radius: 8px; padding: 12px 16px 8px; margin-bottom: 14px; max-width: 700px;
-  position: relative;
-}
-.chart-card .t { font-size: 13px; font-weight: 600; }
-.chart-card .s { font-size: 12px; color: var(--text-secondary); margin-bottom: 4px; }
-.chart-card .s .viol { color: var(--status-critical); font-weight: 600; }
-.tooltip {
-  position: absolute; pointer-events: none; display: none;
-  background: var(--surface-1); border: 1px solid var(--axis); border-radius: 6px;
-  padding: 4px 8px; font-size: 12px; color: var(--text-primary);
-  box-shadow: 0 2px 6px rgba(0,0,0,0.12); white-space: nowrap; z-index: 2;
-}
-details { margin-top: 12px; }
-details summary { cursor: pointer; color: var(--text-secondary); font-size: 13px; }
-svg text { font-family: inherit; }
-</style>
-</head>
-<body class="viz-root">
-`
-
-const htmlTail = `<script>
-// Nearest-point hover tooltip: each chart point carries its label in
-// data-l; the crosshair picks the closest point by x within the plot.
-document.querySelectorAll('.chart-card').forEach(function (card) {
-  var svg = card.querySelector('svg');
-  var tip = card.querySelector('.tooltip');
-  if (!svg || !tip) return;
-  var pts = Array.prototype.slice.call(svg.querySelectorAll('circle[data-l]'));
-  if (!pts.length) return;
-  svg.addEventListener('mousemove', function (ev) {
-    var rect = svg.getBoundingClientRect();
-    var sx = svg.viewBox.baseVal.width / rect.width;
-    var x = (ev.clientX - rect.left) * sx;
-    var best = null, bd = 1e9;
-    pts.forEach(function (p) {
-      var d = Math.abs(parseFloat(p.getAttribute('cx')) - x);
-      if (d < bd) { bd = d; best = p; }
-    });
-    if (!best || bd > 40) { tip.style.display = 'none'; return; }
-    tip.textContent = best.getAttribute('data-l');
-    tip.style.display = 'block';
-    var cx = parseFloat(best.getAttribute('cx')) / sx;
-    tip.style.left = Math.min(cx + 12, rect.width - 150) + 'px';
-    tip.style.top = (parseFloat(best.getAttribute('cy')) / sx - 8) + 'px';
-  });
-  svg.addEventListener('mouseleave', function () { tip.style.display = 'none'; });
-});
-</script>
-</body>
-</html>
-`
 
 func writeHeader(b *strings.Builder, rep Report) {
 	fmt.Fprintf(b, "<h1>SLO run report</h1>\n<div class=\"meta\">%s", html.EscapeString(rep.Tool))
@@ -171,7 +47,7 @@ func writeHeader(b *strings.Builder, rep Report) {
 		fmt.Fprintf(b, " · seed %d", rep.Seed)
 	}
 	fmt.Fprintf(b, " · window %s · virtual end %s · %d windows</div>\n",
-		fmtSecs(float64(rep.WindowUS)/1e6), fmtSecs(float64(rep.VirtualEndUS)/1e6), rep.Summary.Windows)
+		report.FmtSecs(float64(rep.WindowUS)/1e6), report.FmtSecs(float64(rep.VirtualEndUS)/1e6), rep.Summary.Windows)
 }
 
 func writeTiles(b *strings.Builder, rep Report) {
@@ -185,12 +61,12 @@ func writeTiles(b *strings.Builder, rep Report) {
 		fmt.Fprintf(b, "<div class=\"tile\"><div class=\"k\">%s</div><div class=\"%s\">%s</div></div>\n",
 			html.EscapeString(k), cls, html.EscapeString(v))
 	}
-	tile("Availability", fmtPct(s.Availability), false)
-	tile("Peak ckpt window", fmtBytes(s.PeakCkptWindowBytes), false)
-	tile("Pre-copy hit rate", fmtPct(s.PrecopyHitRate), false)
-	tile("Re-dirty rate", fmtPct(s.RedirtyRate), false)
+	tile("Availability", report.FmtPct(s.Availability), false)
+	tile("Peak ckpt window", report.FmtBytes(s.PeakCkptWindowBytes), false)
+	tile("Pre-copy hit rate", report.FmtPct(s.PrecopyHitRate), false)
+	tile("Re-dirty rate", report.FmtPct(s.RedirtyRate), false)
 	if s.MTTRSeconds > 0 {
-		tile("MTTR", fmtSecs(s.MTTRSeconds), false)
+		tile("MTTR", report.FmtSecs(s.MTTRSeconds), false)
 	}
 	if s.ViolationCount > 0 {
 		tile("Violations", fmt.Sprintf("⚠ %d", s.ViolationCount), true)
@@ -242,15 +118,6 @@ func dirGlyph(direction string) string {
 	return "≤" // ≤
 }
 
-// chart geometry (SVG user units).
-const (
-	chW, chH   = 660, 220
-	padL, padR = 62, 14
-	padT, padB = 14, 30
-	plotW      = chW - padL - padR
-	plotH      = chH - padT - padB
-)
-
 func writeCharts(b *strings.Builder, rep Report) {
 	if len(rep.Windows) == 0 {
 		return
@@ -261,32 +128,10 @@ func writeCharts(b *strings.Builder, rep Report) {
 	}
 }
 
-// writeChart renders one series as a step line over its windows: a
-// horizontal segment per window at its value, broken across no-data
-// windows, with dashed threshold lines for objectives on the series and
-// status-critical markers at violating windows.
+// writeChart renders one series as a shared-helper step chart: dashed
+// threshold lines for objectives on the series and status-critical markers
+// at violating windows.
 func writeChart(b *strings.Builder, rep Report, series string) {
-	type pt struct {
-		w Window
-		v float64
-	}
-	var pts []pt
-	for _, w := range rep.Windows {
-		if v, ok := w.Values[series]; ok {
-			pts = append(pts, pt{w, v})
-		}
-	}
-	if len(pts) == 0 {
-		return
-	}
-
-	// Objectives and violations attached to this series.
-	var objs []ObjectiveStatus
-	for _, o := range rep.Summary.Objectives {
-		if o.Series == series && !o.Final {
-			objs = append(objs, o)
-		}
-	}
 	violAt := map[int]Violation{}
 	for _, v := range rep.Violations {
 		if v.Series == series && v.Window >= 0 {
@@ -294,130 +139,58 @@ func writeChart(b *strings.Builder, rep Report, series string) {
 		}
 	}
 
-	// Scales.
-	t0 := float64(rep.Windows[0].StartUS) / 1e6
-	t1 := float64(rep.Windows[len(rep.Windows)-1].EndUS) / 1e6
-	if t1 <= t0 {
-		t1 = t0 + 1
-	}
-	lo, hi := pts[0].v, pts[0].v
-	for _, p := range pts {
-		lo, hi = math.Min(lo, p.v), math.Max(hi, p.v)
-	}
-	for _, o := range objs {
-		lo, hi = math.Min(lo, o.Threshold), math.Max(hi, o.Threshold)
-	}
-	if lo > 0 && lo < hi*0.5 {
-		lo = 0 // near-zero floors read better anchored at zero
-	}
-	if hi == lo {
-		hi = lo + 1
-	}
-	pad := (hi - lo) * 0.08
-	lo, hi = lo-pad, hi+pad
-	if series != "availability" && lo < 0 && minValue(pts, func(p pt) float64 { return p.v }) >= 0 && !hasNegThreshold(objs) {
-		lo = 0
-	}
-	xOf := func(t float64) float64 { return padL + (t-t0)/(t1-t0)*plotW }
-	yOf := func(v float64) float64 { return padT + (hi-v)/(hi-lo)*plotH }
-
-	// Card header: series name + violation count (icon + label, not color
-	// alone).
-	fmt.Fprintf(b, "<div class=\"chart-card\"><div class=\"t\">%s</div>\n", html.EscapeString(seriesTitle(series)))
-	if n := len(violAt); n > 0 {
-		fmt.Fprintf(b, "<div class=\"s\"><span class=\"viol\">⚠ %d violating window(s)</span></div>\n", n)
-	} else if len(objs) > 0 {
-		b.WriteString("<div class=\"s\">within objective</div>\n")
-	} else {
-		b.WriteString("<div class=\"s\">no objective on this series</div>\n")
-	}
-
-	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" role=\"img\" aria-label=\"%s over virtual time\">\n",
-		chW, chH, html.EscapeString(seriesTitle(series)))
-
-	// Recessive horizontal gridlines + y tick labels (muted ink).
-	for _, tv := range niceTicks(lo, hi, 4) {
-		y := yOf(tv)
-		fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"var(--gridline)\" stroke-width=\"1\"/>\n",
-			padL, y, chW-padR, y)
-		fmt.Fprintf(b, "<text x=\"%d\" y=\"%.1f\" fill=\"var(--text-muted)\" font-size=\"11\" text-anchor=\"end\">%s</text>\n",
-			padL-6, y+4, html.EscapeString(fmtSeriesValue(series, tv)))
-	}
-	// Baseline axis + x tick labels.
-	fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"var(--axis)\" stroke-width=\"1\"/>\n",
-		padL, chH-padB, chW-padR, chH-padB)
-	for _, tv := range niceTicks(t0, t1, 5) {
-		x := xOf(tv)
-		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%d\" fill=\"var(--text-muted)\" font-size=\"11\" text-anchor=\"middle\">%s</text>\n",
-			x, chH-padB+16, html.EscapeString(fmtSecs(tv)))
-	}
-
-	// Threshold lines: dashed, secondary ink (thresholds are annotations,
-	// not series), labeled at the right edge.
-	for _, o := range objs {
-		y := yOf(o.Threshold)
-		fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"var(--text-muted)\" stroke-width=\"1\" stroke-dasharray=\"5 4\"/>\n",
-			padL, y, chW-padR, y)
-		fmt.Fprintf(b, "<text x=\"%d\" y=\"%.1f\" fill=\"var(--text-secondary)\" font-size=\"11\" text-anchor=\"end\">%s %s %s</text>\n",
-			chW-padR, y-4, html.EscapeString(o.Name), dirGlyph(o.Direction),
-			html.EscapeString(fmtSeriesValue(series, o.Threshold)))
-	}
-
-	// The step line: one horizontal segment per window, joined while
-	// windows are contiguous, broken across no-data gaps. Single series →
-	// categorical slot 1, 2px.
-	var path strings.Builder
-	prevEnd := int64(math.MinInt64)
-	for _, p := range pts {
-		x0, x1 := xOf(float64(p.w.StartUS)/1e6), xOf(float64(p.w.EndUS)/1e6)
-		y := yOf(p.v)
-		if p.w.StartUS == prevEnd {
-			fmt.Fprintf(&path, "L%.1f %.1f L%.1f %.1f ", x0, y, x1, y)
-		} else {
-			fmt.Fprintf(&path, "M%.1f %.1f L%.1f %.1f ", x0, y, x1, y)
+	var pts []report.StepPoint
+	minV := math.Inf(1)
+	for _, w := range rep.Windows {
+		v, ok := w.Values[series]
+		if !ok {
+			continue
 		}
-		prevEnd = p.w.EndUS
-	}
-	fmt.Fprintf(b, "<path d=\"%s\" fill=\"none\" stroke=\"var(--series-1)\" stroke-width=\"2\" stroke-linejoin=\"round\"/>\n",
-		strings.TrimSpace(path.String()))
-
-	// Hover targets at window midpoints (invisible until hovered via the
-	// tooltip script; violating windows get a visible critical marker with
-	// a 2px surface ring).
-	for _, p := range pts {
-		xm := xOf((float64(p.w.StartUS) + float64(p.w.EndUS)) / 2e6)
-		y := yOf(p.v)
+		minV = math.Min(minV, v)
 		label := fmt.Sprintf("[%s, %s) %s = %s",
-			fmtSecs(float64(p.w.StartUS)/1e6), fmtSecs(float64(p.w.EndUS)/1e6),
-			series, fmtSeriesValue(series, p.v))
-		if v, bad := violAt[p.w.Index]; bad {
-			label = "⚠ " + label + " — " + v.Objective
-			fmt.Fprintf(b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"6\" fill=\"var(--surface-1)\"/>\n", xm, y)
-			fmt.Fprintf(b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"4\" fill=\"var(--status-critical)\" data-l=\"%s\"><title>%s</title></circle>\n",
-				xm, y, html.EscapeString(label), html.EscapeString(label))
-		} else {
-			fmt.Fprintf(b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"8\" fill=\"transparent\" data-l=\"%s\"><title>%s</title></circle>\n",
-				xm, y, html.EscapeString(label), html.EscapeString(label))
+			report.FmtSecs(float64(w.StartUS)/1e6), report.FmtSecs(float64(w.EndUS)/1e6),
+			series, fmtSeriesValue(series, v))
+		viol, bad := violAt[w.Index]
+		if bad {
+			label = "⚠ " + label + " — " + viol.Objective
 		}
+		pts = append(pts, report.StepPoint{StartUS: w.StartUS, EndUS: w.EndUS, V: v, Label: label, Bad: bad})
 	}
-	b.WriteString("</svg>\n<div class=\"tooltip\"></div>\n</div>\n")
-}
-
-func minValue[T any](xs []T, f func(T) float64) float64 {
-	m := math.Inf(1)
-	for _, x := range xs {
-		m = math.Min(m, f(x))
+	if len(pts) == 0 {
+		return
 	}
-	return m
-}
 
-func hasNegThreshold(objs []ObjectiveStatus) bool {
-	for _, o := range objs {
+	// Objectives attached to this series become threshold annotations.
+	var ths []report.Threshold
+	negThreshold := false
+	for _, o := range rep.Summary.Objectives {
+		if o.Series != series || o.Final {
+			continue
+		}
+		ths = append(ths, report.Threshold{
+			Label: fmt.Sprintf("%s %s %s", o.Name, dirGlyph(o.Direction), fmtSeriesValue(series, o.Threshold)),
+			V:     o.Threshold,
+		})
 		if o.Threshold < 0 {
-			return true
+			negThreshold = true
 		}
 	}
-	return false
+
+	sub := "no objective on this series"
+	if n := len(violAt); n > 0 {
+		sub = fmt.Sprintf("<span class=\"viol\">⚠ %d violating window(s)</span>", n)
+	} else if len(ths) > 0 {
+		sub = "within objective"
+	}
+
+	report.WriteStepChart(b, report.StepChart{
+		Title:      seriesTitle(series),
+		SubHTML:    sub,
+		Series:     []report.StepSeries{{Name: series, Color: 1, Points: pts}},
+		Thresholds: ths,
+		Fmt:        func(v float64) string { return fmtSeriesValue(series, v) },
+		ClampZero:  series != "availability" && minV >= 0 && !negThreshold,
+	})
 }
 
 func writeViolations(b *strings.Builder, rep Report) {
@@ -431,7 +204,7 @@ func writeViolations(b *strings.Builder, rep Report) {
 			win = fmt.Sprintf("%d", v.Window)
 		}
 		fmt.Fprintf(b, "<tr><td class=\"num\">%s</td><td class=\"num\">%s</td><td>%s</td><td>%s</td></tr>\n",
-			fmtSecs(float64(v.TUS)/1e6), win, html.EscapeString(v.Objective), html.EscapeString(v.Detail))
+			report.FmtSecs(float64(v.TUS)/1e6), win, html.EscapeString(v.Objective), html.EscapeString(v.Detail))
 	}
 	b.WriteString("</table>\n")
 }
@@ -448,7 +221,7 @@ func writeWindowTable(b *strings.Builder, rep Report) {
 	b.WriteString("</tr>\n")
 	for _, w := range rep.Windows {
 		fmt.Fprintf(b, "<tr><td class=\"num\">%d</td><td class=\"num\">%s</td><td class=\"num\">%s</td>",
-			w.Index, fmtSecs(float64(w.StartUS)/1e6), fmtSecs(float64(w.EndUS)/1e6))
+			w.Index, report.FmtSecs(float64(w.StartUS)/1e6), report.FmtSecs(float64(w.EndUS)/1e6))
 		for _, s := range rep.Series {
 			if v, ok := w.Values[s]; ok {
 				fmt.Fprintf(b, "<td class=\"num\">%s</td>", html.EscapeString(fmtSeriesValue(s, v)))
@@ -492,72 +265,14 @@ func seriesTitle(series string) string {
 func fmtSeriesValue(series string, v float64) string {
 	switch series {
 	case "ckpt_window_bytes":
-		return fmtBytes(v)
+		return report.FmtBytes(v)
 	case "precopy_hit_rate", "redirty_rate", "availability":
-		return fmtPct(v)
+		return report.FmtPct(v)
 	case "mttr_seconds", "degraded_seconds":
-		return fmtSecs(v)
+		return report.FmtSecs(v)
 	}
 	if v == math.Trunc(v) {
 		return fmt.Sprintf("%.0f", v)
 	}
 	return fmt.Sprintf("%.2f", v)
-}
-
-func fmtBytes(v float64) string {
-	const (
-		kib = 1 << 10
-		mib = 1 << 20
-		gib = 1 << 30
-	)
-	switch {
-	case math.Abs(v) >= gib:
-		return fmt.Sprintf("%.2f GiB", v/gib)
-	case math.Abs(v) >= mib:
-		return fmt.Sprintf("%.1f MiB", v/mib)
-	case math.Abs(v) >= kib:
-		return fmt.Sprintf("%.1f KiB", v/kib)
-	}
-	return fmt.Sprintf("%.0f B", v)
-}
-
-func fmtPct(v float64) string {
-	p := v * 100
-	if p == math.Trunc(p) {
-		return fmt.Sprintf("%.0f%%", p)
-	}
-	return fmt.Sprintf("%.1f%%", p)
-}
-
-func fmtSecs(v float64) string {
-	if v == math.Trunc(v) {
-		return fmt.Sprintf("%.0fs", v)
-	}
-	return fmt.Sprintf("%.2fs", v)
-}
-
-// niceTicks returns ~n round-valued ticks inside [lo, hi].
-func niceTicks(lo, hi float64, n int) []float64 {
-	if hi <= lo || n < 1 {
-		return nil
-	}
-	raw := (hi - lo) / float64(n)
-	mag := math.Pow(10, math.Floor(math.Log10(raw)))
-	var step float64
-	switch frac := raw / mag; {
-	case frac <= 1:
-		step = mag
-	case frac <= 2:
-		step = 2 * mag
-	case frac <= 5:
-		step = 5 * mag
-	default:
-		step = 10 * mag
-	}
-	var out []float64
-	for t := math.Ceil(lo/step) * step; t <= hi+step*1e-9; t += step {
-		out = append(out, t)
-	}
-	sort.Float64s(out)
-	return out
 }

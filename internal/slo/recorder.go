@@ -657,3 +657,25 @@ func (r *Recorder) Summary() Summary {
 
 // Strict reports whether the recorder should fail the run on breach.
 func (r *Recorder) Strict() bool { return r.cfg.Strict }
+
+// MaxBurn is the live error-budget burn rate: the highest, across windowed
+// objectives, of the violating share of the objective's consecutive-breach
+// horizon ring. 0 means every objective is clean over its horizon; 1 means
+// some objective's whole horizon is violating (a violation is firing). The
+// control plane's burn-rate admission holds new work while running jobs
+// burn budget.
+func (r *Recorder) MaxBurn() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	burn := 0.0
+	for i := range r.objs {
+		st := &r.objs[i]
+		if st.obj.Final || len(st.recent) == 0 {
+			continue
+		}
+		if b := float64(st.bad) / float64(len(st.recent)); b > burn {
+			burn = b
+		}
+	}
+	return burn
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"nvmcp/internal/drift"
 )
 
 // SchemaVersion identifies the run-report JSON layout. Bump on incompatible
@@ -36,6 +38,10 @@ type Report struct {
 	Windows    []Window    `json:"windows"`
 	Violations []Violation `json:"violations"`
 	Summary    Summary     `json:"summary"`
+	// Drift embeds the model-drift observatory's report when the run had
+	// drift enabled; the HTML renderer appends its predicted-vs-measured
+	// section.
+	Drift *drift.Report `json:"drift,omitempty"`
 }
 
 // BuildReport renders the recorder into the artifact form. Call after

@@ -6,114 +6,29 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"nvmcp/internal/report"
 )
 
 // WriteHTML renders the report as a single self-contained page: run
 // metadata, the survivability verdicts, MTTR and availability curves over
 // fleet size (one line per severity × placement series), and the full cell
 // table. No external assets, no wall-clock content — the output is
-// byte-stable for a deterministic run.
+// byte-stable for a deterministic run. The palette and page chrome come
+// from internal/report.
 func WriteHTML(w io.Writer, rep Report) error {
 	var b strings.Builder
-	b.WriteString(stressHTMLHead)
+	report.WriteHead(&b, "Fleet stress report")
 	writeStressHeader(&b, rep)
 	writeSurvivability(&b, rep)
 	writeCurves(&b, rep)
 	writeCellTable(&b, rep)
-	b.WriteString(stressHTMLTail)
+	report.WriteTail(&b)
 	if _, err := io.WriteString(w, b.String()); err != nil {
 		return fmt.Errorf("stress: write html report: %w", err)
 	}
 	return nil
 }
-
-// Design tokens follow the SLO report's palette: light surfaces with dark
-// steps under both the media query and an explicit data-theme scope,
-// categorical series colors, reserved red for data-loss verdicts.
-const stressHTMLHead = `<!DOCTYPE html>
-<html lang="en">
-<head>
-<meta charset="utf-8">
-<meta name="viewport" content="width=device-width, initial-scale=1">
-<title>Fleet stress report</title>
-<style>
-.viz-root {
-  --surface-1: #fcfcfb;
-  --page: #f9f9f7;
-  --text-primary: #0b0b0b;
-  --text-secondary: #52514e;
-  --text-muted: #898781;
-  --gridline: #e1e0d9;
-  --axis: #c3c2b7;
-  --series-1: #2a78d6;
-  --series-2: #d07c2a;
-  --series-3: #2aa053;
-  --series-4: #9a5bd0;
-  --series-5: #d0492a;
-  --series-6: #2ab2c4;
-  --status-critical: #d03b3b;
-  --status-good: #0ca30c;
-}
-@media (prefers-color-scheme: dark) {
-  :where(.viz-root) {
-    color-scheme: dark;
-    --surface-1: #1a1a19;
-    --page: #0d0d0d;
-    --text-primary: #ffffff;
-    --text-secondary: #c3c2b7;
-    --text-muted: #898781;
-    --gridline: #2c2c2a;
-    --axis: #383835;
-    --series-1: #3987e5;
-  }
-}
-:root[data-theme="dark"] .viz-root {
-  color-scheme: dark;
-  --surface-1: #1a1a19;
-  --page: #0d0d0d;
-  --text-primary: #ffffff;
-  --text-secondary: #c3c2b7;
-  --text-muted: #898781;
-  --gridline: #2c2c2a;
-  --axis: #383835;
-  --series-1: #3987e5;
-}
-.viz-root {
-  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
-  background: var(--page);
-  color: var(--text-primary);
-  margin: 0;
-  padding: 24px;
-}
-.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
-.viz-root h2 { font-size: 14px; font-weight: 600; margin: 28px 0 8px; }
-.meta { color: var(--text-secondary); font-size: 13px; margin-bottom: 20px; }
-.verdict { font-size: 14px; font-weight: 600; margin: 6px 0; }
-.verdict.ok { color: var(--status-good); }
-.verdict.bad { color: var(--status-critical); }
-table.data {
-  border-collapse: collapse; font-size: 13px;
-  background: var(--surface-1); border: 1px solid var(--gridline); border-radius: 8px;
-}
-table.data th, table.data td { padding: 6px 12px; text-align: left; border-bottom: 1px solid var(--gridline); }
-table.data th { color: var(--text-secondary); font-weight: 600; }
-table.data tr:last-child td { border-bottom: none; }
-table.data td.num { text-align: right; font-variant-numeric: tabular-nums; }
-.pass { color: var(--status-good); }
-.fail { color: var(--status-critical); font-weight: 600; }
-.chart-card {
-  background: var(--surface-1); border: 1px solid var(--gridline);
-  border-radius: 8px; padding: 12px 16px 8px; margin-bottom: 14px; max-width: 720px;
-}
-.chart-card .t { font-size: 13px; font-weight: 600; margin-bottom: 4px; }
-.legend { font-size: 12px; color: var(--text-secondary); margin: 4px 0 8px; }
-.legend .sw { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin: 0 4px 0 12px; vertical-align: baseline; }
-</style>
-</head>
-<body class="viz-root">
-`
-
-const stressHTMLTail = "</body>\n</html>\n"
 
 func writeStressHeader(b *strings.Builder, rep Report) {
 	b.WriteString("<h1>Fleet stress report</h1>\n<div class=\"meta\">")
@@ -197,7 +112,8 @@ func uniqueSizes(cells []Cell) []int {
 }
 
 // writeChart renders one categorical-x line chart: x positions are the
-// sorted unique fleet sizes, one polyline per (severity, placement) series.
+// sorted unique fleet sizes, one polyline per (severity, placement) series,
+// colors from the shared categorical palette slots.
 func writeChart(b *strings.Builder, rep Report, sizes []int, title string, value func(Cell) float64) {
 	const w, h = 680, 240
 	const ml, mr, mt, mb = 56, 16, 12, 32
@@ -264,7 +180,7 @@ func writeChart(b *strings.Builder, rep Report, sizes []int, title string, value
 		y := ypos(v)
 		fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"var(--gridline)\"/>\n", ml, y, w-mr, y)
 		fmt.Fprintf(b, "<text x=\"%d\" y=\"%.1f\" font-size=\"10\" fill=\"var(--text-muted)\" text-anchor=\"end\">%s</text>\n",
-			ml-6, y+3, trimFloat(v))
+			ml-6, y+3, report.TrimFloat(v))
 	}
 	// X labels: the fleet sizes.
 	for _, s := range sizes {
@@ -287,7 +203,7 @@ func writeChart(b *strings.Builder, rep Report, sizes []int, title string, value
 		for _, c := range cells {
 			fmt.Fprintf(b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" fill=\"%s\"><title>%s @ %d nodes: %s</title></circle>\n",
 				xpos(c.FleetNodes), ypos(value(c)), color,
-				html.EscapeString(name), c.FleetNodes, trimFloat(value(c)))
+				html.EscapeString(name), c.FleetNodes, report.TrimFloat(value(c)))
 		}
 	}
 	b.WriteString("</svg></div>\n")
@@ -315,14 +231,8 @@ func writeCellTable(b *strings.Builder, rep Report) {
 		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"num\">%d</td><td>%s</td><td>%s</td><td>%s</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td>%s</td></tr>\n",
 			html.EscapeString(c.Name), c.FleetNodes, html.EscapeString(c.Topology),
 			html.EscapeString(c.Severity), html.EscapeString(c.Placement),
-			trimFloat(c.MTTRSecs), trimFloat(c.AvailabilityPct),
+			report.TrimFloat(c.MTTRSecs), report.TrimFloat(c.AvailabilityPct),
 			c.RecoveryLocal, c.RecoveryRemote, c.RecoveryBottom, lost, check)
 	}
 	b.WriteString("</table>\n")
-}
-
-func trimFloat(v float64) string {
-	s := fmt.Sprintf("%.3f", v)
-	s = strings.TrimRight(s, "0")
-	return strings.TrimRight(s, ".")
 }

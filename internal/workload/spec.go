@@ -53,6 +53,14 @@ type AppSpec struct {
 	// exchanges occur (defaults to DefaultCommOps evenly spread points
 	// when CommPerIter > 0).
 	CommPhases []float64
+	// ShiftIter, when > 0 with ShiftExtraMods, changes the write behaviour
+	// from that (0-based) iteration on: every non-init chunk gains
+	// ShiftExtraMods extra late-interval modification phases per iteration.
+	// Late writes land after pre-copy staging, so the re-dirty rate jumps —
+	// a deterministic workload phase change for exercising the drift
+	// observatory's phase detector.
+	ShiftIter      int64
+	ShiftExtraMods int
 }
 
 // DefaultCommOps is the default number of communication exchanges per
@@ -305,6 +313,18 @@ func (a *App) Iterate(p *sim.Proc) error {
 		}
 		for _, ph := range cs.ModPhases {
 			events = append(events, iterEvent{phase: ph, chunk: i})
+		}
+	}
+	if extra := a.Spec.ShiftExtraMods; extra > 0 && a.Spec.ShiftIter > 0 && a.Iterations >= a.Spec.ShiftIter {
+		// Post-shift regime: pile extra writes into the tail of the interval.
+		for i, cs := range a.Spec.Chunks {
+			if cs.InitOnly {
+				continue
+			}
+			for j := 0; j < extra; j++ {
+				ph := 1 - 0.15*float64(j+1)/float64(extra+1)
+				events = append(events, iterEvent{phase: ph, chunk: i})
+			}
 		}
 	}
 	if a.Spec.CommPerIter > 0 && a.Comm != nil {
